@@ -1,0 +1,528 @@
+(* Regenerates every table and figure of "Glitching Demystified"
+   (DSN 2021) on the simulated substrate, plus Bechamel micro-benchmarks
+   of the harness itself.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig2         -- one experiment
+     dune exec bench/main.exe -- table6 --quick
+
+   Expected paper values are printed next to measured ones; see
+   EXPERIMENTS.md for the discussion of each comparison. *)
+
+let section title =
+  Fmt.pr "@.============================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "============================================================@."
+
+let paper_note fmt = Fmt.pr ("  [paper] " ^^ fmt ^^ "@.")
+
+(* --- Figure 2: glitching effects in emulation ----------------------------- *)
+
+let fig2 () =
+  section "Figure 2 - bit-flip effects on ARM Thumb conditional branches";
+  let cases = Glitch_emu.Testcase.all_conditional_branches in
+  let run name config =
+    Fmt.pr "@.--- %s ---@." name;
+    let results = Glitch_emu.Campaign.run_all config cases in
+    print_string (Glitch_emu.Report.outcome_table results);
+    Fmt.pr "@.Success rate by number of flipped bits:@.";
+    print_string (Glitch_emu.Report.success_by_weight_table results);
+    Fmt.pr "%s@." (Glitch_emu.Report.summary_line results);
+    Glitch_emu.Report.mean_success_rate results
+  in
+  let and_rate =
+    run "(a) AND model (1 -> 0 flips)"
+      (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And)
+  in
+  let or_rate =
+    run "(b) OR model (0 -> 1 flips)"
+      (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Or)
+  in
+  let and0_rate =
+    run "(c) AND model, 0x0000 decoded as invalid"
+      { (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And) with
+        zero_is_invalid = true }
+  in
+  let xor_rate =
+    run "(supplement) XOR model (bidirectional flips)"
+      (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Xor)
+  in
+  Fmt.pr "@.Summary: AND %.1f%%  OR %.1f%%  AND(0 invalid) %.1f%%  XOR %.1f%%@."
+    and_rate or_rate and0_rate xor_rate;
+  Fmt.pr "@.Supplement: skip rates for non-branch instructions (the \"skip@.";
+  Fmt.pr "every defensive instruction\" limit case):@.";
+  Stats.Table.print ~header:[ "Instr"; "AND skip %"; "OR skip %" ]
+    (List.map
+       (fun (case : Glitch_emu.Testcase.t) ->
+         let rate flip =
+           Glitch_emu.Campaign.category_percent
+             (Glitch_emu.Campaign.run_case
+                (Glitch_emu.Campaign.default_config flip)
+                case)
+             Glitch_emu.Campaign.Success
+         in
+         [ case.name; Fmt.str "%.1f" (rate Glitch_emu.Fault_model.And);
+           Fmt.str "%.1f" (rate Glitch_emu.Fault_model.Or) ])
+       Glitch_emu.Testcase.non_branch_cases);
+  paper_note "branches skipped >60%% when flipping to 0, <30%% when flipping to 1;";
+  paper_note "making 0x0000 invalid left the success rate 'effectively unchanged'."
+
+(* --- Cross-ISA fault tolerance (extension) --------------------------------- *)
+
+let fig2x () =
+  section "Cross-ISA encoding fault tolerance: Thumb-16 vs RV32I (extension)";
+  Fmt.pr
+    "The paper hypothesises that ISA changes (e.g. an invalid all-zero@.";
+  Fmt.pr
+    "word) 'could pay large dividends' but cannot test them without@.";
+  Fmt.pr "fabricating silicon. In emulation we can: the same campaign, run@.";
+  Fmt.pr "over RISC-V's 32-bit encoding (all-zero/all-one words illegal by@.";
+  Fmt.pr "construction, weights above 2 sampled at 600 masks each).@.@.";
+  let thumb_rates flip =
+    let results =
+      Glitch_emu.Campaign.run_all
+        (Glitch_emu.Campaign.default_config flip)
+        Glitch_emu.Testcase.all_conditional_branches
+    in
+    (Glitch_emu.Report.mean_success_rate results,
+     List.fold_left
+       (fun acc r ->
+         acc
+         +. Glitch_emu.Campaign.category_percent r
+              Glitch_emu.Campaign.Invalid_instruction)
+       0. results
+     /. float_of_int (List.length results))
+  in
+  let riscv_rates flip =
+    let results =
+      List.map
+        (Riscv.Campaign.run_case (Riscv.Campaign.default_config flip))
+        Riscv.Campaign.all_conditional_branches
+    in
+    let n = float_of_int (List.length results) in
+    ( List.fold_left (fun acc r -> acc +. Riscv.Campaign.success_percent r) 0. results
+      /. n,
+      List.fold_left
+        (fun acc r ->
+          acc
+          +. Riscv.Campaign.category_percent r
+               Glitch_emu.Campaign.Invalid_instruction)
+        0. results
+      /. n )
+  in
+  Stats.Table.print
+    ~header:
+      [ "Fault model"; "Thumb skip %"; "Thumb invalid %"; "RV32I skip %";
+        "RV32I invalid %" ]
+    (List.map
+       (fun flip ->
+         let ts, ti = thumb_rates flip in
+         let rs, ri = riscv_rates flip in
+         [ Glitch_emu.Fault_model.name flip; Fmt.str "%.1f" ts;
+           Fmt.str "%.1f" ti; Fmt.str "%.1f" rs; Fmt.str "%.1f" ri ])
+       Glitch_emu.Fault_model.all);
+  Fmt.pr
+    "@.The dense 32-bit encoding turns ~3/4 of corruptions into illegal@.";
+  Fmt.pr
+    "instructions, cutting branch-skip rates by roughly an order of@.";
+  Fmt.pr "magnitude - the paper's ISA-hardening hypothesis, confirmed.@."
+
+(* --- Table I: single glitches per clock cycle ------------------------------ *)
+
+let instruction_listing guard =
+  match (guard : Hw.Attack.guard) with
+  | Hw.Attack.While_not_a | Hw.Attack.While_a ->
+    [| "MOV R3, SP"; "ADDS R3, #7"; "LDRB R3, [R3]"; "  (LDRB cont.)";
+       "CMP R3, #0"; "B<cc> .loop"; "  (branch cont.)"; "  (branch cont.)" |]
+  | Hw.Attack.While_ne_const ->
+    [| "LDR R2, [SP, #16]"; "  (LDR cont.)"; "LDR R3, =0xD3B9AEC6";
+       "  (LDR cont.)"; "CMP R2, R3"; "B<cc> .loop"; "  (branch cont.)";
+       "  (branch cont.)" |]
+
+let table1 () =
+  section "Table I - successful single glitches per clock cycle";
+  List.iter
+    (fun guard ->
+      let t = Hw.Attack.run_table1 guard in
+      let listing = instruction_listing guard in
+      Fmt.pr "@.--- %s (comparator r%d) ---@."
+        (Hw.Attack.guard_name guard)
+        (Hw.Attack.comparator guard);
+      let total = ref 0 in
+      let values_seen = Hashtbl.create 32 in
+      let rows =
+        Array.to_list
+          (Array.mapi
+             (fun cycle (c : Hw.Attack.cycle_stats) ->
+               total := !total + c.successes;
+               List.iter (fun (v, _) -> Hashtbl.replace values_seen v ()) c.values;
+               let top =
+                 c.values
+                 |> List.filteri (fun i _ -> i < 4)
+                 |> List.map (fun (v, n) -> Fmt.str "0x%X x%d" v n)
+                 |> String.concat "  "
+               in
+               [ string_of_int cycle; listing.(cycle);
+                 string_of_int c.successes; top ])
+             t.per_cycle)
+      in
+      Stats.Table.print
+        ~header:[ "Cycle"; "Instruction"; "Successes"; "Comparator values" ]
+        rows;
+      Fmt.pr "Total: %a, %d unique comparator values@."
+        Stats.Rate.pp_count_pct
+        (!total, 8 * t.attempts_per_cycle)
+        (Hashtbl.length values_seen))
+    Hw.Attack.all_guards;
+  paper_note "totals 0.705%% / 0.347%% / 0.449%%; while(!a) ~2x while(a);";
+  paper_note "comparator residues included SP (0x20003FE8) and GPIO mixes."
+
+(* --- Table II: multi-glitch ------------------------------------------------- *)
+
+let table2 () =
+  section "Table II - partial vs full multi-glitch (two back-to-back loops)";
+  let rows =
+    List.map
+      (fun guard ->
+        let t = Hw.Attack.run_table2 guard in
+        let p = Array.fold_left ( + ) 0 t.partial in
+        let f = Array.fold_left ( + ) 0 t.full in
+        (guard, t, p, f))
+      Hw.Attack.all_guards
+  in
+  Stats.Table.print
+    ~header:
+      [ "Cycle"; "!a partial"; "!a full"; "a partial"; "a full"; "ne partial";
+        "ne full" ]
+    (List.init Hw.Attack.loop_cycles (fun cycle ->
+         string_of_int cycle
+         :: List.concat_map
+              (fun (_, (t : Hw.Attack.table2), _, _) ->
+                [ string_of_int t.partial.(cycle); string_of_int t.full.(cycle) ])
+              rows));
+  List.iter
+    (fun (guard, (t : Hw.Attack.table2), p, f) ->
+      Fmt.pr "%s: partial %a  full %a  (x%.1f harder)@."
+        (Hw.Attack.guard_name guard) Stats.Rate.pp_count_pct (p, t.attempts2)
+        Stats.Rate.pp_count_pct (f, t.attempts2)
+        (if f = 0 then Float.infinity else float_of_int p /. float_of_int f))
+    rows;
+  paper_note "partial 1.330%% / 0.420%% / 0.413%%, full 0.494%% / 0.068%% / 0.258%%;";
+  paper_note "multi-glitch 6x / 3x / 1.6x harder than a single glitch."
+
+(* --- Table III: long glitches ------------------------------------------------ *)
+
+let table3 () =
+  section "Table III - long glitches (10-20 contiguous cycles)";
+  let results =
+    List.map (fun guard -> (guard, Hw.Attack.run_table3 guard)) Hw.Attack.all_guards
+  in
+  Stats.Table.print
+    ~header:[ "Cycles"; "while(!a)"; "while(a)"; "while(a!=0xD3B9AEC6)" ]
+    (List.map
+       (fun last ->
+         Fmt.str "0-%d" last
+         :: List.map
+              (fun (_, rows) -> string_of_int (List.assoc last rows))
+              results)
+       [ 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 ]);
+  List.iter
+    (fun (guard, rows) ->
+      let total = List.fold_left (fun acc (_, s) -> acc + s) 0 rows in
+      Fmt.pr "%s: total %a@." (Hw.Attack.guard_name guard)
+        Stats.Rate.pp_count_pct
+        (total, 11 * 9801))
+    results;
+  paper_note "totals 0.101%% / 0.730%% / 0.0992%%: long glitches help while(a)";
+  paper_note "most (aborted loads read zero) and barely help the others."
+
+(* --- Section V-B: locating optimal parameters --------------------------------- *)
+
+let tuner () =
+  section "Section V-B - search for 100% reliable glitch parameters";
+  List.iter
+    (fun guard ->
+      let r = Hw.Tuner.search guard in
+      (match r.found with
+      | Some (w, o, c) ->
+        Fmt.pr
+          "%s: width=%d offset=%d cycle=%d after %d attempts (%d successes), ~%.0f simulated minutes@."
+          (Hw.Attack.guard_name guard) w o c r.attempts r.successes
+          (r.seconds /. 60.)
+      | None ->
+        Fmt.pr "%s: no fully reliable parameters found (%d attempts)@."
+          (Hw.Attack.guard_name guard) r.attempts))
+    Hw.Attack.all_guards;
+  paper_note "while(a) converged in <59 min (7,031/36,869 successes);";
+  paper_note "while(a!=0xD3B9AEC6) in 16 min (901 successes)."
+
+(* --- Tables IV and V: overhead -------------------------------------------------- *)
+
+let table45 () =
+  section "Table IV - boot-time overhead per defense (cycles)";
+  let rows = Resistor.Overhead.all_rows () in
+  let baseline =
+    (List.find (fun (r : Resistor.Overhead.row) -> r.label = "None") rows)
+      .boot_cycles
+  in
+  Stats.Table.print
+    ~header:[ "Defense"; "Clock cycles"; "% increase"; "Constant"; "% adjusted" ]
+    (List.map
+       (fun (r : Resistor.Overhead.row) ->
+         let constant =
+           if r.label = "Delay" || r.label = "All" then
+             Resistor.Overhead.flash_commit_cycles
+           else 0
+         in
+         let adj = r.boot_cycles - constant in
+         [ r.label; string_of_int r.boot_cycles;
+           Fmt.str "%.2f%%"
+             (100.
+             *. float_of_int (r.boot_cycles - baseline)
+             /. float_of_int baseline);
+           string_of_int constant;
+           Fmt.str "%.2f%%"
+             (100. *. float_of_int (adj - baseline) /. float_of_int baseline) ])
+       rows);
+  paper_note "None 1,736 cycles; Branches +11.35%%; Delay +10,521%% (constant";
+  paper_note "177,849 cycles for the flash seed write, +277%% adjusted); others <1%%.";
+  section "Table V - size overhead per defense (bytes)";
+  let base =
+    List.find (fun (r : Resistor.Overhead.row) -> r.label = "None") rows
+  in
+  Stats.Table.print
+    ~header:[ "Defense"; "text"; "text %"; "data"; "bss"; "total"; "total %" ]
+    (List.map
+       (fun (r : Resistor.Overhead.row) ->
+         [ r.label; string_of_int r.text_bytes;
+           Fmt.str "%.2f%%"
+             (100.
+             *. float_of_int (r.text_bytes - base.text_bytes)
+             /. float_of_int base.text_bytes);
+           string_of_int r.data_bytes; string_of_int r.bss_bytes;
+           string_of_int r.total_bytes;
+           Fmt.str "%.2f%%"
+             (100.
+             *. float_of_int (r.total_bytes - base.total_bytes)
+             /. float_of_int base.total_bytes) ])
+       rows);
+  paper_note "All +33%% total, All\\Delay +15%%, Returns ~0%%: the ordering to match."
+
+(* --- Table VI: defended firmware under attack ------------------------------------ *)
+
+let table6 ~quick () =
+  section "Table VI - glitches and detections against defended firmware";
+  let sweep_step = if quick then 4 else 1 in
+  if quick then
+    Fmt.pr "(quick mode: every 4th parameter point; counts scale by ~1/16)@.";
+  let scenarios = Resistor.Evaluate.[ Worst_case; Best_case ] in
+  let attacks = Resistor.Evaluate.[ Single; Long; Windowed ] in
+  let configs =
+    [ ("All", Resistor.Config.all ~sensitive:[ "a" ] ());
+      ("All\\Delay", Resistor.Config.all_but_delay ~sensitive:[ "a" ] ());
+      ("None (reference)", Resistor.Config.none) ]
+  in
+  List.iter
+    (fun scenario ->
+      Fmt.pr "@.--- %s ---@." (Resistor.Evaluate.scenario_name scenario);
+      Stats.Table.print
+        ~header:
+          [ "Attack"; "Defenses"; "Attempts"; "Successes"; "Success %";
+            "Detections"; "Detection %" ]
+        (List.concat_map
+           (fun attack ->
+             List.map
+               (fun (label, config) ->
+                 let o =
+                   Resistor.Evaluate.run ~sweep_step config scenario attack
+                 in
+                 [ Resistor.Evaluate.attack_name attack; label;
+                   string_of_int o.attempts; string_of_int o.successes;
+                   Fmt.str "%a" Stats.Rate.pp_pct
+                     (Resistor.Evaluate.success_rate o);
+                   string_of_int o.detections;
+                   Fmt.str "%a" Stats.Rate.pp_pct
+                     (Resistor.Evaluate.detection_rate o) ])
+               configs)
+           attacks))
+    scenarios;
+  paper_note "while(!a): single 0.00928%%/0.00371%% success, 98-100%% detected;";
+  paper_note "long 0.263%%/0.267%% success with 79.2%%/71.2%% detection;";
+  paper_note "if(a==SUCCESS): best attack 0.00557%% (All) / 0.0449%% (All\\Delay)."
+
+(* --- Ablation: which defense stops what ------------------------------------------- *)
+
+let ablation ~quick () =
+  section "Ablation - per-defense efficacy against while(!a) (extension)";
+  let sweep_step = if quick then 4 else 2 in
+  Fmt.pr "(every %dth parameter point; single + windowed-10 attacks)@." sweep_step;
+  let sensitive = [ "a" ] in
+  let rows_cfg =
+    [ ("None", Resistor.Config.none);
+      ("Branches", Resistor.Config.only ~branches:true ());
+      ("Loops", Resistor.Config.only ~loops:true ());
+      ("Branches+Loops", Resistor.Config.only ~branches:true ~loops:true ());
+      ("Integrity", Resistor.Config.only ~integrity:true ~sensitive ());
+      ("Delay", Resistor.Config.only ~delay:true ());
+      ("All\\Delay", Resistor.Config.all_but_delay ~sensitive ());
+      ("All", Resistor.Config.all ~sensitive ()) ]
+  in
+  let source = Resistor.Evaluate.scenario_source Resistor.Evaluate.Worst_case in
+  let images =
+    List.map
+      (fun (label, config) ->
+        (label, (Resistor.Driver.compile config source).image))
+      rows_cfg
+    @ [ (let image, (_ : Resistor.Cfcss.report) = Resistor.Cfcss.compile source in
+         ("CFCSS (baseline)", image)) ]
+  in
+  Stats.Table.print
+    ~header:
+      [ "Defenses"; "Single succ"; "Single det"; "Windowed succ"; "Windowed det" ]
+    (List.map
+       (fun (label, image) ->
+         let single =
+           Resistor.Evaluate.run_image ~sweep_step image Resistor.Evaluate.Single
+         in
+         let windowed =
+           Resistor.Evaluate.run_image ~sweep_step image Resistor.Evaluate.Windowed
+         in
+         [ label;
+           Fmt.str "%d (%a)" single.successes Stats.Rate.pp_pct
+             (Resistor.Evaluate.success_rate single);
+           string_of_int single.detections;
+           Fmt.str "%d (%a)" windowed.successes Stats.Rate.pp_pct
+             (Resistor.Evaluate.success_rate windowed);
+           string_of_int windowed.detections ])
+       images);
+  Fmt.pr "@.Reading the ablation:@.";
+  Fmt.pr "- Branches alone barely helps: a loop escape leaves on the FALSE@.";
+  Fmt.pr "  edge, which only the Loops pass re-checks (the paper's rationale@.";
+  Fmt.pr "  for instrumenting both).@.";
+  Fmt.pr "- Integrity kills the register/data-corruption vector: the shadow@.";
+  Fmt.pr "  complement no longer matches a corrupted comparator.@.";
+  Fmt.pr "- Delay displaces the guard out of the attacker's trigger-relative@.";
+  Fmt.pr "  window without detecting anything, exactly its design goal.@.";
+  Fmt.pr "- CFCSS (the executable Table VII baseline) detects arrivals along@.";
+  Fmt.pr "  illegal edges and dilates the code, but it cannot re-check the@.";
+  Fmt.pr "  DIRECTION of a legal branch - the complemented duplication@.";
+  Fmt.pr "  checks remain GlitchResistor's differentiator.@."
+
+(* --- Table VII: qualitative comparison -------------------------------------------- *)
+
+let table7 () =
+  section "Table VII - software-based defense comparison";
+  print_string (Resistor.Compare.render ());
+  paper_note "GlitchResistor is the only technique with every property."
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (Bechamel): cost of each experiment's inner loop";
+  let open Bechamel in
+  let beq_case = Glitch_emu.Testcase.conditional_branch Thumb.Instr.EQ in
+  let emu_config = Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And in
+  let board =
+    Hw.Board.create
+      (Hw.Board.Asm (Hw.Attack.single_loop_program Hw.Attack.While_not_a))
+  in
+  let image =
+    (Resistor.Driver.compile
+       (Resistor.Config.all ~sensitive:[ "a" ] ())
+       Resistor.Firmware.guard_loop)
+      .image
+  in
+  let defended_board = Hw.Board.create (Hw.Board.Image image) in
+  ignore (Hw.Board.run_until_trigger defended_board);
+  let snap = Hw.Board.snapshot defended_board in
+  let msg = Array.init 16 (fun i -> i * 7 land 0xFF) in
+  let code = Reedsolomon.Rs.encode ~ecc_len:8 msg in
+  let tests =
+    [ Test.make ~name:"fig2: one perturbed execution"
+        (Staged.stage (fun () ->
+             ignore (Glitch_emu.Campaign.run_one emu_config beq_case ~mask:0x0100)));
+      Test.make ~name:"table1: one glitch attempt"
+        (Staged.stage (fun () ->
+             ignore
+               (Hw.Glitcher.run ~max_cycles:300 board
+                  [ Hw.Glitcher.single ~width:(-10) ~offset:5 ~ext_offset:4 ])));
+      Test.make ~name:"table6: one defended attempt (snapshot restore)"
+        (Staged.stage (fun () ->
+             ignore
+               (Hw.Glitcher.run ~max_cycles:5000 ~from:snap defended_board
+                  [ Hw.Glitcher.single ~width:(-10) ~offset:5 ~ext_offset:4 ])));
+      Test.make ~name:"table4/5: compile+link defended firmware"
+        (Staged.stage (fun () ->
+             ignore
+               (Resistor.Driver.compile
+                  (Resistor.Config.all_but_delay ~sensitive:[ "a" ] ())
+                  Resistor.Firmware.guard_loop)));
+      Test.make ~name:"substrate: thumb decode (64k words)"
+        (Staged.stage (fun () ->
+             for w = 0 to 0xFFFF do
+               ignore (Thumb.Decode.instr w)
+             done));
+      Test.make ~name:"substrate: RS encode+decode (16B msg, ecc 8)"
+        (Staged.stage (fun () ->
+             let received = Array.copy code in
+             received.(3) <- received.(3) lxor 0x5A;
+             match Reedsolomon.Rs.decode ~ecc_len:8 received with
+             | Ok _ -> ()
+             | Error _ -> assert false)) ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] -> Fmt.pr "  %-48s %12.1f ns/run@." name ns
+          | Some _ | None -> Fmt.pr "  %-48s (no estimate)@." name)
+        ols)
+    tests
+
+(* --- driver ---------------------------------------------------------------------------- *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [all|fig2|table1|table2|table3|tuner|table4|table5|table6|table7|micro] [--quick]"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "--") args in
+  let experiments =
+    [ ("fig2", fig2); ("fig2x", fig2x); ("table1", table1); ("table2", table2);
+      ("table3", table3); ("tuner", tuner); ("table4", table45);
+      ("table5", table45); ("table6", table6 ~quick); ("table7", table7);
+      ("ablation", ablation ~quick); ("micro", micro) ]
+  in
+  let run_all () =
+    fig2 ();
+    fig2x ();
+    table1 ();
+    table2 ();
+    table3 ();
+    tuner ();
+    table45 ();
+    table6 ~quick ();
+    table7 ();
+    ablation ~quick ();
+    micro ()
+  in
+  match args with
+  | [] | [ "all" ] -> run_all ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None -> usage ())
+      names

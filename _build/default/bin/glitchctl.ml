@@ -1,0 +1,367 @@
+(* glitchctl: the command-line face of the toolkit.
+
+     glitchctl asm file.s            assemble and list
+     glitchctl disasm d003 2307      decode halfwords
+     glitchctl run file.s            execute on the plain machine
+     glitchctl emulate beq --model and
+                                     Figure-2 campaign for one branch
+     glitchctl compile fw.c --defenses all --sensitive a,b --dump
+                                     GlitchResistor pipeline + objdump
+     glitchctl attack fw.c --defenses all --attack single --step 4
+                                     parameter sweep against an image
+     glitchctl tune not_a            Section V-B parameter search *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- shared argument parsers -------------------------------------------- *)
+
+let defenses_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "none" -> Ok Resistor.Config.none
+    | "all" -> Ok (Resistor.Config.all ())
+    | "all-but-delay" | "all\\delay" -> Ok (Resistor.Config.all_but_delay ())
+    | "branches" -> Ok (Resistor.Config.only ~branches:true ())
+    | "loops" -> Ok (Resistor.Config.only ~loops:true ())
+    | "integrity" -> Ok (Resistor.Config.only ~integrity:true ())
+    | "returns" -> Ok (Resistor.Config.only ~returns:true ~enums:true ())
+    | "delay" -> Ok (Resistor.Config.only ~delay:true ())
+    | other -> Error (`Msg (Printf.sprintf "unknown defense set %S" other))
+  in
+  Arg.conv (parse, fun ppf c -> Fmt.string ppf (Resistor.Config.name c))
+
+let guard_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "not_a" | "!a" | "while(!a)" -> Ok Hw.Attack.While_not_a
+    | "a" | "while(a)" -> Ok Hw.Attack.While_a
+    | "ne" | "const" | "while(a!=k)" -> Ok Hw.Attack.While_ne_const
+    | other -> Error (`Msg (Printf.sprintf "unknown guard %S (not_a|a|ne)" other))
+  in
+  Arg.conv (parse, fun ppf g -> Fmt.string ppf (Hw.Attack.guard_name g))
+
+let sensitive_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "sensitive" ] ~docv:"GLOBALS"
+        ~doc:"Comma-separated globals for the data-integrity pass.")
+
+let config_arg =
+  Arg.(
+    value
+    & opt defenses_conv Resistor.Config.none
+    & info [ "defenses" ] ~docv:"SET"
+        ~doc:"none, all, all-but-delay, branches, loops, integrity, returns, delay.")
+
+let with_sensitive config sensitive = { config with Resistor.Config.sensitive }
+
+(* --- asm ------------------------------------------------------------------- *)
+
+let asm_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match Thumb.Asm.assemble (read_file file) with
+    | instrs ->
+      List.iteri
+        (fun i ins ->
+          Fmt.pr "%4d:  %04x  %a@." (2 * i) (Thumb.Encode.instr ins)
+            Thumb.Instr.pp ins)
+        instrs;
+      0
+    | exception Thumb.Asm.Parse_error e ->
+      Fmt.epr "%s: %a@." file Thumb.Asm.pp_error e;
+      1
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble a Thumb-16 source file and list it.")
+    Term.(const run $ file)
+
+(* --- disasm ------------------------------------------------------------------ *)
+
+let disasm_cmd =
+  let words =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"HEXWORD")
+  in
+  let run words =
+    let code = ref 0 in
+    List.iter
+      (fun s ->
+        match int_of_string_opt ("0x" ^ s) with
+        | Some w when w >= 0 && w <= 0xFFFF ->
+          Fmt.pr "%04x  %a@." w Thumb.Instr.pp (Thumb.Decode.instr w)
+        | Some _ | None ->
+          Fmt.epr "not a 16-bit hex word: %S@." s;
+          code := 1)
+      words;
+    !code
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Decode 16-bit hex words.")
+    Term.(const run $ words)
+
+(* --- run ---------------------------------------------------------------------- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let steps =
+    Arg.(value & opt int 100_000 & info [ "max-steps" ] ~docv:"N")
+  in
+  let run file steps =
+    match Machine.Loader.load_asm (read_file file) with
+    | t ->
+      let stop = Machine.Exec.run ~max_steps:steps t.mem t.cpu in
+      Fmt.pr "stopped: %a@.%a@." Machine.Exec.pp_stop stop Machine.Cpu.pp t.cpu;
+      0
+    | exception Thumb.Asm.Parse_error e ->
+      Fmt.epr "%s: %a@." file Thumb.Asm.pp_error e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Assemble and execute a program on the bare machine.")
+    Term.(const run $ file $ steps)
+
+(* --- emulate (figure 2 for one branch) ------------------------------------------ *)
+
+let emulate_cmd =
+  let branch =
+    Arg.(value & pos 0 string "beq" & info [] ~docv:"BRANCH")
+  in
+  let model =
+    let model_conv =
+      Arg.conv
+        ( (fun s ->
+            match String.lowercase_ascii s with
+            | "and" -> Ok Glitch_emu.Fault_model.And
+            | "or" -> Ok Glitch_emu.Fault_model.Or
+            | "xor" -> Ok Glitch_emu.Fault_model.Xor
+            | other -> Error (`Msg (Printf.sprintf "unknown model %S" other))),
+          fun ppf m -> Fmt.string ppf (Glitch_emu.Fault_model.name m) )
+    in
+    Arg.(
+      value
+      & opt model_conv Glitch_emu.Fault_model.And
+      & info [ "model" ] ~docv:"M")
+  in
+  let isa =
+    Arg.(
+      value
+      & opt (enum [ ("thumb", `Thumb); ("riscv", `Riscv) ]) `Thumb
+      & info [ "isa" ] ~docv:"ISA" ~doc:"thumb (exhaustive) or riscv (sampled).")
+  in
+  let run branch model isa =
+    match isa with
+    | `Thumb -> (
+      match
+        List.find_opt
+          (fun c -> "b" ^ Thumb.Instr.cond_name c = String.lowercase_ascii branch)
+          Thumb.Instr.all_conds
+      with
+      | None ->
+        Fmt.epr "unknown Thumb conditional branch %S@." branch;
+        1
+      | Some cond ->
+        let case = Glitch_emu.Testcase.conditional_branch cond in
+        let result =
+          Glitch_emu.Campaign.run_case
+            (Glitch_emu.Campaign.default_config model)
+            case
+        in
+        Fmt.pr "%s under %s over all 65,536 masks:@." case.name
+          (Glitch_emu.Fault_model.name model);
+        List.iter
+          (fun cat ->
+            Fmt.pr "  %-20s %6.2f%%@."
+              (Glitch_emu.Campaign.category_name cat)
+              (Glitch_emu.Campaign.category_percent result cat))
+          Glitch_emu.Campaign.categories;
+        0)
+    | `Riscv -> (
+      match
+        List.find_opt
+          (fun c -> Riscv.Instr.branch_cond_name c = String.lowercase_ascii branch)
+          Riscv.Instr.branch_conds
+      with
+      | None ->
+        Fmt.epr "unknown RV32I branch %S (beq|bne|blt|bge|bltu|bgeu)@." branch;
+        1
+      | Some cond ->
+        let case = Riscv.Campaign.conditional_branch cond in
+        let result =
+          Riscv.Campaign.run_case (Riscv.Campaign.default_config model) case
+        in
+        Fmt.pr "%s under %s (sampled masks):@." case.name
+          (Glitch_emu.Fault_model.name model);
+        List.iter
+          (fun cat ->
+            Fmt.pr "  %-20s %6.2f%%@."
+              (Glitch_emu.Campaign.category_name cat)
+              (Riscv.Campaign.category_percent result cat))
+          Glitch_emu.Campaign.categories;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "emulate"
+       ~doc:"Exhaustive bit-flip campaign against one conditional branch.")
+    Term.(const run $ branch $ model $ isa)
+
+(* --- compile -------------------------------------------------------------------- *)
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Disassemble the image.") in
+  let run file config sensitive dump =
+    let config = with_sensitive config sensitive in
+    match Resistor.Driver.compile config (read_file file) with
+    | compiled ->
+      Fmt.pr "defenses: %s@." (Resistor.Config.name config);
+      List.iter
+        (fun (section, bytes) -> Fmt.pr "  %-6s %6d bytes@." section bytes)
+        (Lower.Layout.size_report compiled.image);
+      (match compiled.reports.enum_report with
+      | Some r ->
+        List.iter
+          (fun (name, values) ->
+            Fmt.pr "  enum %s diversified (%d members)@." name
+              (List.length values))
+          r.rewritten
+      | None -> ());
+      (match compiled.reports.returns_report with
+      | Some r ->
+        Fmt.pr "  return codes: %d of %d considered functions diversified@."
+          (List.length r.instrumented) r.considered
+      | None -> ());
+      (match compiled.reports.branches_report with
+      | Some r -> Fmt.pr "  %d conditional branches duplicated@." r.branches_instrumented
+      | None -> ());
+      (match compiled.reports.loops_report with
+      | Some r -> Fmt.pr "  %d loop guards duplicated@." r.loops_instrumented
+      | None -> ());
+      (match compiled.reports.delay_report with
+      | Some r -> Fmt.pr "  %d random-delay sites@." r.sites
+      | None -> ());
+      if dump then print_string (Lower.Objdump.to_string compiled.image);
+      0
+    | exception e ->
+      Fmt.epr "compile failed: %s@." (Printexc.to_string e);
+      1
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Run the GlitchResistor pipeline on a Mini-C firmware.")
+    Term.(const run $ file $ config_arg $ sensitive_arg $ dump)
+
+(* --- attack ---------------------------------------------------------------------- *)
+
+let attack_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let attack =
+    let attack_conv =
+      Arg.conv
+        ( (fun s ->
+            match String.lowercase_ascii s with
+            | "single" -> Ok Resistor.Evaluate.Single
+            | "long" -> Ok Resistor.Evaluate.Long
+            | "windowed" -> Ok Resistor.Evaluate.Windowed
+            | other -> Error (`Msg (Printf.sprintf "unknown attack %S" other))),
+          fun ppf a -> Fmt.string ppf (Resistor.Evaluate.attack_name a) )
+    in
+    Arg.(
+      value
+      & opt attack_conv Resistor.Evaluate.Single
+      & info [ "attack" ] ~docv:"A")
+  in
+  let step = Arg.(value & opt int 1 & info [ "step" ] ~docv:"N") in
+  let run file config sensitive attack step =
+    let config = with_sensitive config sensitive in
+    let source = read_file file in
+    (* reuse the Table VI machinery on arbitrary firmware: it only needs
+       a trigger, the attack-marker global, and the detection counter *)
+    let compiled = Resistor.Driver.compile config source in
+    let board = Hw.Board.create (Hw.Board.Image compiled.image) in
+    if not (Hw.Board.run_until_trigger board) then begin
+      Fmt.epr "firmware never raised the trigger (call __trigger_high())@.";
+      1
+    end
+    else begin
+      let snap = Hw.Board.snapshot board in
+      let budget = Hw.Board.cycles board + 4000 in
+      let attempts = ref 0 and successes = ref 0 and detections = ref 0 in
+      let windows =
+        match attack with
+        | Resistor.Evaluate.Single -> List.init 11 (fun c -> (c, 1))
+        | Resistor.Evaluate.Long -> List.init 10 (fun i -> (0, 10 * (i + 1)))
+        | Resistor.Evaluate.Windowed -> List.init 11 (fun s -> (s, 10))
+      in
+      List.iter
+        (fun (ext_offset, repeat) ->
+          let w = ref (-49) in
+          while !w <= 49 do
+            let o = ref (-49) in
+            while !o <= 49 do
+              incr attempts;
+              let (_ : Hw.Glitcher.observation) =
+                Hw.Glitcher.run ~max_cycles:budget ~from:snap board
+                  [ Hw.Glitcher.with_repeat
+                      (Hw.Glitcher.single ~width:!w ~offset:!o ~ext_offset)
+                      repeat ]
+              in
+              (match
+                 Hw.Board.read_global board Resistor.Firmware.attack_marker_global
+               with
+              | Some v when v = Resistor.Firmware.attack_marker_value ->
+                incr successes
+              | Some _ | None ->
+                if Resistor.Detect.detections (Hw.Board.read_global board) > 0
+                then incr detections);
+              o := !o + step
+            done;
+            w := !w + step
+          done)
+        windows;
+      Fmt.pr "%s vs %s: %d attempts, %d successes (%a), %d detections@."
+        (Resistor.Evaluate.attack_name attack)
+        (Resistor.Config.name config)
+        !attempts !successes Stats.Rate.pp_pct
+        (Stats.Rate.pct ~num:!successes ~den:!attempts)
+        !detections;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Sweep the glitch-parameter plane against a firmware (it must call \
+          __trigger_high() and set attack_success = 170 on compromise).")
+    Term.(const run $ file $ config_arg $ sensitive_arg $ attack $ step)
+
+(* --- tune ------------------------------------------------------------------------- *)
+
+let tune_cmd =
+  let guard = Arg.(value & pos 0 guard_conv Hw.Attack.While_not_a & info [] ~docv:"GUARD") in
+  let run guard =
+    let r = Hw.Tuner.search guard in
+    (match r.found with
+    | Some (w, o, c) ->
+      Fmt.pr "found width=%d offset=%d cycle=%d (%d attempts, ~%.0f simulated minutes)@."
+        w o c r.attempts (r.seconds /. 60.)
+    | None -> Fmt.pr "no fully reliable parameters found (%d attempts)@." r.attempts);
+    0
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Search for 100%-reliable glitch parameters (Section V-B).")
+    Term.(const run $ guard)
+
+let () =
+  let doc = "glitching attack and defense toolkit (Glitching Demystified, DSN'21)" in
+  let info = Cmd.info "glitchctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
+            tune_cmd ]))

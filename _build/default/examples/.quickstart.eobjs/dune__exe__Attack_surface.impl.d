@@ -1,0 +1,1 @@
+examples/attack_surface.ml: Buffer Fmt Hw List

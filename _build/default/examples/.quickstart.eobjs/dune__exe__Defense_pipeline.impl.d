@@ -1,0 +1,1 @@
+examples/defense_pipeline.ml: Fmt Ir List Lower Minic Option Resistor

@@ -1,0 +1,1 @@
+examples/emulation_campaign.ml: Array Fmt Glitch_emu List String Sys Thumb

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Glitch_emu List Machine Thumb

@@ -1,0 +1,1 @@
+examples/secure_boot.ml: Fmt Hw List Lower Resistor Stats

@@ -1,0 +1,61 @@
+(* Figure-2-style emulation campaign, focused: how does each fault model
+   treat one instruction of your choice, and which corruptions actually
+   cause the skip?
+
+     dune exec examples/emulation_campaign.exe -- [beq|bne|blt|...] *)
+
+let () =
+  let cond =
+    match Array.to_list Sys.argv with
+    | _ :: name :: _ ->
+      let name = String.lowercase_ascii name in
+      (match
+         List.find_opt
+           (fun c -> "b" ^ Thumb.Instr.cond_name c = name)
+           Thumb.Instr.all_conds
+       with
+      | Some c -> c
+      | None ->
+        Fmt.epr "unknown branch %S, using beq@." name;
+        Thumb.Instr.EQ)
+    | _ -> Thumb.Instr.EQ
+  in
+  let case = Glitch_emu.Testcase.conditional_branch cond in
+  Fmt.pr "Test case %s (target word 0x%04X):@.%s@." case.name
+    (Glitch_emu.Testcase.target_word case)
+    case.source;
+
+  (* Full campaign per fault model. *)
+  List.iter
+    (fun flip ->
+      let config = Glitch_emu.Campaign.default_config flip in
+      let r = Glitch_emu.Campaign.run_case config case in
+      Fmt.pr "@.%s model:@." (Glitch_emu.Fault_model.name flip);
+      List.iter
+        (fun cat ->
+          Fmt.pr "  %-20s %6.2f%%@."
+            (Glitch_emu.Campaign.category_name cat)
+            (Glitch_emu.Campaign.category_percent r cat))
+        Glitch_emu.Campaign.categories;
+      Fmt.pr "  success by flipped bits:";
+      List.iter
+        (fun (k, rate) -> if k > 0 && k <= 8 then Fmt.pr " %d:%.0f%%" k rate)
+        (Glitch_emu.Campaign.success_rate_by_weight r);
+      Fmt.pr "@.")
+    Glitch_emu.Fault_model.all;
+
+  (* Show the actual single-bit corruptions that skip the branch. *)
+  Fmt.pr "@.Single 1->0 bit-clears of %s that skip it:@." case.name;
+  let word = Glitch_emu.Testcase.target_word case in
+  let config = Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And in
+  for bit = 0 to 15 do
+    if word land (1 lsl bit) <> 0 then begin
+      let mask = 0xFFFF lxor (1 lsl bit) in
+      let corrupted = word land mask in
+      match Glitch_emu.Campaign.run_one config case ~mask with
+      | Glitch_emu.Campaign.Success ->
+        Fmt.pr "  bit %2d: 0x%04X becomes %a@." bit corrupted Thumb.Instr.pp
+          (Thumb.Decode.instr corrupted)
+      | _ -> ()
+    end
+  done

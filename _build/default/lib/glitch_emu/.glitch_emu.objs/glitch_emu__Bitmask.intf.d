@@ -1,0 +1,1 @@
+lib/glitch_emu/bitmask.mli:

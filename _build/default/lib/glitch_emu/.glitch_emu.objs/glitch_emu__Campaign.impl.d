@@ -1,0 +1,1 @@
+lib/glitch_emu/campaign.ml: Array Bitmask Cpu Exec Fault_model List Machine Memory Stats Testcase Thumb

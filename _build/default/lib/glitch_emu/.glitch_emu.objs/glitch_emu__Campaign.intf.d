@@ -1,0 +1,1 @@
+lib/glitch_emu/campaign.mli: Fault_model Testcase

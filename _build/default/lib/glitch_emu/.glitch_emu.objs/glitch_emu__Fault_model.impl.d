@@ -1,0 +1,1 @@
+lib/glitch_emu/fault_model.ml: Bitmask

@@ -1,0 +1,1 @@
+lib/glitch_emu/report.ml: Campaign Fault_model Fmt List Stats

@@ -1,0 +1,1 @@
+lib/glitch_emu/report.mli: Campaign

@@ -1,0 +1,1 @@
+lib/glitch_emu/testcase.ml: List Printf String Thumb

@@ -1,0 +1,138 @@
+open Machine
+
+type category =
+  | Success
+  | Bad_read
+  | Bad_fetch
+  | Invalid_instruction
+  | Failed
+  | No_effect
+
+let categories =
+  [ Success; Bad_read; Bad_fetch; Invalid_instruction; Failed; No_effect ]
+
+let category_name = function
+  | Success -> "Success"
+  | Bad_read -> "Bad Read"
+  | Bad_fetch -> "Bad Fetch"
+  | Invalid_instruction -> "Invalid Instruction"
+  | Failed -> "Failed"
+  | No_effect -> "No Effect"
+
+let category_index = function
+  | Success -> 0
+  | Bad_read -> 1
+  | Bad_fetch -> 2
+  | Invalid_instruction -> 3
+  | Failed -> 4
+  | No_effect -> 5
+
+type config = {
+  flip : Fault_model.flip;
+  zero_is_invalid : bool;
+  max_steps : int;
+}
+
+let default_config flip = { flip; zero_is_invalid = false; max_steps = 200 }
+
+type counts = int array
+
+type result = {
+  case : Testcase.t;
+  config : config;
+  by_weight : counts array;
+  totals : counts;
+}
+
+(* A small dedicated address space: snippets are a handful of
+   instructions and a few words of stack. Small regions keep the
+   65,536-run sweep cheap to reset. *)
+let flash_base = 0x08000000
+let flash_size = 0x400
+let sram_base = 0x20000000
+let sram_size = 0x400
+let stack_top = sram_base + sram_size - 16
+
+type rig = { mem : Memory.t; image : bytes }
+
+let make_rig case =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:flash_base ~size:flash_size;
+  Memory.map mem ~addr:sram_base ~size:sram_size;
+  { mem; image = Thumb.Encode.to_bytes case.Testcase.instrs }
+
+(* Execute until stop, optionally treating a fetched 0x0000 as an
+   invalid instruction (Figure 2(c)'s modified ISA). *)
+let run_to_stop ~zero_is_invalid ~max_steps mem cpu =
+  let rec go remaining =
+    if remaining = 0 then Exec.Step_limit
+    else
+      match Memory.read_u16 mem (Cpu.pc cpu) with
+      | Error (Memory.Unmapped a | Memory.Unaligned a) -> Exec.Bad_fetch a
+      | Ok 0 when zero_is_invalid -> Exec.Invalid_instruction 0
+      | Ok w -> (
+        match Exec.execute mem cpu (Thumb.Decode.instr w) with
+        | Exec.Running -> go (remaining - 1)
+        | Exec.Stopped s -> s)
+  in
+  go max_steps
+
+let classify cpu (stop : Exec.stop) : category =
+  match stop with
+  | Exec.Breakpoint _ ->
+    if Cpu.get cpu Testcase.skip_reg = Testcase.skip_marker then Success
+    else No_effect
+  | Exec.Bad_read _ | Exec.Bad_write _ -> Bad_read
+  | Exec.Bad_fetch _ -> Bad_fetch
+  | Exec.Invalid_instruction _ -> Invalid_instruction
+  | Exec.Swi_trap _ | Exec.Step_limit -> Failed
+
+let run_mask config rig (case : Testcase.t) ~mask =
+  Memory.clear rig.mem;
+  Memory.load_bytes rig.mem ~addr:flash_base rig.image;
+  let word = Fault_model.apply config.flip ~mask (Testcase.target_word case) in
+  (match
+     Memory.write_u16 rig.mem (flash_base + (2 * case.target_index)) word
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  let cpu = Cpu.create ~sp:stack_top ~pc:flash_base () in
+  let stop =
+    run_to_stop ~zero_is_invalid:config.zero_is_invalid
+      ~max_steps:config.max_steps rig.mem cpu
+  in
+  classify cpu stop
+
+let run_one config case ~mask = run_mask config (make_rig case) case ~mask
+
+let width = 16
+
+let run_case config (case : Testcase.t) =
+  let rig = make_rig case in
+  let by_weight =
+    Array.init (width + 1) (fun _ -> Array.make (List.length categories) 0)
+  in
+  let totals = Array.make (List.length categories) 0 in
+  Bitmask.iter_all ~width (fun ~weight:_ ~mask ->
+      let flipped = Fault_model.flipped_bits config.flip ~width ~mask in
+      let cat = run_mask config rig case ~mask in
+      let idx = category_index cat in
+      by_weight.(flipped).(idx) <- by_weight.(flipped).(idx) + 1;
+      if flipped > 0 then totals.(idx) <- totals.(idx) + 1);
+  { case; config; by_weight; totals }
+
+let run_all config cases = List.map (run_case config) cases
+
+let success_rate_by_weight result =
+  List.init (width + 1) (fun flipped ->
+      let row = result.by_weight.(flipped) in
+      let den = Array.fold_left ( + ) 0 row in
+      let num = row.(category_index Success) in
+      (flipped, Stats.Rate.pct ~num ~den))
+  |> List.filter (fun (flipped, _) ->
+         Array.fold_left ( + ) 0 result.by_weight.(flipped) > 0)
+
+let category_percent result cat =
+  let num = result.totals.(category_index cat) in
+  let den = Array.fold_left ( + ) 0 result.totals in
+  Stats.Rate.pct ~num ~den

@@ -1,0 +1,58 @@
+(** Exhaustive bit-flip campaigns over an instruction's encoding — the
+    paper's RQ1 harness. For every possible mask of every weight, the
+    target instruction is perturbed in flash and the snippet is executed
+    to completion; the outcome is classified with the same taxonomy as
+    Figure 2. *)
+
+(** Outcome classification, matching Figure 2's legend. *)
+type category =
+  | Success  (** the otherwise-dead instruction after the branch ran *)
+  | Bad_read
+      (** the run faulted on a data access to unmapped or misaligned
+          memory (unmapped writes are also counted here) *)
+  | Bad_fetch  (** instruction fetch from unmapped memory (PC corrupted) *)
+  | Invalid_instruction  (** the perturbed word has no decoding *)
+  | Failed  (** any other abnormal end (trap, runaway execution) *)
+  | No_effect  (** the run completed normally *)
+
+val categories : category list
+val category_name : category -> string
+
+type config = {
+  flip : Fault_model.flip;
+  zero_is_invalid : bool;
+      (** Figure 2(c)'s ISA modification: treat the all-zero word as an
+          invalid instruction instead of [MOVS r0, r0]. *)
+  max_steps : int;
+}
+
+val default_config : Fault_model.flip -> config
+
+type counts = int array
+(** Indexed by {!category_index}; length [List.length categories]. *)
+
+val category_index : category -> int
+
+type result = {
+  case : Testcase.t;
+  config : config;
+  by_weight : counts array;
+      (** Index = number of potentially-flipped bits (0..16); see
+          [Fault_model.flipped_bits]. Entry 0 is the unmodified
+          instruction. *)
+  totals : counts;
+}
+
+val run_one : config -> Testcase.t -> mask:int -> category
+(** Run a single perturbed execution (a fresh machine every call). *)
+
+val run_case : config -> Testcase.t -> result
+(** Run all [2^16] masks against the case's target instruction. *)
+
+val run_all : config -> Testcase.t list -> result list
+
+val success_rate_by_weight : result -> (int * float) list
+(** [(flipped_bits, percent)] for each weight with at least one mask. *)
+
+val category_percent : result -> category -> float
+(** Share of all modified-mask runs (weight > 0) in a category. *)

@@ -1,0 +1,18 @@
+type flip = And | Or | Xor
+
+let all = [ And; Or; Xor ]
+let name = function And -> "AND" | Or -> "OR" | Xor -> "XOR"
+
+let apply flip ~mask word =
+  match flip with
+  | And -> word land mask
+  | Or -> word lor mask
+  | Xor -> word lxor mask
+
+let identity_mask flip ~width =
+  match flip with And -> (1 lsl width) - 1 | Or | Xor -> 0
+
+let flipped_bits flip ~width ~mask =
+  match flip with
+  | And -> width - Bitmask.popcount mask
+  | Or | Xor -> Bitmask.popcount mask

@@ -1,0 +1,68 @@
+let pct p = Fmt.str "%.1f" p
+
+let sorted_by_success results =
+  List.sort
+    (fun a b ->
+      compare
+        (Campaign.category_percent b Campaign.Success)
+        (Campaign.category_percent a Campaign.Success))
+    results
+
+let outcome_table results =
+  let header =
+    "Instr" :: List.map Campaign.category_name Campaign.categories
+  in
+  let rows =
+    List.map
+      (fun (r : Campaign.result) ->
+        r.case.name
+        :: List.map
+             (fun cat -> pct (Campaign.category_percent r cat))
+             Campaign.categories)
+      (sorted_by_success results)
+  in
+  Stats.Table.render ~header rows
+
+let success_by_weight_table results =
+  let results = sorted_by_success results in
+  let header =
+    "Flipped bits" :: List.map (fun (r : Campaign.result) -> r.case.name) results
+  in
+  let weights =
+    match results with
+    | [] -> []
+    | r :: _ ->
+      List.filter_map
+        (fun (w, _) -> if w = 0 then None else Some w)
+        (Campaign.success_rate_by_weight r)
+  in
+  let rows =
+    List.map
+      (fun w ->
+        string_of_int w
+        :: List.map
+             (fun r ->
+               match List.assoc_opt w (Campaign.success_rate_by_weight r) with
+               | Some rate -> pct rate
+               | None -> "-")
+             results)
+      weights
+  in
+  Stats.Table.render ~header rows
+
+let mean_success_rate results =
+  match results with
+  | [] -> 0.
+  | _ ->
+    let rates =
+      List.map (fun r -> Campaign.category_percent r Campaign.Success) results
+    in
+    List.fold_left ( +. ) 0. rates /. float_of_int (List.length rates)
+
+let summary_line results =
+  match results with
+  | [] -> "no results"
+  | (r : Campaign.result) :: _ ->
+    Fmt.str "%s model: mean success rate %.1f%% across %d instructions"
+      (Fault_model.name r.config.flip)
+      (mean_success_rate results) (List.length results)

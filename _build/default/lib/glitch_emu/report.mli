@@ -1,0 +1,18 @@
+(** Text rendering of campaign results in the shape of Figure 2: a
+    success-rate series per instruction (by number of flipped bits) and a
+    per-instruction outcome histogram. *)
+
+val outcome_table : Campaign.result list -> string
+(** One row per instruction, sorted by descending success rate (the
+    order Figure 2 plots), with a column per outcome category. *)
+
+val success_by_weight_table : Campaign.result list -> string
+(** Rows = number of flipped bits (1..16), one column per instruction:
+    the success percentage among all masks of that weight. *)
+
+val summary_line : Campaign.result list -> string
+(** Aggregate success rate across all instructions and weights, e.g. for
+    the paper's headline "60% when flipping to 0 / 30% when flipping
+    to 1" comparison. *)
+
+val mean_success_rate : Campaign.result list -> float

@@ -1,0 +1,71 @@
+type t = {
+  name : string;
+  source : string;
+  instrs : Thumb.Instr.t list;
+  target_index : int;
+}
+
+let skip_reg = Thumb.Reg.r5
+let skip_marker = 0xAD
+let normal_reg = Thumb.Reg.r6
+let normal_marker = 0xAA
+
+let target_word t = Thumb.Encode.instr (List.nth t.instrs t.target_index)
+
+(* Flag setup that makes each condition hold, so the branch is taken and
+   the skip marker is dead code in an unglitched run. *)
+let setup_for (cond : Thumb.Instr.cond) =
+  match cond with
+  | EQ -> "movs r0, #4\ncmp r0, #4"
+  | NE -> "movs r0, #1\ncmp r0, #0"
+  | CS -> "movs r0, #1\ncmp r0, #0"
+  | CC -> "movs r0, #0\ncmp r0, #1"
+  | MI -> "movs r0, #0\nsubs r0, #1"
+  | PL -> "movs r0, #1\ncmp r0, #0"
+  | VS -> "movs r0, #1\nlsls r0, r0, #31\nsubs r0, #1\nadds r0, #1"
+  | VC -> "movs r0, #0\ncmp r0, #0"
+  | HI -> "movs r0, #2\ncmp r0, #1"
+  | LS -> "movs r0, #0\ncmp r0, #1"
+  | GE -> "movs r0, #1\ncmp r0, #0"
+  | LT -> "movs r0, #0\ncmp r0, #1"
+  | GT -> "movs r0, #1\ncmp r0, #0"
+  | LE -> "movs r0, #0\ncmp r0, #1"
+
+let conditional_branch cond =
+  let setup = setup_for cond in
+  let setup_len = List.length (String.split_on_char '\n' setup) in
+  let source =
+    Printf.sprintf
+      "%s\nb%s taken\nmovs r5, #0xAD\ntaken:\nmovs r6, #0xAA\nbkpt #0" setup
+      (Thumb.Instr.cond_name cond)
+  in
+  { name = "B" ^ String.uppercase_ascii (Thumb.Instr.cond_name cond);
+    source;
+    instrs = Thumb.Asm.assemble source;
+    target_index = setup_len }
+
+let all_conditional_branches =
+  List.map conditional_branch Thumb.Instr.all_conds
+
+(* Non-branch targets for the "skip any defensive instruction" analysis:
+   each snippet computes r5 = 0xAD iff the target's effect is missing,
+   so the campaign's marker convention applies unchanged. *)
+let make name source target_index =
+  { name; source; instrs = Thumb.Asm.assemble source; target_index }
+
+let store_case =
+  make "STRB"
+    "movs r2, #0xAD\nmov r3, sp\nstrb r2, [r3, #1]\nldrb r4, [r3, #1]\nmovs r5, #0xAD\nsubs r5, r5, r4\nmovs r6, #0xAA\nbkpt #0"
+    2
+
+let load_case =
+  make "LDRB"
+    "movs r2, #0xAD\nmov r3, sp\nstrb r2, [r3, #1]\nmovs r4, #0\nldrb r4, [r3, #1]\nmovs r5, #0xAD\nsubs r5, r5, r4\nmovs r6, #0xAA\nbkpt #0"
+    4
+
+let alu_case =
+  make "ADDS"
+    "movs r4, #0\nadds r4, #0xAD\nmovs r5, #0xAD\nsubs r5, r5, r4\nmovs r6, #0xAA\nbkpt #0"
+    1
+
+let non_branch_cases = [ store_case; load_case; alu_case ]

@@ -1,0 +1,47 @@
+(** Hand-written snippets that isolate one instruction under glitch, in
+    the style of the paper's emulation framework: "a successful glitch
+    (i.e., the targeted instruction was skipped) will place [a marker] in
+    a known register, and a normal execution will place [a different
+    marker] in a separate known register".
+
+    Thumb immediates are 8-bit, so the markers are [0xAD] (in {!skip_reg},
+    standing in for the paper's [0xdead]) and [0xAA] (in {!normal_reg},
+    for [0xaaaa]). *)
+
+type t = {
+  name : string;  (** e.g. "BEQ" *)
+  source : string;  (** assembly text *)
+  instrs : Thumb.Instr.t list;  (** assembled form *)
+  target_index : int;  (** halfword index of the instruction under glitch *)
+}
+
+val skip_reg : Thumb.Reg.t
+(** [r5]; holds {!skip_marker} iff the instruction after the target
+    executed (i.e. the branch was "skipped"). *)
+
+val skip_marker : int
+
+val normal_reg : Thumb.Reg.t
+(** [r6]; holds {!normal_marker} when the snippet ran to completion. *)
+
+val normal_marker : int
+
+val target_word : t -> int
+(** Encoding of the instruction under glitch. *)
+
+val conditional_branch : Thumb.Instr.cond -> t
+(** Snippet whose flags make [B<cond>] taken, so the fall-through
+    instruction only executes if the branch is corrupted. *)
+
+val all_conditional_branches : t list
+(** One test per condition code, in Figure 2's instruction set. *)
+
+val store_case : t
+val load_case : t
+val alu_case : t
+
+val non_branch_cases : t list
+(** Extension of the Figure 2 study to non-branch instructions (the
+    paper: "in the limit, glitching could ... skip every defensive
+    instruction"). Each snippet arranges for the skip marker to appear
+    iff the target instruction's architectural effect is missing. *)

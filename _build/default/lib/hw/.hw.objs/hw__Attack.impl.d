@@ -1,0 +1,1 @@
+lib/hw/attack.ml: Array Board Glitcher Hashtbl List Machine Option Printf

@@ -1,0 +1,1 @@
+lib/hw/attack.mli: Board Glitcher Susceptibility

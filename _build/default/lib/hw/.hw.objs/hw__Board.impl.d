@@ -1,0 +1,1 @@
+lib/hw/board.ml: Array Bytes List Lower Machine Thumb

@@ -1,0 +1,1 @@
+lib/hw/board.mli: Lower Machine Thumb

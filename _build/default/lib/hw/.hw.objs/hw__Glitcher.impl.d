@@ -1,0 +1,1 @@
+lib/hw/glitcher.ml: Board Hashrand Hashtbl List Machine Susceptibility Thumb

@@ -1,0 +1,1 @@
+lib/hw/glitcher.mli: Board Machine Susceptibility

@@ -1,0 +1,1 @@
+lib/hw/hashrand.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/hw/susceptibility.ml: Float Fmt Hashrand List Thumb

@@ -1,0 +1,1 @@
+lib/hw/susceptibility.mli: Fmt Thumb

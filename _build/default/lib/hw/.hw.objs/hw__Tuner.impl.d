@@ -1,0 +1,1 @@
+lib/hw/tuner.ml: Attack Board Glitcher List Susceptibility

@@ -1,0 +1,1 @@
+lib/hw/tuner.mli: Attack Susceptibility

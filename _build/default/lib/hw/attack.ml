@@ -1,0 +1,290 @@
+type guard = While_not_a | While_a | While_ne_const
+
+let all_guards = [ While_not_a; While_a; While_ne_const ]
+
+let guard_name = function
+  | While_not_a -> "while(!a)"
+  | While_a -> "while(a)"
+  | While_ne_const -> "while(a!=0xD3B9AEC6)"
+
+let loop_cycles = 8
+
+(* Raise the trigger pin: r1 holds the GPIO data-register address
+   afterwards (0x48000028). *)
+let trigger_preamble =
+  {|
+  movs r1, #0x48
+  lsls r1, r1, #24
+  adds r1, #0x28
+  movs r2, #1
+  str  r2, [r1, #0]
+|}
+
+let retrigger = {|
+  movs r2, #0
+  str  r2, [r1, #0]
+  movs r2, #1
+  str  r2, [r1, #0]
+|}
+
+(* The guard loops match Table I's instruction listings: 8 cycles per
+   iteration (MOV 1, ADDS 1, LDRB 2, CMP 1, B<cond> 3). *)
+let simple_loop ~label ~branch =
+  Printf.sprintf
+    {|
+%s:
+  mov  r3, sp
+  adds r3, #7
+  ldrb r3, [r3]
+  cmp  r3, #0
+  %s   %s
+|}
+    label branch label
+
+(* a lives in the byte at [sp+7]. *)
+let store_a value =
+  Printf.sprintf "  movs r2, #%d\n  mov  r3, sp\n  strb r2, [r3, #7]\n" value
+
+(* while (a != 0xD3B9AEC6): a is the word at [sp+16], the constant comes
+   from a literal pool (LDR Rd, =imm), as compiled code does. The pool
+   offsets below are fixed by the program layout and checked by the
+   dedicated unit test. *)
+let ne_const_single =
+  {|
+  movs r1, #0x48
+  lsls r1, r1, #24
+  adds r1, #0x28
+  ldr  r2, [pc, #20]
+  str  r2, [sp, #16]
+  movs r2, #1
+  str  r2, [r1, #0]
+loop:
+  ldr  r2, [sp, #16]
+  ldr  r3, [pc, #12]
+  cmp  r2, r3
+  bne  loop
+  movs r0, #0xAA
+  bkpt #0
+  nop
+lit0:
+  .word 0xE7D25763
+lit1:
+  .word 0xD3B9AEC6
+|}
+
+let ne_const_double =
+  {|
+  movs r1, #0x48
+  lsls r1, r1, #24
+  adds r1, #0x28
+  ldr  r2, [pc, #40]
+  str  r2, [sp, #16]
+  movs r2, #1
+  str  r2, [r1, #0]
+loop1:
+  ldr  r2, [sp, #16]
+  ldr  r3, [pc, #32]
+  cmp  r2, r3
+  bne  loop1
+  movs r4, #1
+  movs r2, #0
+  str  r2, [r1, #0]
+  movs r2, #1
+  str  r2, [r1, #0]
+loop2:
+  ldr  r2, [sp, #16]
+  ldr  r3, [pc, #16]
+  cmp  r2, r3
+  bne  loop2
+  movs r0, #0xAA
+  bkpt #0
+  nop
+  nop
+lit0:
+  .word 0xE7D25763
+lit1:
+  .word 0xD3B9AEC6
+|}
+
+let single_loop_program = function
+  | While_not_a ->
+    store_a 0 ^ trigger_preamble
+    ^ simple_loop ~label:"loop" ~branch:"beq"
+    ^ "  movs r0, #0xAA\n  bkpt #0\n"
+  | While_a ->
+    store_a 1 ^ trigger_preamble
+    ^ simple_loop ~label:"loop" ~branch:"bne"
+    ^ "  movs r0, #0xAA\n  bkpt #0\n"
+  | While_ne_const -> ne_const_single
+
+(* Table III's target: the same two loops but back-to-back under a
+   single trigger, so a glitch stretched over 10-20 cycles can reach
+   into the second loop (the paper's long-glitch setup). *)
+let ne_const_long =
+  {|
+  movs r1, #0x48
+  lsls r1, r1, #24
+  adds r1, #0x28
+  ldr  r2, [pc, #28]
+  str  r2, [sp, #16]
+  movs r2, #1
+  str  r2, [r1, #0]
+loop1:
+  ldr  r2, [sp, #16]
+  ldr  r3, [pc, #20]
+  cmp  r2, r3
+  bne  loop1
+  movs r4, #1
+loop2:
+  ldr  r2, [sp, #16]
+  ldr  r3, [pc, #12]
+  cmp  r2, r3
+  bne  loop2
+  movs r0, #0xAA
+  bkpt #0
+lit0:
+  .word 0xE7D25763
+lit1:
+  .word 0xD3B9AEC6
+|}
+
+let long_glitch_program = function
+  | While_not_a ->
+    store_a 0 ^ trigger_preamble
+    ^ simple_loop ~label:"loop1" ~branch:"beq"
+    ^ "  movs r4, #1\n"
+    ^ simple_loop ~label:"loop2" ~branch:"beq"
+    ^ "  movs r0, #0xAA\n  bkpt #0\n"
+  | While_a ->
+    store_a 1 ^ trigger_preamble
+    ^ simple_loop ~label:"loop1" ~branch:"bne"
+    ^ "  movs r4, #1\n"
+    ^ simple_loop ~label:"loop2" ~branch:"bne"
+    ^ "  movs r0, #0xAA\n  bkpt #0\n"
+  | While_ne_const -> ne_const_long
+
+let double_loop_program = function
+  | While_not_a ->
+    store_a 0 ^ trigger_preamble
+    ^ simple_loop ~label:"loop1" ~branch:"beq"
+    ^ "  movs r4, #1\n" ^ retrigger
+    ^ simple_loop ~label:"loop2" ~branch:"beq"
+    ^ "  movs r0, #0xAA\n  bkpt #0\n"
+  | While_a ->
+    store_a 1 ^ trigger_preamble
+    ^ simple_loop ~label:"loop1" ~branch:"bne"
+    ^ "  movs r4, #1\n" ^ retrigger
+    ^ simple_loop ~label:"loop2" ~branch:"bne"
+    ^ "  movs r0, #0xAA\n  bkpt #0\n"
+  | While_ne_const -> ne_const_double
+
+let comparator = function
+  | While_not_a | While_a -> 3
+  | While_ne_const -> 2
+
+let escaped board (obs : Glitcher.observation) =
+  match obs.stop with
+  | `Stopped (Machine.Exec.Breakpoint 0) -> Board.reg board 0 = 0xAA
+  | `Stopped
+      (Machine.Exec.Breakpoint _ | Machine.Exec.Swi_trap _
+      | Machine.Exec.Bad_read _ | Machine.Exec.Bad_write _
+      | Machine.Exec.Bad_fetch _ | Machine.Exec.Invalid_instruction _
+      | Machine.Exec.Step_limit)
+  | `Timeout -> false
+
+let full_parameter_sweep ?config ?(max_cycles = 300) board ~make_schedule
+    ~classify =
+  let attempts = ref 0 in
+  for width = -49 to 49 do
+    for offset = -49 to 49 do
+      incr attempts;
+      let schedule = make_schedule ~width ~offset in
+      let obs = Glitcher.run ?config ~max_cycles board schedule in
+      classify board obs
+    done
+  done;
+  !attempts
+
+(* --- Table I ---------------------------------------------------------------- *)
+
+type cycle_stats = { successes : int; values : (int * int) list }
+
+type table1 = {
+  guard : guard;
+  per_cycle : cycle_stats array;
+  attempts_per_cycle : int;
+}
+
+let run_table1 ?config guard =
+  let board = Board.create (Board.Asm (single_loop_program guard)) in
+  let cmp_reg = comparator guard in
+  let per_cycle =
+    Array.init loop_cycles (fun cycle ->
+        let successes = ref 0 in
+        let values : (int, int) Hashtbl.t = Hashtbl.create 16 in
+        let attempts =
+          full_parameter_sweep ?config board
+            ~make_schedule:(fun ~width ~offset ->
+              [ Glitcher.single ~width ~offset ~ext_offset:cycle ])
+            ~classify:(fun board obs ->
+              if escaped board obs then begin
+                incr successes;
+                let v = Board.reg board cmp_reg in
+                Hashtbl.replace values v
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt values v))
+              end)
+        in
+        ignore attempts;
+        { successes = !successes;
+          values =
+            Hashtbl.fold (fun v c acc -> (v, c) :: acc) values []
+            |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1) })
+  in
+  { guard; per_cycle; attempts_per_cycle = 99 * 99 }
+
+(* --- Table II ---------------------------------------------------------------- *)
+
+type table2 = {
+  guard2 : guard;
+  partial : int array;
+  full : int array;
+  attempts2 : int;
+}
+
+let run_table2 ?config guard =
+  let board = Board.create (Board.Asm (double_loop_program guard)) in
+  let partial = Array.make loop_cycles 0 in
+  let full = Array.make loop_cycles 0 in
+  for cycle = 0 to loop_cycles - 1 do
+    let (_ : int) =
+      full_parameter_sweep ?config ~max_cycles:500 board
+        ~make_schedule:(fun ~width ~offset ->
+          [ Glitcher.single ~width ~offset ~ext_offset:cycle;
+            { (Glitcher.single ~width ~offset ~ext_offset:cycle) with
+              trigger_index = 1 } ])
+        ~classify:(fun board obs ->
+          if escaped board obs then full.(cycle) <- full.(cycle) + 1
+          else if Board.reg board 4 = 1 then
+            partial.(cycle) <- partial.(cycle) + 1)
+    in
+    ()
+  done;
+  { guard2 = guard; partial; full; attempts2 = loop_cycles * 99 * 99 }
+
+(* --- Table III ---------------------------------------------------------------- *)
+
+let run_table3 ?config guard =
+  let board = Board.create (Board.Asm (long_glitch_program guard)) in
+  List.map
+    (fun last_cycle ->
+      let successes = ref 0 in
+      let (_ : int) =
+        full_parameter_sweep ?config ~max_cycles:800 board
+          ~make_schedule:(fun ~width ~offset ->
+            [ Glitcher.with_repeat
+                (Glitcher.single ~width ~offset ~ext_offset:0)
+                (last_cycle + 1) ])
+          ~classify:(fun board obs -> if escaped board obs then incr successes)
+      in
+      (last_cycle, !successes))
+    [ 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 ]

@@ -1,0 +1,77 @@
+(** Experiment drivers for the real-world glitching study (Section V):
+    the three branch guards of Table I, the back-to-back multi-glitch
+    loops of Table II, and the long-glitch sweep of Table III, plus the
+    generic full-parameter sweep the defended-firmware evaluation
+    (Table VI) reuses.
+
+    Each attempt resets the board, waits for the firmware's trigger,
+    arms the glitch, and classifies the run — exactly the
+    ChipWhisperer workflow. *)
+
+type guard =
+  | While_not_a  (** [while (!a)], a = 0 — the paper's most glitchable *)
+  | While_a  (** [while (a)], a = 1 *)
+  | While_ne_const  (** [while (a != 0xD3B9AEC6)], large Hamming distance *)
+
+val all_guards : guard list
+val guard_name : guard -> string
+
+val single_loop_program : guard -> string
+(** Trigger + one infinite guard loop; escaping puts [0xAA] in [r0] and
+    hits a breakpoint. Instruction sequences match Table I's listings
+    (8 cycles per iteration). *)
+
+val double_loop_program : guard -> string
+(** Trigger + loop, trigger reset/re-raise + identical second loop
+    (Table II's setup). [r4] records progress: 1 after the first loop,
+    and [r0 = 0xAA] after both. *)
+
+val long_glitch_program : guard -> string
+(** Table III's target: both loops back-to-back under a single trigger
+    with minimal glue, so a 10-20 cycle window reaches into the second
+    loop. *)
+
+val comparator : guard -> int
+(** Register number holding the compared value ([r3], [r3], [r2]). *)
+
+val loop_cycles : int
+(** 8 — each guard iteration's cycle count, bounding [ext_offset]. *)
+
+(** One Table I cell: successes at a given cycle with the post-mortem
+    comparator histogram. *)
+type cycle_stats = { successes : int; values : (int * int) list }
+
+type table1 = {
+  guard : guard;
+  per_cycle : cycle_stats array;  (** index = clock cycle 0-7 *)
+  attempts_per_cycle : int;  (** 9,801 *)
+}
+
+val run_table1 : ?config:Susceptibility.config -> guard -> table1
+
+type table2 = {
+  guard2 : guard;
+  partial : int array;  (** first glitch only, per cycle *)
+  full : int array;  (** both glitches, per cycle *)
+  attempts2 : int;
+}
+
+val run_table2 : ?config:Susceptibility.config -> guard -> table2
+
+val run_table3 :
+  ?config:Susceptibility.config -> guard -> (int * int) list
+(** [(last_cycle, successes)] for glitches covering cycles 0-10 through
+    0-20, 9,801 attempts each. *)
+
+val full_parameter_sweep :
+  ?config:Susceptibility.config ->
+  ?max_cycles:int ->
+  Board.t ->
+  make_schedule:(width:int -> offset:int -> Glitcher.params list) ->
+  classify:(Board.t -> Glitcher.observation -> unit) ->
+  int
+(** Run one attempt per (width, offset) in [-49, 49]^2; returns the
+    attempt count (9,801). [classify] sees the post-mortem board. *)
+
+val escaped : Board.t -> Glitcher.observation -> bool
+(** Did the run reach the escape marker ([r0 = 0xAA] at a breakpoint)? *)

@@ -1,0 +1,253 @@
+type program = Asm of string | Image of Lower.Layout.image
+
+let gpio_base = 0x48000000
+let flash_base = 0x08000000
+let sram_base = 0x20000000
+let sram_size = 16 * 1024
+
+type t = {
+  mem : Machine.Memory.t;
+  mutable cpu : Machine.Cpu.t;
+  mutable cycles : int;
+  mutable edges : int list;  (* newest first *)
+  edge_pending : bool ref;
+  gpio_state : int ref;
+  program : program;
+  text : bytes;  (* encoded program image *)
+  data_init : (int * int) list;
+  entry : int;
+  stack_top : int;
+  stack_fill : bool;
+}
+
+let text_of_program = function
+  | Asm source -> Thumb.Encode.to_bytes (Thumb.Asm.assemble source)
+  | Image image ->
+    let b = Bytes.create (2 * Array.length image.Lower.Layout.words) in
+    Array.iteri
+      (fun i w ->
+        Bytes.set_uint8 b (2 * i) (w land 0xFF);
+        Bytes.set_uint8 b ((2 * i) + 1) ((w lsr 8) land 0xFF))
+      image.Lower.Layout.words;
+    b
+
+(* Deterministic "boot garbage" for the stack area: a real SRAM powers
+   up with residual values; corrupted address computations then load
+   varied small bytes (Table I's 0x55 / 0x68 / 0xFF comparator values). *)
+let fill_stack mem ~stack_top =
+  let pattern = [| 0x55; 0x00; 0x68; 0xFF; 0x08; 0x00; 0x55; 0x01 |] in
+  for i = 0 to 255 do
+    let addr = stack_top - 256 + i in
+    match Machine.Memory.write_u8 mem addr pattern.(i land 7) with
+    | Ok () -> ()
+    | Error _ -> ()
+  done
+
+let load_image t =
+  Machine.Memory.clear t.mem;
+  Machine.Memory.load_bytes t.mem ~addr:flash_base t.text;
+  List.iter
+    (fun (addr, v) ->
+      match Machine.Memory.write_u32 t.mem addr v with
+      | Ok () -> ()
+      | Error _ -> invalid_arg "Board: data init outside RAM")
+    t.data_init;
+  if t.stack_fill then fill_stack t.mem ~stack_top:t.stack_top
+
+let reset t =
+  load_image t;
+  t.cpu <- Machine.Cpu.create ~sp:t.stack_top ~pc:t.entry ();
+  t.cycles <- 0;
+  t.edges <- [];
+  t.edge_pending := false;
+  t.gpio_state := 0
+
+let create ?(stack_top = 0x20003FE8) ?(stack_fill = true) program =
+  let mem = Machine.Memory.create () in
+  Machine.Memory.map mem ~addr:flash_base ~size:(128 * 1024);
+  Machine.Memory.map mem ~addr:sram_base ~size:sram_size;
+  let edge_pending = ref false in
+  let gpio_state = ref 0 in
+  Machine.Memory.add_device mem ~addr:gpio_base ~size:0x100
+    ~read:(fun off -> if off = 0x28 then !gpio_state else 0)
+    ~write:(fun off v ->
+      if off = 0x28 then begin
+        let bit = v land 1 in
+        if bit = 1 && !gpio_state = 0 then edge_pending := true;
+        gpio_state := bit
+      end);
+  let data_init, entry =
+    match program with
+    | Asm _ -> ([], flash_base)
+    | Image image -> (image.Lower.Layout.data_init, image.Lower.Layout.entry)
+  in
+  let t =
+    { mem;
+      cpu = Machine.Cpu.create ();
+      cycles = 0;
+      edges = [];
+      edge_pending;
+      gpio_state;
+      program;
+      text = text_of_program program;
+      data_init;
+      entry;
+      stack_top;
+      stack_fill }
+  in
+  reset t;
+  t
+
+let cycles t = t.cycles
+let pc t = Machine.Cpu.pc t.cpu
+let reg t n = Machine.Cpu.get t.cpu (Thumb.Reg.of_int n)
+let flags_z t = t.cpu.Machine.Cpu.z
+let trigger_edges t = List.rev t.edges
+
+let read_global t name =
+  match t.program with
+  | Asm _ -> None
+  | Image image -> (
+    match List.assoc_opt name image.Lower.Layout.global_addrs with
+    | None -> None
+    | Some addr -> (
+      match Machine.Memory.read_u32 t.mem addr with
+      | Ok v -> Some v
+      | Error _ -> None))
+
+let symbol t name =
+  match t.program with
+  | Asm _ -> None
+  | Image image -> List.assoc_opt name image.Lower.Layout.symbols
+
+type applied =
+  | Normal
+  | As_nop
+  | Fetch_word of int
+  | Load_value of int
+  | Load_mangle of (int -> int)
+  | Z_flip
+  | Pc_set of int
+
+let word_at t addr =
+  match Machine.Memory.read_u16 t.mem addr with Ok w -> Some w | Error _ -> None
+
+let peek t =
+  match Machine.Memory.read_u16 t.mem (pc t) with
+  | Error (Machine.Memory.Unmapped a | Machine.Memory.Unaligned a) ->
+    Error (Machine.Exec.Bad_fetch a)
+  | Ok w -> Ok (Thumb.Decode.instr w)
+
+let load_destination (i : Thumb.Instr.t) : Thumb.Reg.t option =
+  match i with
+  | Ldr_pc (rd, _) -> Some rd
+  | Mem_reg { load = true; rd; _ }
+  | Mem_imm { load = true; rd; _ }
+  | Mem_half { load = true; rd; _ }
+  | Mem_sp { load = true; rd; _ } -> Some rd
+  | Mem_sign { op = LDSB | LDRH | LDSH; rd; _ } -> Some rd
+  | Mem_sign { op = STRH; _ } | Mem_reg _ | Mem_imm _ | Mem_half _ | Mem_sp _
+  | Shift _ | Add_sub _ | Imm _ | Alu _ | Hi_add _ | Hi_cmp _ | Hi_mov _
+  | Bx _ | Load_addr _ | Sp_adjust _ | Push _ | Pop _ | Stmia _ | Ldmia _
+  | B_cond _ | Swi _ | B _ | Bl_hi _ | Bl_lo _ | Bkpt _ | Undefined _ -> None
+
+let finish_step t ~duration result =
+  t.cycles <- t.cycles + duration;
+  if !(t.edge_pending) then begin
+    t.edges <- t.cycles :: t.edges;
+    t.edge_pending := false
+  end;
+  result
+
+let execute_counted t instr =
+  let pc_before = pc t in
+  let result = Machine.Exec.execute t.mem t.cpu instr in
+  let taken =
+    match result with
+    | Machine.Exec.Running -> pc t <> pc_before + 2
+    | Machine.Exec.Stopped _ -> false
+  in
+  (result, Thumb.Cycles.of_instr ~taken instr)
+
+let step ?(applied = Normal) t =
+  match peek t with
+  | Error stop -> Machine.Exec.Stopped stop
+  | Ok instr -> (
+    match applied with
+    | Normal ->
+      let result, duration = execute_counted t instr in
+      finish_step t ~duration result
+    | As_nop ->
+      Machine.Cpu.set_pc t.cpu (pc t + 2);
+      finish_step t ~duration:1 Machine.Exec.Running
+    | Fetch_word w ->
+      let result, duration = execute_counted t (Thumb.Decode.instr w) in
+      finish_step t ~duration result
+    | Load_value v ->
+      let result, duration = execute_counted t instr in
+      (match (result, load_destination instr) with
+      | Machine.Exec.Running, Some rd -> Machine.Cpu.set t.cpu rd v
+      | (Machine.Exec.Running | Machine.Exec.Stopped _), _ -> ());
+      finish_step t ~duration result
+    | Load_mangle f ->
+      let result, duration = execute_counted t instr in
+      (match (result, load_destination instr) with
+      | Machine.Exec.Running, Some rd ->
+        Machine.Cpu.set t.cpu rd (f (Machine.Cpu.get t.cpu rd))
+      | (Machine.Exec.Running | Machine.Exec.Stopped _), _ -> ());
+      finish_step t ~duration result
+    | Z_flip ->
+      let result, duration = execute_counted t instr in
+      (match result with
+      | Machine.Exec.Running -> t.cpu.Machine.Cpu.z <- not t.cpu.Machine.Cpu.z
+      | Machine.Exec.Stopped _ -> ());
+      finish_step t ~duration result
+    | Pc_set target ->
+      Machine.Cpu.set_pc t.cpu target;
+      finish_step t ~duration:1 Machine.Exec.Running)
+
+let run_plain ?(max_cycles = 1_000_000) t =
+  let rec go () =
+    if t.cycles >= max_cycles then `Timeout
+    else
+      match step t with
+      | Machine.Exec.Running -> go ()
+      | Machine.Exec.Stopped s -> `Stopped s
+  in
+  go ()
+
+let run_until_trigger ?(max_cycles = 1_000_000) t =
+  let rec go () =
+    if t.cycles >= max_cycles then false
+    else if t.edges <> [] then true
+    else
+      match step t with
+      | Machine.Exec.Running -> go ()
+      | Machine.Exec.Stopped _ -> false
+  in
+  go ()
+
+type snapshot = {
+  s_mem : Machine.Memory.snapshot;
+  s_cpu : Machine.Cpu.t;
+  s_cycles : int;
+  s_edges : int list;
+  s_pending : bool;
+  s_gpio : int;
+}
+
+let snapshot t =
+  { s_mem = Machine.Memory.snapshot t.mem;
+    s_cpu = Machine.Cpu.copy t.cpu;
+    s_cycles = t.cycles;
+    s_edges = t.edges;
+    s_pending = !(t.edge_pending);
+    s_gpio = !(t.gpio_state) }
+
+let restore t snap =
+  Machine.Memory.restore t.mem snap.s_mem;
+  t.cpu <- Machine.Cpu.copy snap.s_cpu;
+  t.cycles <- snap.s_cycles;
+  t.edges <- snap.s_edges;
+  t.edge_pending := snap.s_pending;
+  t.gpio_state := snap.s_gpio

@@ -1,0 +1,148 @@
+type params = {
+  width : int;
+  offset : int;
+  ext_offset : int;
+  repeat : int;
+  trigger_index : int;
+}
+
+let single ~width ~offset ~ext_offset =
+  { width; offset; ext_offset; repeat = 1; trigger_index = 0 }
+
+let with_repeat p repeat = { p with repeat }
+
+type observation = {
+  stop : [ `Stopped of Machine.Exec.stop | `Timeout ];
+  cycles : int;
+  fired : int;
+  glitched_cycles : int;
+}
+
+(* Does any armed window overlap [start, start+duration)? If so, return
+   (params, relative_cycle) for the earliest overlapping cycle. *)
+let active_window schedule edges ~start ~duration =
+  List.fold_left
+    (fun acc p ->
+      match List.nth_opt edges p.trigger_index with
+      | None -> acc
+      | Some edge ->
+        let w_lo = edge + p.ext_offset in
+        let w_hi = w_lo + p.repeat in
+        let lo = max w_lo start and hi = min w_hi (start + duration) in
+        if lo < hi then
+          let candidate = (p, lo - edge) in
+          match acc with
+          | Some (_, best) when best <= lo - edge -> acc
+          | Some _ | None -> Some candidate
+        else acc)
+    None schedule
+
+let concretise config ~salt (instr : Thumb.Instr.t)
+    (effect : Susceptibility.effect) : Board.applied * bool =
+  match effect with
+  | Susceptibility.No_fault -> (Board.Normal, false)
+  | Susceptibility.Skip -> (Board.As_nop, true)
+  | Susceptibility.Corrupt_fetch ->
+    let word = Thumb.Encode.instr instr in
+    let word' = Susceptibility.corrupt_word config ~salt word in
+    if word' = word then (Board.Normal, false) else (Board.Fetch_word word', true)
+  | Susceptibility.Load_residue v -> (Board.Load_value v, true)
+  | Susceptibility.Load_bitflip ->
+    (Board.Load_mangle (fun v -> Susceptibility.corrupt_value32 config ~salt v), true)
+  | Susceptibility.Flip_z -> (Board.Z_flip, true)
+  | Susceptibility.Pc_corrupt ->
+    (* corrupting the prefetch address sends the core into unmapped or
+       unintended memory; derive a deterministic bogus target *)
+    let bogus =
+      0x1000 + (2 * Hashrand.bits ~seed:config.seed (8 :: salt) ~width:16)
+    in
+    (Board.Pc_set bogus, true)
+
+(* Susceptibility of the decode and fetch latches: encoding corruption
+   there applies to whatever instruction occupies the stage, regardless
+   of its class — it is the latch being disturbed, not the ALU. *)
+let back_stage_factor = 0.55
+
+let run ?(config = Susceptibility.default) ?(max_cycles = 3_000) ?(nonce = 0)
+    ?from board schedule =
+  (match from with
+  | Some snap -> Board.restore board snap
+  | None -> Board.reset board);
+  let fired = ref 0 and glitched = ref 0 in
+  (* Corruption planted in the decode/fetch stages materialises when the
+     victim address is reached. A branch in between flushes the pipeline
+     and the planted corruption with it: the entry is simply never
+     consumed (and is dropped at the next plant). *)
+  let pending : (int, Board.applied) Hashtbl.t = Hashtbl.create 4 in
+  let rec go () =
+    if Board.cycles board >= max_cycles then `Timeout
+    else
+      match Board.peek board with
+      | Error stop -> `Stopped stop
+      | Ok instr -> (
+        let pc = Board.pc board in
+        let duration = Thumb.Cycles.of_instr ~taken:true instr in
+        let edges = Board.trigger_edges board in
+        let applied =
+          match Hashtbl.find_opt pending pc with
+          | Some planted ->
+            Hashtbl.remove pending pc;
+            planted
+          | None -> (
+            match
+              active_window schedule edges ~start:(Board.cycles board) ~duration
+            with
+            | None -> Board.Normal
+            | Some (p, rel_cycle) ->
+              incr glitched;
+              let point_salt = [ p.width; p.offset; rel_cycle ] in
+              let attempt_nonce = (nonce * 31) + p.trigger_index in
+              (* Which of the Cortex-M0's three pipeline stages does the
+                 glitch disturb? Decode and fetch hold the next two
+                 instructions. *)
+              let stage_pick = Hashrand.u01 ~seed:config.seed (4 :: point_salt) in
+              if stage_pick < 0.5 then begin
+                let effect =
+                  Susceptibility.roll config ~sustained:(p.repeat > 4)
+                    ~width:p.width ~offset:p.offset ~cycle:rel_cycle
+                    ~nonce:attempt_nonce ~instr ~sp:(Board.reg board 13)
+                in
+                let applied, did_fire =
+                  concretise config ~salt:point_salt instr effect
+                in
+                if did_fire then incr fired;
+                applied
+              end
+              else begin
+                let delta = if stage_pick < 0.8 then 2 else 4 in
+                let victim = pc + delta in
+                let gate =
+                  Hashrand.u01 ~seed:config.seed
+                    (5 :: p.width :: p.offset :: rel_cycle :: [ attempt_nonce ])
+                in
+                let e =
+                  Susceptibility.landscape config ~width:p.width ~offset:p.offset
+                in
+                (if gate < e *. back_stage_factor then
+                   match Board.word_at board victim with
+                   | None -> ()
+                   | Some victim_word ->
+                     incr fired;
+                     let planted =
+                       if Hashrand.u01 ~seed:config.seed (6 :: point_salt) < 0.4
+                       then Board.As_nop
+                       else
+                         Board.Fetch_word
+                           (Susceptibility.corrupt_word config ~salt:point_salt
+                              victim_word)
+                     in
+                     Hashtbl.replace pending victim planted);
+                Board.Normal
+              end)
+        in
+        match Board.step ~applied board with
+        | Machine.Exec.Running -> go ()
+        | Machine.Exec.Stopped s -> `Stopped s)
+  in
+  let stop = go () in
+  { stop; cycles = Board.cycles board; fired = !fired; glitched_cycles = !glitched }

@@ -1,0 +1,42 @@
+(** The ChipWhisperer stand-in: drives the target's clock and inserts
+    glitches at programmed points relative to the trigger pin.
+
+    Parameters mirror the real tool: [ext_offset] counts clock cycles
+    from a trigger edge, [width] and [offset] shape the inserted clock
+    edge as percentages in [-49, +49] (Figure 1), and [repeat] stretches
+    the glitch over multiple consecutive cycles (the long-glitch attack
+    of Table III). A schedule may arm several glitches, each on its own
+    trigger edge — the multi-glitch attack of Table II uses two entries
+    with identical parameters on triggers 0 and 1. *)
+
+type params = {
+  width : int;  (** [-49, 49] *)
+  offset : int;  (** [-49, 49] *)
+  ext_offset : int;  (** cycles after the trigger edge *)
+  repeat : int;  (** number of consecutive glitched cycles, >= 1 *)
+  trigger_index : int;  (** which rising edge arms this glitch (0-based) *)
+}
+
+val single : width:int -> offset:int -> ext_offset:int -> params
+val with_repeat : params -> int -> params
+
+type observation = {
+  stop : [ `Stopped of Machine.Exec.stop | `Timeout ];
+  cycles : int;  (** total cycles executed *)
+  fired : int;  (** glitched cycles that actually produced a fault *)
+  glitched_cycles : int;  (** cycles that fell inside an armed window *)
+}
+
+val run :
+  ?config:Susceptibility.config ->
+  ?max_cycles:int ->
+  ?nonce:int ->
+  ?from:Board.snapshot ->
+  Board.t ->
+  params list ->
+  observation
+(** Reset the board (or rewind it to [from]) and run it to completion
+    (or [max_cycles] total board cycles, default 3,000) with the
+    schedule armed. [nonce] separates repeated attempts with identical
+    parameters (attempt-level noise). The board is left un-reset for
+    post-mortem inspection. *)

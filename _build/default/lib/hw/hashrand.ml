@@ -1,0 +1,27 @@
+(* SplitMix64 finaliser over Int64, folded over the coordinates. *)
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash ~seed coords =
+  let open Int64 in
+  let state =
+    List.fold_left
+      (fun acc c -> mix64 (add (mul acc gamma) (of_int c)))
+      (mix64 (add (of_int seed) gamma))
+      coords
+  in
+  to_int (shift_right_logical state 2)
+
+let u01 ~seed coords =
+  float_of_int (hash ~seed coords land 0x3FFFFFFFFFFF)
+  /. float_of_int 0x400000000000
+
+let bits ~seed coords ~width =
+  if width < 1 || width > 32 then invalid_arg "Hashrand.bits: width";
+  hash ~seed coords land ((1 lsl width) - 1)

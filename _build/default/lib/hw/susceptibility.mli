@@ -1,0 +1,85 @@
+(** The physical fault model: what a clock glitch with a given (width,
+    offset) does to the instruction stream at a given cycle.
+
+    This is the one module where physics is replaced by a calibrated
+    parametric model (see DESIGN.md). Structure:
+
+    - a {e landscape} [e(width, offset)] in [0, 1] built from a few
+      narrow Gaussian sweet spots — glitches are only effective where the
+      injected edge violates the pipeline's setup/hold margins, and the
+      effective region is a small fraction of the full parameter plane
+      (the paper's full sweeps succeed on ~0.3-1.3% of attempts);
+    - a per-attempt noise draw: an attempt at parameter point p fires iff
+      [u(seed, p, cycle, nonce) < e(p) * class_factor(instr)]. Because
+      [e] depends only on the physical setting, repeating the same
+      parameters is strongly correlated (multi-glitch full success is
+      far above the product of independent rates, as in Table II) while
+      never deterministic;
+    - a {e class factor} per instruction kind: loads are the easiest to
+      disturb, compares and branches follow, register-only ALU ops are
+      nearly immune — the paper's RQ4 findings;
+    - an {e effect} draw for firing glitches: skip the instruction,
+      corrupt the fetched encoding with 1->0-biased bit flips, corrupt a
+      load's destination register (bit flips or bus residue such as the
+      SP or the GPIO address — the values seen post-mortem in Table I),
+      or flip the Z flag during a compare. *)
+
+type config = {
+  seed : int;
+  core_amplitude : float;
+      (** peak of a spot's near-deterministic core (>= 1 makes the very
+          centre fire every attempt — the V-B tuner's prize) *)
+  core_sigma : float;  (** core radius: one to a few grid points *)
+  tail_amplitude : float;
+      (** height of the broad marginal tail (well below 0.5, so tail
+          successes rarely repeat: Table II's partial >> full) *)
+  tail_sigma : float;  (** tail radius, in percent units *)
+  n_spots : int;  (** sweet spots scattered over the (w, o) plane *)
+  p_bit_clear : float;  (** per-bit 1->0 probability in word corruption *)
+  p_bit_set : float;  (** per-bit 0->1 probability (clock glitches are
+                          strongly biased toward clearing) *)
+}
+
+val default : config
+
+(** What happens to the glitched cycle. The board supplies the true
+    encoding / loaded value where the effect needs one. *)
+type effect =
+  | No_fault
+  | Skip  (** targeted instruction executes as a NOP *)
+  | Corrupt_fetch  (** the fetched encoding is bit-corrupted before decode *)
+  | Load_residue of int  (** load's destination replaced by a bus residue *)
+  | Load_bitflip  (** load's destination value bit-corrupted *)
+  | Flip_z  (** the compare's Z flag is inverted after execution *)
+  | Pc_corrupt  (** the prefetch address latch is destroyed: the core
+                    runs away and (almost always) crashes *)
+
+val pp_effect : effect Fmt.t
+
+val landscape : config -> width:int -> offset:int -> float
+(** Effectiveness of the physical parameter point; pure in (config,
+    width, offset). *)
+
+val class_factor : Thumb.Instr.t -> float
+(** Relative susceptibility of the executing instruction (RQ4). *)
+
+val roll :
+  config ->
+  sustained:bool ->
+  width:int ->
+  offset:int ->
+  cycle:int ->
+  nonce:int ->
+  instr:Thumb.Instr.t ->
+  sp:int ->
+  effect
+(** Decide the effect of one glitched cycle. [nonce] distinguishes
+    attempts with identical parameters; [sp] seeds realistic bus-residue
+    values. [sustained] marks glitches stretched over many consecutive
+    cycles (long-glitch attacks), whose aborted loads read back zero. *)
+
+val corrupt_word : config -> salt:int list -> int -> int
+(** 1->0-biased bit corruption of a 16-bit instruction word. *)
+
+val corrupt_value32 : config -> salt:int list -> int -> int
+(** Same bias over a 32-bit data value. *)

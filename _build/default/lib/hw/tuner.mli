@@ -1,0 +1,27 @@
+(** The paper's Section V-B parameter search: find glitch parameters
+    with a 100% (10-out-of-10) success rate against an unprotected
+    guard.
+
+    The algorithm mirrors the paper: scan the (width, offset) plane with
+    a 10-cycle glitch that blankets the whole loop; for each hit, narrow
+    to individual clock cycles and re-test, recursively increasing
+    precision until some (width, offset, ext_offset) triple survives 10
+    consecutive attempts. *)
+
+type result = {
+  found : (int * int * int) option;  (** (width, offset, ext_offset) *)
+  attempts : int;  (** total glitch attempts issued *)
+  successes : int;  (** successful glitches observed along the way *)
+  seconds : float;  (** simulated wall-clock, at [per_attempt_s] each *)
+}
+
+val per_attempt_s : float
+(** 0.095 s — reset, arm, run, check; calibrated so an unprotected
+    search lands in the paper's "minutes, not hours" regime. *)
+
+val search :
+  ?config:Susceptibility.config ->
+  ?coarse_step:int ->
+  Attack.guard ->
+  result
+(** [coarse_step] (default 2) is the stride of the initial plane scan. *)

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Builder Interp Types Verify

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Fmt Hashtbl List Option Printf Types

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Fmt Hashtbl List Option Types

@@ -1,0 +1,126 @@
+type outcome = { ret : int option; globals : (string * int) list }
+
+type builtin = int list -> int
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun m -> raise (Trap m)) fmt
+
+type state = {
+  modul : Types.modul;
+  globals : (string, int) Hashtbl.t;
+  builtins : (string * builtin) list;
+  mutable fuel : int;
+}
+
+let value_of frame (v : Types.value) =
+  match v with
+  | Types.Const c -> Types.mask32 c
+  | Types.Temp t -> (
+    match Hashtbl.find_opt frame t with
+    | Some v -> v
+    | None -> trap "temp t%d has no value" t)
+
+let read_var st locals = function
+  | Types.Global name -> (
+    match Hashtbl.find_opt st.globals name with
+    | Some v -> v
+    | None -> trap "global %s not found" name)
+  | Types.Local name -> (
+    match Hashtbl.find_opt locals name with
+    | Some v -> v
+    | None -> trap "local %s not initialised" name)
+
+let write_var st locals var v =
+  match var with
+  | Types.Global name ->
+    if not (Hashtbl.mem st.globals name) then trap "global %s not found" name;
+    Hashtbl.replace st.globals name (Types.mask32 v)
+  | Types.Local name -> Hashtbl.replace locals name (Types.mask32 v)
+
+let rec call_function st (f : Types.func) args =
+  if List.length args <> List.length f.params then
+    trap "%s: arity mismatch" f.fname;
+  let locals = Hashtbl.create 16 in
+  List.iter2 (fun p a -> Hashtbl.replace locals p (Types.mask32 a)) f.params args;
+  let frame = Hashtbl.create 32 in
+  let entry =
+    match f.blocks with
+    | b :: _ -> b
+    | [] -> trap "%s: no entry block" f.fname
+  in
+  exec_block st f locals frame entry
+
+and exec_block st f locals frame (b : Types.block) =
+  List.iter (exec_instr st f locals frame) b.instrs;
+  if st.fuel <= 0 then trap "out of fuel in %s" f.fname;
+  st.fuel <- st.fuel - 1;
+  match b.term with
+  | Types.Br label -> exec_block st f locals frame (resolve f label)
+  | Types.Cond_br { cond; if_true; if_false } ->
+    let target = if value_of frame cond <> 0 then if_true else if_false in
+    exec_block st f locals frame (resolve f target)
+  | Types.Switch { value; cases; default } ->
+    let v = value_of frame value in
+    let target =
+      match List.assoc_opt v cases with Some l -> l | None -> default
+    in
+    exec_block st f locals frame (resolve f target)
+  | Types.Ret v -> Option.map (value_of frame) v
+  | Types.Unreachable -> trap "%s: reached unreachable" f.fname
+
+and resolve f label =
+  match Types.find_block f label with
+  | Some b -> b
+  | None -> trap "%s: no block %s" f.fname label
+
+and exec_instr st f locals frame (i : Types.instr) =
+  if st.fuel <= 0 then trap "out of fuel in %s" f.fname;
+  st.fuel <- st.fuel - 1;
+  match i with
+  | Types.Load { dst; src; volatile = _ } ->
+    Hashtbl.replace frame dst (read_var st locals src)
+  | Types.Store { dst; src; volatile = _ } ->
+    write_var st locals dst (value_of frame src)
+  | Types.Binop { dst; op; lhs; rhs } ->
+    Hashtbl.replace frame dst
+      (Types.eval_binop op (value_of frame lhs) (value_of frame rhs))
+  | Types.Icmp { dst; op; lhs; rhs } ->
+    Hashtbl.replace frame dst
+      (Types.eval_icmp op (value_of frame lhs) (value_of frame rhs))
+  | Types.Call { dst; callee; args } -> (
+    let argv = List.map (value_of frame) args in
+    match Types.find_func st.modul callee with
+    | Some g ->
+      let r = call_function st g argv in
+      Option.iter
+        (fun d ->
+          match r with
+          | Some v -> Hashtbl.replace frame d v
+          | None -> trap "%s returned void but result expected" callee)
+        dst
+    | None -> (
+      match List.assoc_opt callee st.builtins with
+      | Some fn ->
+        let r = fn argv in
+        Option.iter (fun d -> Hashtbl.replace frame d (Types.mask32 r)) dst
+      | None -> trap "no definition for %s" callee))
+
+let run ?(fuel = 1_000_000) ?(builtins = []) modul ~entry ~args =
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Types.global) -> Hashtbl.replace globals g.gname (Types.mask32 g.init))
+    modul.Types.globals;
+  let st = { modul; globals; builtins; fuel } in
+  match Types.find_func modul entry with
+  | None -> Error (Printf.sprintf "no function %s" entry)
+  | Some f -> (
+    match call_function st f args with
+    | ret ->
+      let final =
+        List.map
+          (fun (g : Types.global) -> (g.gname, Hashtbl.find globals g.gname))
+          modul.Types.globals
+      in
+      Ok { ret; globals = final }
+    | exception Trap message -> Error message)

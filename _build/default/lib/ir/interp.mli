@@ -1,0 +1,24 @@
+(** Reference interpreter for the IR. Used to check that lowering and
+    the GlitchResistor passes preserve semantics: a defended module must
+    behave identically to the original in the absence of glitches, and
+    the code generator must agree with this interpreter on every test
+    program. *)
+
+type outcome = {
+  ret : int option;
+  globals : (string * int) list;  (** final global values *)
+}
+
+type builtin = int list -> int
+(** Handler for an extern callee; void-returning builtins return 0. *)
+
+val run :
+  ?fuel:int ->
+  ?builtins:(string * builtin) list ->
+  Types.modul ->
+  entry:string ->
+  args:int list ->
+  (outcome, string) result
+(** Execute [entry] with the given arguments. [fuel] (default 1,000,000
+    executed instructions) bounds runaway loops; exhaustion, unknown
+    callees, or a fall into [Unreachable] produce [Error]. *)

@@ -1,0 +1,7 @@
+(* Facade: [Ir] re-exports the IR type definitions plus the builder,
+   verifier, and reference interpreter as submodules. *)
+
+include Types
+module Builder = Builder
+module Verify = Verify
+module Interp = Interp

@@ -1,0 +1,110 @@
+type violation = { func : string; message : string }
+
+let pp_violation ppf { func; message } = Fmt.pf ppf "%s: %s" func message
+
+let func (m : Types.modul) (f : Types.func) =
+  let bad = ref [] in
+  let report fmt =
+    Fmt.kstr (fun message -> bad := { func = f.fname; message } :: !bad) fmt
+  in
+  (* unique labels *)
+  let labels = List.map (fun (b : Types.block) -> b.label) f.blocks in
+  List.iteri
+    (fun i l ->
+      if List.exists (fun l' -> l' = l) (List.filteri (fun j _ -> j < i) labels)
+      then report "duplicate label %s" l)
+    labels;
+  if f.blocks = [] then report "no blocks";
+  (* defined names *)
+  let known_var = function
+    | Types.Local name ->
+      if not (List.mem name f.locals) then report "undeclared local %s" name
+    | Types.Global name ->
+      if Types.find_global m name = None then report "undeclared global %s" name
+  in
+  let callees =
+    List.map (fun (g : Types.func) -> g.fname) m.funcs @ m.externs
+  in
+  (* single-assignment temps, defined before use in block order *)
+  let defined = Hashtbl.create 64 in
+  let define t =
+    if Hashtbl.mem defined t then report "temp t%d assigned twice" t
+    else Hashtbl.add defined t ()
+  in
+  let use = function
+    | Types.Const _ -> ()
+    | Types.Temp t -> if not (Hashtbl.mem defined t) then report "t%d used before definition" t
+  in
+  List.iter
+    (fun (b : Types.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Types.Load { dst; src; _ } ->
+            known_var src;
+            define dst
+          | Types.Store { dst; src; _ } ->
+            known_var dst;
+            use src
+          | Types.Binop { dst; lhs; rhs; _ } | Types.Icmp { dst; lhs; rhs; _ } ->
+            use lhs;
+            use rhs;
+            define dst
+          | Types.Call { dst; callee; args } ->
+            List.iter use args;
+            if not (List.mem callee callees) then
+              report "call to unknown function %s" callee;
+            Option.iter define dst)
+        b.instrs;
+      match b.term with
+      | Types.Br l ->
+        if not (List.mem l labels) then report "branch to unknown label %s" l
+      | Types.Cond_br { cond; if_true; if_false } ->
+        use cond;
+        List.iter
+          (fun l ->
+            if not (List.mem l labels) then report "branch to unknown label %s" l)
+          [ if_true; if_false ]
+      | Types.Switch { value; cases; default } ->
+        use value;
+        List.iter
+          (fun l ->
+            if not (List.mem l labels) then report "branch to unknown label %s" l)
+          (default :: List.map snd cases);
+        let case_values = List.map fst cases in
+        if List.length (List.sort_uniq compare case_values) <> List.length case_values
+        then report "duplicate switch case values"
+      | Types.Ret (Some v) ->
+        use v;
+        if not f.returns_value then report "ret value in void function"
+      | Types.Ret None ->
+        if f.returns_value then report "ret void in value-returning function"
+      | Types.Unreachable -> ())
+    f.blocks;
+  List.rev !bad
+
+let modul (m : Types.modul) =
+  let dup_globals =
+    List.filteri
+      (fun i (g : Types.global) ->
+        List.exists
+          (fun (g' : Types.global) -> g'.gname = g.gname)
+          (List.filteri (fun j _ -> j < i) m.globals))
+      m.globals
+  in
+  let global_violations =
+    List.map
+      (fun (g : Types.global) ->
+        { func = "<module>"; message = "duplicate global " ^ g.gname })
+      dup_globals
+  in
+  global_violations @ List.concat_map (func m) m.funcs
+
+let check_exn m =
+  match modul m with
+  | [] -> ()
+  | violations ->
+    invalid_arg
+      (Fmt.str "IR verification failed:@ %a"
+         Fmt.(list ~sep:cut pp_violation)
+         violations)

@@ -1,0 +1,14 @@
+(** Structural well-formedness checks, run after lowering and after
+    every GlitchResistor pass (like LLVM's verifier): branch targets
+    exist, labels and temps are unique, locals/globals/callees are
+    declared, and value-returning functions do not [ret void]. *)
+
+type violation = { func : string; message : string }
+
+val pp_violation : violation Fmt.t
+
+val func : Types.modul -> Types.func -> violation list
+val modul : Types.modul -> violation list
+
+val check_exn : Types.modul -> unit
+(** @raise Invalid_argument listing all violations, if any. *)

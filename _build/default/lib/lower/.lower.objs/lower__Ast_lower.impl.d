@@ -1,0 +1,1 @@
+lib/lower/ast_lower.ml: Ast Fmt Ir Lexer List Minic Option Parser Sema

@@ -1,0 +1,1 @@
+lib/lower/ast_lower.mli: Fmt Ir Minic

@@ -1,0 +1,1 @@
+lib/lower/codegen.ml: Array Fmt Hashtbl Ir List Option Printf Thumb

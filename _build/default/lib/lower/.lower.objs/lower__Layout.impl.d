@@ -1,0 +1,1 @@
+lib/lower/layout.ml: Array Codegen Fmt Ir List Machine Runtime Thumb

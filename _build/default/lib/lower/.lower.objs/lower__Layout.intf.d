@@ -1,0 +1,1 @@
+lib/lower/layout.mli: Fmt Ir Machine

@@ -1,0 +1,1 @@
+lib/lower/objdump.ml: Array Fmt Hashtbl Layout List Option Thumb

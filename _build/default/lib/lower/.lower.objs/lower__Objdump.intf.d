@@ -1,0 +1,1 @@
+lib/lower/objdump.mli: Fmt Layout

@@ -1,0 +1,1 @@
+lib/lower/runtime.ml: Array Codegen List Printf Thumb

@@ -1,0 +1,1 @@
+lib/lower/runtime.mli: Codegen

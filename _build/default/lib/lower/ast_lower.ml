@@ -1,0 +1,402 @@
+open Minic
+
+type error = { message : string }
+
+exception Error of error
+
+let pp_error ppf { message } = Fmt.string ppf message
+let fail fmt = Fmt.kstr (fun message -> raise (Error { message })) fmt
+
+(* Minimal signedness inference: [unsigned] operands make an operation
+   unsigned (C's usual arithmetic conversions, flattened to one bit). *)
+type sign = Signed | Unsigned
+
+let sign_of_ty = function
+  | Ast.Tuint -> Unsigned
+  | Ast.Tint | Ast.Tvoid | Ast.Tenum _ -> Signed
+
+type var_info = { var : Ir.var; volatile : bool; sign : sign }
+
+type env = {
+  sema : Sema.t;
+  externs : (string * int) list;
+  globals : (string * var_info) list;
+  mutable locals : (string * var_info) list;  (** innermost first *)
+  builder : Ir.Builder.t;
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+}
+
+let lookup_var env name =
+  match List.assoc_opt name env.locals with
+  | Some info -> Some info
+  | None -> List.assoc_opt name env.globals
+
+let binop_ir (op : Ast.binop) sign : Ir.binop =
+  match op with
+  | Ast.Add -> Ir.Add
+  | Ast.Sub -> Ir.Sub
+  | Ast.Mul -> Ir.Mul
+  | Ast.Div -> Ir.Sdiv
+  | Ast.Mod -> Ir.Srem
+  | Ast.Band -> Ir.And
+  | Ast.Bor -> Ir.Or
+  | Ast.Bxor -> Ir.Xor
+  | Ast.Shl -> Ir.Shl
+  | Ast.Shr -> (match sign with Signed -> Ir.Ashr | Unsigned -> Ir.Lshr)
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor ->
+    invalid_arg "binop_ir: not an arithmetic operator"
+
+let icmp_ir (op : Ast.binop) sign : Ir.icmp =
+  match (op, sign) with
+  | Ast.Eq, _ -> Ir.Eq
+  | Ast.Ne, _ -> Ir.Ne
+  | Ast.Lt, Signed -> Ir.Slt
+  | Ast.Le, Signed -> Ir.Sle
+  | Ast.Gt, Signed -> Ir.Sgt
+  | Ast.Ge, Signed -> Ir.Sge
+  | Ast.Lt, Unsigned -> Ir.Ult
+  | Ast.Le, Unsigned -> Ir.Ule
+  | Ast.Gt, Unsigned -> Ir.Ugt
+  | Ast.Ge, Unsigned -> Ir.Uge
+  | (Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+    | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor), _ ->
+    invalid_arg "icmp_ir: not a comparison"
+
+(* Expression signedness, used to pick signed vs unsigned compares. *)
+let rec expr_sign env (e : Ast.expr) : sign =
+  match e with
+  | Ast.Int _ -> Signed
+  | Ast.Ident name -> (
+    if List.mem_assoc name env.sema.enum_constants then Signed
+    else
+      match lookup_var env name with
+      | Some { sign; _ } -> sign
+      | None -> Signed)
+  | Ast.Unop (_, e) -> expr_sign env e
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge
+               | Ast.Land | Ast.Lor), _, _) -> Signed
+  | Ast.Binop (_, a, b) -> (
+    match (expr_sign env a, expr_sign env b) with
+    | Unsigned, _ | _, Unsigned -> Unsigned
+    | Signed, Signed -> Signed)
+  | Ast.Call _ -> Signed
+
+let rec lower_expr env (e : Ast.expr) : Ir.value =
+  let b = env.builder in
+  match e with
+  | Ast.Int v -> Ir.Const (Ir.mask32 v)
+  | Ast.Ident name -> (
+    match List.assoc_opt name env.sema.enum_constants with
+    | Some v -> Ir.Const (Ir.mask32 v)
+    | None -> (
+      match lookup_var env name with
+      | Some { var; volatile; _ } -> Ir.Builder.load ~volatile b var
+      | None -> fail "unbound identifier %s" name))
+  | Ast.Unop (Ast.Neg, e) ->
+    Ir.Builder.binop b Ir.Sub (Ir.Const 0) (lower_expr env e)
+  | Ast.Unop (Ast.Bnot, e) ->
+    Ir.Builder.binop b Ir.Xor (lower_expr env e) (Ir.Const 0xFFFFFFFF)
+  | Ast.Unop (Ast.Lnot, e) ->
+    Ir.Builder.icmp b Ir.Eq (lower_expr env e) (Ir.Const 0)
+  | Ast.Binop ((Ast.Land | Ast.Lor) as op, lhs, rhs) ->
+    lower_short_circuit env op lhs rhs
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, lhs, rhs)
+    ->
+    let sign =
+      match (expr_sign env lhs, expr_sign env rhs) with
+      | Unsigned, _ | _, Unsigned -> Unsigned
+      | Signed, Signed -> Signed
+    in
+    let l = lower_expr env lhs in
+    let r = lower_expr env rhs in
+    Ir.Builder.icmp b (icmp_ir op sign) l r
+  | Ast.Binop (op, lhs, rhs) ->
+    let sign =
+      match (expr_sign env lhs, expr_sign env rhs) with
+      | Unsigned, _ | _, Unsigned -> Unsigned
+      | Signed, Signed -> Signed
+    in
+    let l = lower_expr env lhs in
+    let r = lower_expr env rhs in
+    Ir.Builder.binop b (binop_ir op sign) l r
+  | Ast.Call (name, args) ->
+    let argv = List.map (lower_expr env) args in
+    (* Result temp is always materialised; void callees are handled in
+       statement position by lower_stmt. *)
+    (match Ir.Builder.call b ~dst:true name argv with
+    | Some v -> v
+    | None -> assert false)
+
+and lower_short_circuit env op lhs rhs =
+  let b = env.builder in
+  let slot = "$sc" ^ string_of_int (Ir.Builder.fresh_temp b) in
+  Ir.Builder.add_local b slot;
+  let rhs_label = Ir.Builder.fresh_label b "sc.rhs" in
+  let done_label = Ir.Builder.fresh_label b "sc.done" in
+  let l = lower_expr env lhs in
+  let lbool = Ir.Builder.icmp b Ir.Ne l (Ir.Const 0) in
+  Ir.Builder.store b (Ir.Local slot) lbool;
+  (match op with
+  | Ast.Land -> Ir.Builder.cond_br b lbool ~if_true:rhs_label ~if_false:done_label
+  | Ast.Lor -> Ir.Builder.cond_br b lbool ~if_true:done_label ~if_false:rhs_label
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt
+  | Ast.Ge -> assert false);
+  let _ = Ir.Builder.new_block b rhs_label in
+  let r = lower_expr env rhs in
+  let rbool = Ir.Builder.icmp b Ir.Ne r (Ir.Const 0) in
+  Ir.Builder.store b (Ir.Local slot) rbool;
+  Ir.Builder.br b done_label;
+  let _ = Ir.Builder.new_block b done_label in
+  Ir.Builder.load b (Ir.Local slot)
+
+(* Calls in expression statements may target void functions: emit a
+   call without a result temp. *)
+let lower_expr_stmt env (e : Ast.expr) =
+  match e with
+  | Ast.Call (name, args) ->
+    let argv = List.map (lower_expr env) args in
+    ignore (Ir.Builder.call env.builder name argv)
+  | Ast.Int _ | Ast.Ident _ | Ast.Unop _ | Ast.Binop _ ->
+    ignore (lower_expr env e)
+
+let rec lower_stmt env (s : Ast.stmt) =
+  let b = env.builder in
+  match s with
+  | Ast.Sexpr e -> lower_expr_stmt env e
+  | Ast.Sassign (name, e) -> (
+    let v = lower_expr env e in
+    match lookup_var env name with
+    | Some { var; volatile; _ } -> Ir.Builder.store ~volatile b var v
+    | None -> fail "assignment to unbound %s" name)
+  | Ast.Sdecl { dname; dty; dvolatile; dinit } ->
+    Ir.Builder.add_local b dname;
+    env.locals <-
+      (dname,
+       { var = Ir.Local dname; volatile = dvolatile; sign = sign_of_ty dty })
+      :: env.locals;
+    (match dinit with
+    | Some e ->
+      let v = lower_expr env e in
+      Ir.Builder.store ~volatile:dvolatile b (Ir.Local dname) v
+    | None -> ())
+  | Ast.Sif (cond, then_, else_) -> (
+    let v = lower_expr env cond in
+    let then_label = Ir.Builder.fresh_label b "if.then" in
+    let done_label = Ir.Builder.fresh_label b "if.end" in
+    match else_ with
+    | None ->
+      Ir.Builder.cond_br b v ~if_true:then_label ~if_false:done_label;
+      let _ = Ir.Builder.new_block b then_label in
+      lower_block env then_;
+      Ir.Builder.br b done_label;
+      ignore (Ir.Builder.new_block b done_label)
+    | Some else_body ->
+      let else_label = Ir.Builder.fresh_label b "if.else" in
+      Ir.Builder.cond_br b v ~if_true:then_label ~if_false:else_label;
+      let _ = Ir.Builder.new_block b then_label in
+      lower_block env then_;
+      Ir.Builder.br b done_label;
+      let _ = Ir.Builder.new_block b else_label in
+      lower_block env else_body;
+      Ir.Builder.br b done_label;
+      ignore (Ir.Builder.new_block b done_label))
+  | Ast.Swhile (cond, body) ->
+    let head = Ir.Builder.fresh_label b "while.head" in
+    let body_label = Ir.Builder.fresh_label b "while.body" in
+    let exit = Ir.Builder.fresh_label b "while.end" in
+    Ir.Builder.br b head;
+    let _ = Ir.Builder.new_block b head in
+    let v = lower_expr env cond in
+    Ir.Builder.cond_br b v ~if_true:body_label ~if_false:exit;
+    let _ = Ir.Builder.new_block b body_label in
+    env.break_labels <- exit :: env.break_labels;
+    env.continue_labels <- head :: env.continue_labels;
+    lower_block env body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    Ir.Builder.br b head;
+    ignore (Ir.Builder.new_block b exit)
+  | Ast.Sdo_while (body, cond) ->
+    let body_label = Ir.Builder.fresh_label b "do.body" in
+    let head = Ir.Builder.fresh_label b "do.cond" in
+    let exit = Ir.Builder.fresh_label b "do.end" in
+    Ir.Builder.br b body_label;
+    let _ = Ir.Builder.new_block b body_label in
+    env.break_labels <- exit :: env.break_labels;
+    env.continue_labels <- head :: env.continue_labels;
+    lower_block env body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    Ir.Builder.br b head;
+    let _ = Ir.Builder.new_block b head in
+    let v = lower_expr env cond in
+    Ir.Builder.cond_br b v ~if_true:body_label ~if_false:exit;
+    ignore (Ir.Builder.new_block b exit)
+  | Ast.Sfor (init, cond, step, body) ->
+    Option.iter (lower_stmt env) init;
+    let head = Ir.Builder.fresh_label b "for.head" in
+    let body_label = Ir.Builder.fresh_label b "for.body" in
+    let step_label = Ir.Builder.fresh_label b "for.step" in
+    let exit = Ir.Builder.fresh_label b "for.end" in
+    Ir.Builder.br b head;
+    let _ = Ir.Builder.new_block b head in
+    (match cond with
+    | Some c ->
+      let v = lower_expr env c in
+      Ir.Builder.cond_br b v ~if_true:body_label ~if_false:exit
+    | None -> Ir.Builder.br b body_label);
+    let _ = Ir.Builder.new_block b body_label in
+    env.break_labels <- exit :: env.break_labels;
+    env.continue_labels <- step_label :: env.continue_labels;
+    lower_block env body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    Ir.Builder.br b step_label;
+    let _ = Ir.Builder.new_block b step_label in
+    Option.iter (lower_stmt env) step;
+    Ir.Builder.br b head;
+    ignore (Ir.Builder.new_block b exit)
+  | Ast.Sreturn e ->
+    let v = Option.map (lower_expr env) e in
+    Ir.Builder.ret b v;
+    ignore (Ir.Builder.new_block b (Ir.Builder.fresh_label b "dead"))
+  | Ast.Sbreak -> (
+    match env.break_labels with
+    | label :: _ ->
+      Ir.Builder.br b label;
+      ignore (Ir.Builder.new_block b (Ir.Builder.fresh_label b "dead"))
+    | [] -> fail "break outside loop")
+  | Ast.Scontinue -> (
+    match env.continue_labels with
+    | label :: _ ->
+      Ir.Builder.br b label;
+      ignore (Ir.Builder.new_block b (Ir.Builder.fresh_label b "dead"))
+    | [] -> fail "continue outside loop")
+  | Ast.Sblock body ->
+    let saved = env.locals in
+    lower_block env body;
+    env.locals <- saved
+  | Ast.Sswitch (scrutinee, arms) ->
+    let v = lower_expr env scrutinee in
+    let end_label = Ir.Builder.fresh_label b "switch.end" in
+    let arm_labels =
+      List.map (fun _ -> Ir.Builder.fresh_label b "switch.arm") arms
+    in
+    (* resolve the constant case values *)
+    let default = ref end_label in
+    let cases = ref [] in
+    List.iter2
+      (fun { Ast.arm_cases; _ } label ->
+        List.iter
+          (function
+            | None -> default := label
+            | Some e -> (
+              match Minic.Sema.const_eval env.sema.enum_constants e with
+              | Some value -> cases := (Ir.mask32 value, label) :: !cases
+              | None -> fail "switch case label is not constant"))
+          arm_cases)
+      arms arm_labels;
+    Ir.Builder.switch b v ~cases:(List.rev !cases) ~default:!default;
+    (* arm bodies with C fallthrough; break exits the switch *)
+    env.break_labels <- end_label :: env.break_labels;
+    List.iteri
+      (fun i ({ Ast.arm_body; _ }, label) ->
+        let _ = Ir.Builder.new_block b label in
+        lower_block env arm_body;
+        let next =
+          match List.nth_opt arm_labels (i + 1) with
+          | Some l -> l
+          | None -> end_label
+        in
+        Ir.Builder.br b next)
+      (List.combine arms arm_labels);
+    env.break_labels <- List.tl env.break_labels;
+    ignore (Ir.Builder.new_block b end_label)
+
+and lower_block env block =
+  let saved = env.locals in
+  List.iter (lower_stmt env) block;
+  env.locals <- saved
+
+let lower_func sema externs globals (f : Ast.func_decl) : Ir.func =
+  let params = List.map fst f.fparams in
+  let returns_value = f.fret <> Ast.Tvoid in
+  let builder = Ir.Builder.create ~fname:f.fname ~params ~returns_value in
+  let env =
+    { sema; externs; globals;
+      locals =
+        List.map
+          (fun (name, ty) ->
+            (name, { var = Ir.Local name; volatile = false; sign = sign_of_ty ty }))
+          f.fparams;
+      builder;
+      break_labels = [];
+      continue_labels = [] }
+  in
+  lower_block env f.fbody;
+  (* implicit return when control falls off the end *)
+  (match (Ir.Builder.current_block builder).term with
+  | Ir.Unreachable ->
+    if returns_value then Ir.Builder.ret builder (Some (Ir.Const 0))
+    else Ir.Builder.ret builder None
+  | Ir.Br _ | Ir.Cond_br _ | Ir.Switch _ | Ir.Ret _ -> ());
+  (* dead blocks created after return statements still end in
+     Unreachable; give them explicit returns so the verifier's
+     conventions hold trivially *)
+  List.iter
+    (fun (blk : Ir.block) ->
+      match blk.term with
+      | Ir.Unreachable ->
+        blk.term <-
+          (if returns_value then Ir.Ret (Some (Ir.Const 0)) else Ir.Ret None)
+      | Ir.Br _ | Ir.Cond_br _ | Ir.Switch _ | Ir.Ret _ -> ())
+    (Ir.Builder.func builder).blocks;
+  Ir.Builder.func builder
+
+let modul ?(externs = []) (sema : Sema.t) : Ir.modul =
+  let globals =
+    List.map
+      (fun (g : Ast.global_decl) ->
+        let init =
+          match g.ginit with
+          | None -> 0
+          | Some e -> (
+            match Sema.const_eval sema.enum_constants e with
+            | Some v -> v
+            | None -> fail "global %s: non-constant initializer" g.gname)
+        in
+        { Ir.gname = g.gname; init; volatile = g.gvolatile; sensitive = false })
+      sema.globals
+  in
+  let global_infos =
+    List.map2
+      (fun (g : Ast.global_decl) (ig : Ir.global) ->
+        (g.gname,
+         { var = Ir.Global ig.gname;
+           volatile = g.gvolatile;
+           sign = sign_of_ty g.gty }))
+      sema.globals globals
+  in
+  let funcs = List.map (lower_func sema externs global_infos) sema.funcs in
+  let m = { Ir.globals; funcs; externs = List.map fst externs } in
+  (match Ir.Verify.modul m with
+  | [] -> ()
+  | violations ->
+    fail "lowering produced invalid IR: %a"
+      Fmt.(list ~sep:(any "; ") Ir.Verify.pp_violation)
+      violations);
+  m
+
+let modul_of_source ?externs src =
+  let ast =
+    try Parser.program src with
+    | Parser.Error e -> fail "%a" Parser.pp_error e
+    | Lexer.Error e -> fail "%a" Lexer.pp_error e
+  in
+  let sema =
+    try Sema.check ?externs ast
+    with Sema.Error e -> fail "%a" Sema.pp_error e
+  in
+  modul ?externs sema

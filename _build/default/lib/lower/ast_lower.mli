@@ -1,0 +1,22 @@
+(** Mini-C AST -> IR lowering, in the -O0 style GlitchResistor assumes:
+    every C variable lives in memory, every expression result in a fresh
+    write-once temp. No optimisation is performed — exactly the property
+    that keeps the defense passes sound (nothing re-orders or merges the
+    duplicated checks; the paper compiles with [-Og] for the same
+    reason). *)
+
+type error = { message : string }
+
+exception Error of error
+
+val pp_error : error Fmt.t
+
+val modul : ?externs:(string * int) list -> Minic.Sema.t -> Ir.modul
+(** Lower a checked program. Calls to functions in [externs] (name,
+    arity) become calls to IR externs; enum constants become integer
+    literals. Each lowered function is verified before return.
+    @raise Error on constructs the backend cannot express. *)
+
+val modul_of_source : ?externs:(string * int) list -> string -> Ir.modul
+(** Parse, check, and lower in one step. Lexer/parser/sema errors are
+    re-raised as {!Error}. *)

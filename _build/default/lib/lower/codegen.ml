@@ -1,0 +1,351 @@
+module I = Thumb.Instr
+module R = Thumb.Reg
+
+type compiled = {
+  name : string;
+  words : int array;
+  exports : (string * int) list;
+  bl_relocs : (int * string) list;
+  word_relocs : (int * string) list;
+}
+
+type error = { func : string; message : string }
+
+exception Error of error
+
+let pp_error ppf { func; message } = Fmt.pf ppf "%s: %s" func message
+
+let gpio_trigger_address = 0x48000028
+
+let intrinsics = [ "__halt"; "__trigger_high"; "__trigger_low" ]
+
+type lit = Lconst of int | Lglobal of string
+
+type item =
+  | Ins of I.t
+  | Label of string
+  | Bcond of I.cond * string
+  | Bto of string
+  | Bl_sym of string
+  | Load_lit of R.t * lit
+
+let item_halfwords = function
+  | Ins _ | Bcond _ | Bto _ | Load_lit _ -> 1
+  | Label _ -> 0
+  | Bl_sym _ -> 2
+
+type ctx = {
+  fn : Ir.func;
+  mutable items : item list;  (** reversed *)
+  slot_of_local : (string, int) Hashtbl.t;
+  temp_base : int;  (** slot index of temp 0 *)
+  nslots : int;
+  mutable next_label : int;
+}
+
+let fail ctx fmt =
+  Fmt.kstr (fun message -> raise (Error { func = ctx.fn.Ir.fname; message })) fmt
+
+let emit ctx item = ctx.items <- item :: ctx.items
+let ins ctx i = emit ctx (Ins i)
+
+let local_label ctx hint =
+  let n = ctx.next_label in
+  ctx.next_label <- n + 1;
+  Printf.sprintf ".%s.%s.%d" ctx.fn.Ir.fname hint n
+
+let block_label ctx l = Printf.sprintf ".%s.%s" ctx.fn.Ir.fname l
+
+let slot_of_temp ctx t = ctx.temp_base + t
+
+let slot_offset ctx slot =
+  if slot < 0 || slot > 255 then fail ctx "stack frame too large (slot %d)" slot;
+  slot
+
+(* ldr/str rd, [sp, #4*slot] *)
+let load_slot ctx rd slot =
+  ins ctx (I.Mem_sp { load = true; rd; imm = slot_offset ctx slot })
+
+let store_slot ctx rd slot =
+  ins ctx (I.Mem_sp { load = false; rd; imm = slot_offset ctx slot })
+
+(* Materialise a 32-bit constant into rd. *)
+let load_const ctx rd v =
+  let v = Ir.mask32 v in
+  if v <= 255 then ins ctx (I.Imm (I.MOVi, rd, v))
+  else if Ir.mask32 (lnot v) <= 255 then begin
+    (* small negated constants: movs + mvns *)
+    ins ctx (I.Imm (I.MOVi, rd, Ir.mask32 (lnot v)));
+    ins ctx (I.Alu (I.MVN, rd, rd))
+  end
+  else emit ctx (Load_lit (rd, Lconst v))
+
+(* Load an IR value into rd. *)
+let load_value ctx rd (v : Ir.value) =
+  match v with
+  | Ir.Const c -> load_const ctx rd c
+  | Ir.Temp t -> load_slot ctx rd (slot_of_temp ctx t)
+
+let global_addr ctx rd name = emit ctx (Load_lit (rd, Lglobal name))
+
+let cond_of_icmp (op : Ir.icmp) : I.cond =
+  match op with
+  | Ir.Eq -> I.EQ
+  | Ir.Ne -> I.NE
+  | Ir.Slt -> I.LT
+  | Ir.Sle -> I.LE
+  | Ir.Sgt -> I.GT
+  | Ir.Sge -> I.GE
+  | Ir.Ult -> I.CC
+  | Ir.Ule -> I.LS
+  | Ir.Ugt -> I.HI
+  | Ir.Uge -> I.CS
+
+let select_instr ctx (i : Ir.instr) =
+  match i with
+  | Ir.Load { dst; src = Ir.Local name; _ } ->
+    load_slot ctx R.r2 (Hashtbl.find ctx.slot_of_local name);
+    store_slot ctx R.r2 (slot_of_temp ctx dst)
+  | Ir.Load { dst; src = Ir.Global g; _ } ->
+    global_addr ctx R.r3 g;
+    ins ctx (I.Mem_imm { load = true; byte = false; rd = R.r2; rb = R.r3; imm = 0 });
+    store_slot ctx R.r2 (slot_of_temp ctx dst)
+  | Ir.Store { dst = Ir.Local name; src; _ } ->
+    load_value ctx R.r2 src;
+    store_slot ctx R.r2 (Hashtbl.find ctx.slot_of_local name)
+  | Ir.Store { dst = Ir.Global g; src; _ } ->
+    load_value ctx R.r2 src;
+    global_addr ctx R.r3 g;
+    ins ctx (I.Mem_imm { load = false; byte = false; rd = R.r2; rb = R.r3; imm = 0 })
+  | Ir.Binop { dst; op = Ir.Sdiv | Ir.Srem as op; lhs; rhs } ->
+    load_value ctx R.r0 lhs;
+    load_value ctx R.r1 rhs;
+    emit ctx (Bl_sym (if op = Ir.Sdiv then "__idiv" else "__irem"));
+    store_slot ctx R.r0 (slot_of_temp ctx dst)
+  | Ir.Binop { dst; op; lhs; rhs } ->
+    load_value ctx R.r2 lhs;
+    load_value ctx R.r3 rhs;
+    (match op with
+    | Ir.Add ->
+      ins ctx
+        (I.Add_sub { sub = false; imm = false; rd = R.r2; rs = R.r2;
+                     operand = R.to_int R.r3 })
+    | Ir.Sub ->
+      ins ctx
+        (I.Add_sub { sub = true; imm = false; rd = R.r2; rs = R.r2;
+                     operand = R.to_int R.r3 })
+    | Ir.Mul -> ins ctx (I.Alu (I.MUL, R.r2, R.r3))
+    | Ir.And -> ins ctx (I.Alu (I.AND, R.r2, R.r3))
+    | Ir.Or -> ins ctx (I.Alu (I.ORR, R.r2, R.r3))
+    | Ir.Xor -> ins ctx (I.Alu (I.EOR, R.r2, R.r3))
+    | Ir.Shl -> ins ctx (I.Alu (I.LSLr, R.r2, R.r3))
+    | Ir.Lshr -> ins ctx (I.Alu (I.LSRr, R.r2, R.r3))
+    | Ir.Ashr -> ins ctx (I.Alu (I.ASRr, R.r2, R.r3))
+    | Ir.Sdiv | Ir.Srem -> assert false);
+    store_slot ctx R.r2 (slot_of_temp ctx dst)
+  | Ir.Icmp { dst; op; lhs; rhs } ->
+    load_value ctx R.r2 lhs;
+    load_value ctx R.r3 rhs;
+    ins ctx (I.Alu (I.CMPr, R.r2, R.r3));
+    let l_true = local_label ctx "true" in
+    let l_done = local_label ctx "done" in
+    emit ctx (Bcond (cond_of_icmp op, l_true));
+    ins ctx (I.Imm (I.MOVi, R.r2, 0));
+    emit ctx (Bto l_done);
+    emit ctx (Label l_true);
+    ins ctx (I.Imm (I.MOVi, R.r2, 1));
+    emit ctx (Label l_done);
+    store_slot ctx R.r2 (slot_of_temp ctx dst)
+  | Ir.Call { dst; callee = "__halt"; args = [] } ->
+    ins ctx (I.Bkpt 0);
+    ignore dst
+  | Ir.Call { dst = _; callee = "__trigger_high"; args = [] } ->
+    global_addr ctx R.r3 "__gpio";
+    ins ctx (I.Imm (I.MOVi, R.r2, 1));
+    ins ctx (I.Mem_imm { load = false; byte = false; rd = R.r2; rb = R.r3; imm = 0 })
+  | Ir.Call { dst = _; callee = "__trigger_low"; args = [] } ->
+    global_addr ctx R.r3 "__gpio";
+    ins ctx (I.Imm (I.MOVi, R.r2, 0));
+    ins ctx (I.Mem_imm { load = false; byte = false; rd = R.r2; rb = R.r3; imm = 0 })
+  | Ir.Call { dst; callee; args } ->
+    if List.length args > 4 then
+      fail ctx "call to %s: more than 4 arguments" callee;
+    List.iteri (fun idx arg -> load_value ctx (R.of_int idx) arg) args;
+    emit ctx (Bl_sym callee);
+    (match dst with
+    | Some d -> store_slot ctx R.r0 (slot_of_temp ctx d)
+    | None -> ())
+
+let select_terminator ctx epilogue (t : Ir.terminator) =
+  match t with
+  | Ir.Br l -> emit ctx (Bto (block_label ctx l))
+  | Ir.Cond_br { cond; if_true; if_false } ->
+    (* The conditional branch only hops over the unconditional one, so
+       it can never go out of the 8-bit range no matter how large the
+       (defense-instrumented) function grows. *)
+    load_value ctx R.r2 cond;
+    ins ctx (I.Imm (I.CMPi, R.r2, 0));
+    let skip = local_label ctx "condbr" in
+    emit ctx (Bcond (I.EQ, skip));
+    emit ctx (Bto (block_label ctx if_true));
+    emit ctx (Label skip);
+    emit ctx (Bto (block_label ctx if_false))
+  | Ir.Switch { value; cases; default } ->
+    (* compare-and-branch chain (a jump table needs writable literal
+       pools per case; the chain keeps codegen simple and the timing
+       model honest) *)
+    load_value ctx R.r2 value;
+    List.iter
+      (fun (k, label) ->
+        load_const ctx R.r3 k;
+        ins ctx (I.Alu (I.CMPr, R.r2, R.r3));
+        let skip = local_label ctx "case" in
+        emit ctx (Bcond (I.NE, skip));
+        emit ctx (Bto (block_label ctx label));
+        emit ctx (Label skip))
+      cases;
+    emit ctx (Bto (block_label ctx default))
+  | Ir.Ret v ->
+    Option.iter (fun v -> load_value ctx R.r0 v) v;
+    emit ctx (Bto epilogue)
+  | Ir.Unreachable -> ins ctx (I.Bkpt 0xFF)
+
+(* Stack adjustments larger than the 7-bit immediate are split. *)
+let sp_adjust ctx words =
+  let rec go remaining =
+    if remaining <> 0 then begin
+      let step = if remaining > 0 then min remaining 127 else max remaining (-127) in
+      ins ctx (I.Sp_adjust step);
+      go (remaining - step)
+    end
+  in
+  go words
+
+(* --- resolution: items -> words ------------------------------------------ *)
+
+let resolve ctx =
+  let items = List.rev ctx.items in
+  (* offsets *)
+  let offsets = Hashtbl.create 64 in
+  let code_len =
+    List.fold_left
+      (fun off item ->
+        (match item with
+        | Label l ->
+          if Hashtbl.mem offsets l then fail ctx "duplicate label %s" l;
+          Hashtbl.add offsets l off
+        | Ins _ | Bcond _ | Bto _ | Bl_sym _ | Load_lit _ -> ());
+        off + item_halfwords item)
+      0 items
+  in
+  (* literal pool: unique literals after the (aligned) code *)
+  let pool_start = if code_len land 1 = 0 then code_len else code_len + 1 in
+  let pool = ref [] in
+  let pool_index lit =
+    match
+      List.find_map
+        (fun (l, idx) -> if l = lit then Some idx else None)
+        !pool
+    with
+    | Some idx -> idx
+    | None ->
+      let idx = List.length !pool in
+      pool := !pool @ [ (lit, idx) ];
+      idx
+  in
+  (* collect literals in item order for determinism *)
+  List.iter
+    (function
+      | Load_lit (_, lit) -> ignore (pool_index lit)
+      | Ins _ | Label _ | Bcond _ | Bto _ | Bl_sym _ -> ())
+    items;
+  let total_len = pool_start + (2 * List.length !pool) in
+  let words = Array.make total_len 0 in
+  let bl_relocs = ref [] and word_relocs = ref [] in
+  let target l =
+    match Hashtbl.find_opt offsets l with
+    | Some off -> off
+    | None -> fail ctx "unresolved label %s" l
+  in
+  let cursor = ref 0 in
+  let put i =
+    words.(!cursor) <- Thumb.Encode.instr i;
+    incr cursor
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | Ins i -> put i
+      | Bcond (cond, l) ->
+        let off = target l - (!cursor + 2) in
+        if off < -128 || off > 127 then
+          fail ctx "conditional branch to %s out of range (%d halfwords)" l off;
+        put (I.B_cond (cond, off))
+      | Bto l ->
+        let off = target l - (!cursor + 2) in
+        if off < -1024 || off > 1023 then
+          fail ctx "branch to %s out of range (%d halfwords)" l off;
+        put (I.B off)
+      | Bl_sym sym ->
+        bl_relocs := (!cursor, sym) :: !bl_relocs;
+        put (I.Bl_hi 0);
+        put (I.Bl_lo 0)
+      | Load_lit (rd, lit) ->
+        let entry = pool_start + (2 * pool_index lit) in
+        (* ldr rd, [pc, #imm]: base = (pc + 4) & ~3, pc = 2 * !cursor *)
+        let base = ((2 * !cursor) + 4) land lnot 3 in
+        let delta = (2 * entry) - base in
+        if delta < 0 || delta > 1020 || delta land 3 <> 0 then
+          fail ctx "literal pool out of range (delta %d)" delta;
+        put (I.Ldr_pc (rd, delta / 4)))
+    items;
+  (* emit the pool *)
+  List.iter
+    (fun (lit, idx) ->
+      let at = pool_start + (2 * idx) in
+      match lit with
+      | Lconst v ->
+        words.(at) <- v land 0xFFFF;
+        words.(at + 1) <- (v lsr 16) land 0xFFFF
+      | Lglobal g -> word_relocs := (at, g) :: !word_relocs)
+    !pool;
+  (words, List.rev !bl_relocs, List.rev !word_relocs)
+
+let func (m : Ir.modul) (f : Ir.func) =
+  ignore m;
+  let slot_of_local = Hashtbl.create 16 in
+  List.iteri (fun idx name -> Hashtbl.replace slot_of_local name idx) f.Ir.locals;
+  let nlocals = List.length f.Ir.locals in
+  let ntemps = Ir.max_temp f + 1 in
+  let ctx =
+    { fn = f; items = []; slot_of_local; temp_base = nlocals;
+      nslots = nlocals + ntemps; next_label = 0 }
+  in
+  if ctx.nslots > 255 then fail ctx "too many stack slots (%d)" ctx.nslots;
+  let epilogue = local_label ctx "epilogue" in
+  (* prologue *)
+  ins ctx (I.Push { rlist = 1 lsl R.to_int R.r7; lr = true });
+  sp_adjust ctx (-ctx.nslots);
+  List.iteri
+    (fun idx param ->
+      if idx > 3 then fail ctx "more than 4 parameters";
+      store_slot ctx (R.of_int idx) (Hashtbl.find slot_of_local param))
+    f.Ir.params;
+  (* body *)
+  List.iter
+    (fun (b : Ir.block) ->
+      emit ctx (Label (block_label ctx b.label));
+      List.iter (select_instr ctx) b.instrs;
+      select_terminator ctx epilogue b.term)
+    f.Ir.blocks;
+  (* epilogue *)
+  emit ctx (Label epilogue);
+  sp_adjust ctx ctx.nslots;
+  ins ctx (I.Pop { rlist = 1 lsl R.to_int R.r7; pc = true });
+  let words, bl_relocs, word_relocs = resolve ctx in
+  { name = f.Ir.fname;
+    words;
+    exports = [ (f.Ir.fname, 0) ];
+    bl_relocs;
+    word_relocs }

@@ -1,0 +1,36 @@
+let pp_image ppf (image : Layout.image) =
+  let by_addr = Hashtbl.create 16 in
+  List.iter
+    (fun (sym, addr) ->
+      Hashtbl.replace by_addr addr
+        (sym :: Option.value ~default:[] (Hashtbl.find_opt by_addr addr)))
+    image.symbols;
+  Fmt.pf ppf "text: 0x%08x, %d bytes@." image.text.base image.text.size;
+  Array.iteri
+    (fun i w ->
+      let addr = image.text.base + (2 * i) in
+      (match Hashtbl.find_opt by_addr addr with
+      | Some syms ->
+        List.iter (fun s -> Fmt.pf ppf "@.%08x <%s>:@." addr s) syms
+      | None -> ());
+      Fmt.pf ppf "  %08x:  %04x    %a@." addr w Thumb.Instr.pp
+        (Thumb.Decode.instr w))
+    image.words;
+  Fmt.pf ppf "@.data: 0x%08x, %d bytes@." image.data.base image.data.size;
+  List.iter
+    (fun (name, addr) ->
+      if addr >= image.data.base && addr < image.data.base + image.data.size
+      then
+        let init =
+          Option.value ~default:0 (List.assoc_opt addr image.data_init)
+        in
+        Fmt.pf ppf "  %08x:  %-24s = 0x%08x@." addr name init)
+    image.global_addrs;
+  Fmt.pf ppf "bss:  0x%08x, %d bytes@." image.bss.base image.bss.size;
+  List.iter
+    (fun (name, addr) ->
+      if addr >= image.bss.base && addr < image.bss.base + image.bss.size then
+        Fmt.pf ppf "  %08x:  %s@." addr name)
+    image.global_addrs
+
+let to_string image = Fmt.str "%a" pp_image image

@@ -1,0 +1,10 @@
+(** Disassembly listings of linked images — this repository's
+    [objdump -d]. Used by the CLI's [compile --dump] and handy when
+    debugging codegen or staring at what a glitch actually corrupted. *)
+
+val pp_image : Layout.image Fmt.t
+(** Address, raw halfword, and decoded instruction for the whole text
+    section, with symbol labels interleaved and data sections
+    summarised. *)
+
+val to_string : Layout.image -> string

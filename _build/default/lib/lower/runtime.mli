@@ -1,0 +1,21 @@
+(** Hand-written Thumb runtime linked into every image:
+
+    - [__udiv]: unsigned 32-bit shift-subtract divide
+      (quotient in [r0], remainder in [r1]);
+    - [__idiv] / [__irem]: signed wrappers (the Cortex-M0 has no SDIV);
+      division by zero yields 0, matching [Ir.eval_binop];
+    - [__flash_commit]: busy-wait modelling the flash-page write latency
+      the random-delay defense pays once per boot to persist its PRNG
+      seed (Table IV's constant overhead);
+    - [crt0]: reset stub that calls [main] and halts at a breakpoint. *)
+
+val runtime_blob : unit -> Codegen.compiled
+(** The division and flash stubs as one compiled unit exporting
+    [__udiv], [__idiv], [__irem], and [__flash_commit]. *)
+
+val crt0 : unit -> Codegen.compiled
+(** Entry stub; exports [__start] and references [main]. *)
+
+val flash_commit_iterations : int
+(** Busy-loop iterations in [__flash_commit]; each costs 4 cycles, so
+    the stub models a write latency of roughly 4x this many cycles. *)

@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Cpu Decode Fmt Instr List Memory Reg Thumb

@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Cpu Fmt Memory Thumb

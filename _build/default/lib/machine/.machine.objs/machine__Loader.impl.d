@@ -1,0 +1,1 @@
+lib/machine/loader.ml: Cpu Fmt Memory Thumb

@@ -1,0 +1,1 @@
+lib/machine/loader.mli: Cpu Memory Thumb

@@ -1,0 +1,31 @@
+(** ARM Cortex-M-class CPU register state: [r0]-[r15] plus the NZCV
+    application flags. All register values are 32-bit words stored in
+    OCaml ints. The [pc] slot holds the address of the instruction being
+    executed; reading [pc] as an operand yields [address + 4] per the
+    Thumb pipeline-visible convention. *)
+
+type t = {
+  regs : int array;  (** 16 words; index with [Thumb.Reg.to_int]. *)
+  mutable n : bool;
+  mutable z : bool;
+  mutable c : bool;
+  mutable v : bool;
+}
+
+val create : ?sp:int -> ?pc:int -> unit -> t
+
+val get : t -> Thumb.Reg.t -> int
+(** Operand read: [pc] reads as the current instruction address + 4. *)
+
+val set : t -> Thumb.Reg.t -> int -> unit
+(** Result write, masked to 32 bits. Writing [pc] clears bit 0. *)
+
+val pc : t -> int
+(** Raw current instruction address (no +4 adjustment). *)
+
+val set_pc : t -> int -> unit
+val copy : t -> t
+val pp : t Fmt.t
+
+val condition_holds : t -> Thumb.Instr.cond -> bool
+(** Evaluate a branch condition against the NZCV flags. *)

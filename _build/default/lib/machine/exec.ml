@@ -1,0 +1,364 @@
+type stop =
+  | Breakpoint of int
+  | Swi_trap of int
+  | Bad_read of int
+  | Bad_write of int
+  | Bad_fetch of int
+  | Invalid_instruction of int
+  | Step_limit
+
+let pp_stop ppf = function
+  | Breakpoint n -> Fmt.pf ppf "breakpoint #%d" n
+  | Swi_trap n -> Fmt.pf ppf "swi #%d" n
+  | Bad_read a -> Fmt.pf ppf "bad read at 0x%08x" a
+  | Bad_write a -> Fmt.pf ppf "bad write at 0x%08x" a
+  | Bad_fetch a -> Fmt.pf ppf "bad fetch at 0x%08x" a
+  | Invalid_instruction w -> Fmt.pf ppf "invalid instruction 0x%04x" w
+  | Step_limit -> Fmt.string ppf "step limit exhausted"
+
+let stop_equal (a : stop) (b : stop) = a = b
+
+type step_result = Running | Stopped of stop
+
+let mask32 v = v land 0xFFFFFFFF
+let bit31 v = v land 0x80000000 <> 0
+
+open Thumb
+
+(* Flag updates ---------------------------------------------------------- *)
+
+let set_nz (cpu : Cpu.t) result =
+  cpu.n <- bit31 result;
+  cpu.z <- result = 0
+
+(* result, carry-out, overflow of a + b + carry_in over 32 bits *)
+let add_with_carry a b carry_in =
+  let wide = a + b + if carry_in then 1 else 0 in
+  let result = mask32 wide in
+  let carry = wide > 0xFFFFFFFF in
+  (* signed overflow: operands same sign, result different sign *)
+  let overflow = bit31 (lnot (a lxor b) land (a lxor result)) in
+  (result, carry, overflow)
+
+let adds (cpu : Cpu.t) a b =
+  let r, c, v = add_with_carry a b false in
+  set_nz cpu r;
+  cpu.c <- c;
+  cpu.v <- v;
+  r
+
+let subs (cpu : Cpu.t) a b =
+  let r, c, v = add_with_carry a (mask32 (lnot b)) true in
+  set_nz cpu r;
+  cpu.c <- c;
+  cpu.v <- v;
+  r
+
+let adcs (cpu : Cpu.t) a b =
+  let r, c, v = add_with_carry a b cpu.c in
+  set_nz cpu r;
+  cpu.c <- c;
+  cpu.v <- v;
+  r
+
+let sbcs (cpu : Cpu.t) a b =
+  let r, c, v = add_with_carry a (mask32 (lnot b)) cpu.c in
+  set_nz cpu r;
+  cpu.c <- c;
+  cpu.v <- v;
+  r
+
+(* Immediate-amount shifts (format 1): amount 0 encodes special cases. *)
+let shift_imm (cpu : Cpu.t) op value amount =
+  match (op : Instr.shift_op), amount with
+  | Lsl, 0 -> value (* MOVS: carry unchanged *)
+  | Lsl, n ->
+    cpu.c <- value land (1 lsl (32 - n)) <> 0;
+    mask32 (value lsl n)
+  | Lsr, 0 ->
+    (* encodes LSR #32 *)
+    cpu.c <- bit31 value;
+    0
+  | Lsr, n ->
+    cpu.c <- value land (1 lsl (n - 1)) <> 0;
+    value lsr n
+  | Asr, 0 ->
+    (* encodes ASR #32 *)
+    cpu.c <- bit31 value;
+    if bit31 value then 0xFFFFFFFF else 0
+  | Asr, n ->
+    cpu.c <- value land (1 lsl (n - 1)) <> 0;
+    let signed = if bit31 value then value lor (-1 lxor 0xFFFFFFFF) else value in
+    mask32 (signed asr n)
+
+(* Register-amount shifts (format 4): amount taken from low byte. *)
+let shift_reg (cpu : Cpu.t) op value amount =
+  let amount = amount land 0xFF in
+  if amount = 0 then value
+  else
+    match (op : Instr.alu_op) with
+    | LSLr ->
+      if amount < 32 then begin
+        cpu.c <- value land (1 lsl (32 - amount)) <> 0;
+        mask32 (value lsl amount)
+      end
+      else if amount = 32 then begin
+        cpu.c <- value land 1 <> 0;
+        0
+      end
+      else begin
+        cpu.c <- false;
+        0
+      end
+    | LSRr ->
+      if amount < 32 then begin
+        cpu.c <- value land (1 lsl (amount - 1)) <> 0;
+        value lsr amount
+      end
+      else if amount = 32 then begin
+        cpu.c <- bit31 value;
+        0
+      end
+      else begin
+        cpu.c <- false;
+        0
+      end
+    | ASRr ->
+      if amount < 32 then begin
+        cpu.c <- value land (1 lsl (amount - 1)) <> 0;
+        let signed =
+          if bit31 value then value lor (-1 lxor 0xFFFFFFFF) else value
+        in
+        mask32 (signed asr amount)
+      end
+      else begin
+        cpu.c <- bit31 value;
+        if bit31 value then 0xFFFFFFFF else 0
+      end
+    | ROR ->
+      let n = amount land 31 in
+      let result =
+        if n = 0 then value else mask32 ((value lsr n) lor (value lsl (32 - n)))
+      in
+      cpu.c <- bit31 result;
+      result
+    | AND | EOR | ADC | SBC | TST | NEG | CMPr | CMN | ORR | MUL | BIC | MVN ->
+      invalid_arg "Exec.shift_reg: not a shift op"
+
+(* Memory helpers --------------------------------------------------------- *)
+
+let sign_extend_8 v = if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
+let sign_extend_16 v = if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
+
+let rlist_regs rlist =
+  List.filter (fun i -> rlist land (1 lsl i) <> 0) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+(* Execution --------------------------------------------------------------- *)
+
+let execute mem (cpu : Cpu.t) (i : Instr.t) : step_result =
+  let pc = Cpu.pc cpu in
+  let next = ref (pc + 2) in
+  let get r = Cpu.get cpu r in
+  let set r v = Cpu.set cpu r v in
+  let outcome = ref Running in
+  let stop s = outcome := Stopped s in
+  let load width addr k =
+    let result =
+      match width with
+      | `W -> Memory.read_u32 mem addr
+      | `H -> Memory.read_u16 mem addr
+      | `B -> Memory.read_u8 mem addr
+    in
+    match result with
+    | Ok v -> k v
+    | Error (Memory.Unmapped a | Memory.Unaligned a) -> stop (Bad_read a)
+  in
+  let store width addr v =
+    let result =
+      match width with
+      | `W -> Memory.write_u32 mem addr v
+      | `H -> Memory.write_u16 mem addr v
+      | `B -> Memory.write_u8 mem addr v
+    in
+    match result with
+    | Ok () -> ()
+    | Error (Memory.Unmapped a | Memory.Unaligned a) -> stop (Bad_write a)
+  in
+  (match i with
+  | Shift (op, rd, rs, imm) ->
+    let r = shift_imm cpu op (get rs) imm in
+    set_nz cpu r;
+    set rd r
+  | Add_sub { sub; imm; rd; rs; operand } ->
+    let b = if imm then operand else get (Reg.of_int operand) in
+    let r = if sub then subs cpu (get rs) b else adds cpu (get rs) b in
+    set rd r
+  | Imm (MOVi, rd, imm) ->
+    set_nz cpu imm;
+    set rd imm
+  | Imm (CMPi, rd, imm) -> ignore (subs cpu (get rd) imm)
+  | Imm (ADDi, rd, imm) -> set rd (adds cpu (get rd) imm)
+  | Imm (SUBi, rd, imm) -> set rd (subs cpu (get rd) imm)
+  | Alu (op, rd, rs) -> (
+    let a = get rd and b = get rs in
+    match op with
+    | AND ->
+      let r = a land b in
+      set_nz cpu r;
+      set rd r
+    | EOR ->
+      let r = a lxor b in
+      set_nz cpu r;
+      set rd r
+    | ORR ->
+      let r = a lor b in
+      set_nz cpu r;
+      set rd r
+    | BIC ->
+      let r = a land lnot b land 0xFFFFFFFF in
+      set_nz cpu r;
+      set rd r
+    | MVN ->
+      let r = mask32 (lnot b) in
+      set_nz cpu r;
+      set rd r
+    | TST -> set_nz cpu (a land b)
+    | NEG -> set rd (subs cpu 0 b)
+    | CMPr -> ignore (subs cpu a b)
+    | CMN -> ignore (adds cpu a b)
+    | ADC -> set rd (adcs cpu a b)
+    | SBC -> set rd (sbcs cpu a b)
+    | MUL ->
+      let r = mask32 (a * b) in
+      set_nz cpu r;
+      set rd r
+    | LSLr | LSRr | ASRr | ROR ->
+      let r = shift_reg cpu op a b in
+      set_nz cpu r;
+      set rd r)
+  | Hi_add (rd, rm) ->
+    let r = mask32 (get rd + get rm) in
+    if Reg.equal rd Reg.pc then next := r land lnot 1 else set rd r
+  | Hi_cmp (rd, rm) -> ignore (subs cpu (get rd) (get rm))
+  | Hi_mov (rd, rm) ->
+    let r = get rm in
+    if Reg.equal rd Reg.pc then next := r land lnot 1 else set rd r
+  | Bx rm ->
+    let target = get rm in
+    if target land 1 = 0 then
+      (* Leaving Thumb state is an error on a Cortex-M-class core. *)
+      stop (Invalid_instruction (target land 0xFFFF))
+    else next := target land lnot 1
+  | Ldr_pc (rd, imm) ->
+    let addr = ((pc + 4) land lnot 3) + (imm * 4) in
+    load `W addr (fun v -> set rd v)
+  | Mem_reg { load = l; byte; rd; rb; ro } ->
+    let addr = mask32 (get rb + get ro) in
+    let width = if byte then `B else `W in
+    if l then load width addr (fun v -> set rd v)
+    else store width addr (get rd)
+  | Mem_sign { op; rd; rb; ro } -> (
+    let addr = mask32 (get rb + get ro) in
+    match op with
+    | STRH -> store `H addr (get rd)
+    | LDRH -> load `H addr (fun v -> set rd v)
+    | LDSB -> load `B addr (fun v -> set rd (sign_extend_8 v))
+    | LDSH -> load `H addr (fun v -> set rd (sign_extend_16 v)))
+  | Mem_imm { load = l; byte; rd; rb; imm } ->
+    let addr = mask32 (get rb + if byte then imm else imm * 4) in
+    let width = if byte then `B else `W in
+    if l then load width addr (fun v -> set rd v)
+    else store width addr (get rd)
+  | Mem_half { load = l; rd; rb; imm } ->
+    let addr = mask32 (get rb + (imm * 2)) in
+    if l then load `H addr (fun v -> set rd v) else store `H addr (get rd)
+  | Mem_sp { load = l; rd; imm } ->
+    let addr = mask32 (get Reg.sp + (imm * 4)) in
+    if l then load `W addr (fun v -> set rd v) else store `W addr (get rd)
+  | Load_addr { from_sp; rd; imm } ->
+    let base = if from_sp then get Reg.sp else (pc + 4) land lnot 3 in
+    set rd (mask32 (base + (imm * 4)))
+  | Sp_adjust words -> set Reg.sp (mask32 (get Reg.sp + (words * 4)))
+  | Push { rlist; lr } ->
+    let regs = rlist_regs rlist @ if lr then [ 14 ] else [] in
+    let count = List.length regs in
+    let base = mask32 (get Reg.sp - (4 * count)) in
+    List.iteri
+      (fun idx r ->
+        if !outcome = Running then
+          store `W (base + (4 * idx)) (get (Reg.of_int r)))
+      regs;
+    if !outcome = Running then set Reg.sp base
+  | Pop { rlist; pc = load_pc } ->
+    let regs = rlist_regs rlist in
+    let base = get Reg.sp in
+    List.iteri
+      (fun idx r ->
+        if !outcome = Running then
+          load `W (base + (4 * idx)) (fun v -> set (Reg.of_int r) v))
+      regs;
+    let count = List.length regs in
+    if !outcome = Running && load_pc then
+      load `W (base + (4 * count)) (fun v -> next := v land lnot 1);
+    if !outcome = Running then
+      set Reg.sp (mask32 (base + (4 * (count + if load_pc then 1 else 0))))
+  | Stmia (rb, rlist) ->
+    let base = ref (get rb) in
+    List.iter
+      (fun r ->
+        if !outcome = Running then begin
+          store `W !base (get (Reg.of_int r));
+          base := mask32 (!base + 4)
+        end)
+      (rlist_regs rlist);
+    if !outcome = Running then set rb !base
+  | Ldmia (rb, rlist) ->
+    let base = ref (get rb) in
+    List.iter
+      (fun r ->
+        if !outcome = Running then
+          load `W !base (fun v ->
+              set (Reg.of_int r) v;
+              base := mask32 (!base + 4)))
+      (rlist_regs rlist);
+    if !outcome = Running then set rb !base
+  | B_cond (cond, off) ->
+    if Cpu.condition_holds cpu cond then next := pc + 4 + (off * 2)
+  | Swi imm -> stop (Swi_trap imm)
+  | B off -> next := pc + 4 + (off * 2)
+  | Bl_hi off -> Cpu.set cpu Reg.lr (mask32 (pc + 4 + (off lsl 12)))
+  | Bl_lo off ->
+    let target = mask32 (Cpu.get cpu Reg.lr + (off lsl 1)) in
+    Cpu.set cpu Reg.lr ((pc + 2) lor 1);
+    next := target land lnot 1
+  | Bkpt imm -> stop (Breakpoint imm)
+  | Undefined w -> stop (Invalid_instruction w));
+  match !outcome with
+  | Running ->
+    Cpu.set_pc cpu !next;
+    Running
+  | Stopped _ as s -> s
+
+let step ?fetch mem cpu =
+  let pc = Cpu.pc cpu in
+  let word =
+    match fetch with
+    | Some f -> (
+      match f pc with
+      | Some w -> Ok w
+      | None -> Memory.read_u16 mem pc)
+    | None -> Memory.read_u16 mem pc
+  in
+  match word with
+  | Error (Memory.Unmapped a | Memory.Unaligned a) -> Stopped (Bad_fetch a)
+  | Ok w -> execute mem cpu (Decode.instr w)
+
+let run ?fetch ?(max_steps = 10_000) mem cpu =
+  let rec go remaining =
+    if remaining = 0 then Step_limit
+    else
+      match step ?fetch mem cpu with
+      | Running -> go (remaining - 1)
+      | Stopped s -> s
+  in
+  go max_steps

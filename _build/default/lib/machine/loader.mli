@@ -1,0 +1,34 @@
+(** Convenience harness: map a flash + SRAM address space shaped like the
+    paper's STM32 targets, load a program, and produce a ready-to-run
+    CPU. *)
+
+type layout = {
+  flash_base : int;
+  flash_size : int;
+  sram_base : int;
+  sram_size : int;
+  stack_top : int;
+}
+
+val stm32_layout : layout
+(** Flash at [0x08000000] (128 KiB), SRAM at [0x20000000] (16 KiB),
+    initial SP [0x20003FF0] — chosen so the paper's observed
+    SP-derived corruption values ([0x20003FE8], [0x20003FF6]) are
+    plausible stack addresses. *)
+
+type t = { mem : Memory.t; cpu : Cpu.t; layout : layout }
+
+val load_instrs : ?layout:layout -> Thumb.Instr.t list -> t
+(** Map the layout, place the encoded program at [flash_base], point the
+    CPU at it with SP = [stack_top]. *)
+
+val load_asm : ?layout:layout -> string -> t
+(** [load_instrs] of [Thumb.Asm.assemble]. *)
+
+val code_word : t -> index:int -> int
+(** Halfword of the loaded program at instruction [index] (for
+    mask-based corruption). *)
+
+val patch_word : t -> index:int -> int -> unit
+(** Overwrite the halfword at instruction [index] (mask-based glitch
+    injection, as the emulation framework does). *)

@@ -1,0 +1,131 @@
+type fault = Unmapped of int | Unaligned of int
+
+let pp_fault ppf = function
+  | Unmapped a -> Fmt.pf ppf "unmapped access at 0x%08x" a
+  | Unaligned a -> Fmt.pf ppf "unaligned access at 0x%08x" a
+
+type region =
+  | Ram of { base : int; data : Bytes.t }
+  | Device of { base : int; size : int; read : int -> int; write : int -> int -> unit }
+
+type t = { mutable regions : region list }
+
+let create () = { regions = [] }
+
+let region_span = function
+  | Ram { base; data } -> (base, base + Bytes.length data)
+  | Device { base; size; _ } -> (base, base + size)
+
+let overlaps t lo hi =
+  List.exists
+    (fun r ->
+      let rlo, rhi = region_span r in
+      lo < rhi && rlo < hi)
+    t.regions
+
+let check_new t ~addr ~size =
+  if size <= 0 then invalid_arg "Memory: non-positive region size";
+  if addr < 0 then invalid_arg "Memory: negative base address";
+  if overlaps t addr (addr + size) then
+    invalid_arg (Printf.sprintf "Memory: region 0x%08x+%d overlaps" addr size)
+
+let map t ~addr ~size =
+  check_new t ~addr ~size;
+  t.regions <- Ram { base = addr; data = Bytes.make size '\000' } :: t.regions
+
+let add_device t ~addr ~size ~read ~write =
+  check_new t ~addr ~size;
+  t.regions <- Device { base = addr; size; read; write } :: t.regions
+
+let find t addr =
+  List.find_opt
+    (fun r ->
+      let lo, hi = region_span r in
+      addr >= lo && addr < hi)
+    t.regions
+
+let is_mapped t addr = find t addr <> None
+
+let clear t =
+  List.iter
+    (function
+      | Ram { data; _ } -> Bytes.fill data 0 (Bytes.length data) '\000'
+      | Device _ -> ())
+    t.regions
+
+let byte_read t addr =
+  match find t addr with
+  | Some (Ram { base; data }) -> Ok (Bytes.get_uint8 data (addr - base))
+  | Some (Device { base; read; _ }) -> Ok (read (addr - base) land 0xFF)
+  | None -> Error (Unmapped addr)
+
+let byte_write t addr v =
+  match find t addr with
+  | Some (Ram { base; data }) ->
+    Bytes.set_uint8 data (addr - base) (v land 0xFF);
+    Ok ()
+  | Some (Device { base; write; _ }) ->
+    write (addr - base) (v land 0xFF);
+    Ok ()
+  | None -> Error (Unmapped addr)
+
+let read_u8 = byte_read
+let write_u8 = byte_write
+
+let rec read_le t addr n =
+  if n = 0 then Ok 0
+  else
+    match byte_read t addr with
+    | Error _ as e -> e
+    | Ok b -> (
+      match read_le t (addr + 1) (n - 1) with
+      | Error _ as e -> e
+      | Ok rest -> Ok (b lor (rest lsl 8)))
+
+let rec write_le t addr v n =
+  if n = 0 then Ok ()
+  else
+    match byte_write t addr (v land 0xFF) with
+    | Error _ as e -> e
+    | Ok () -> write_le t (addr + 1) (v lsr 8) (n - 1)
+
+let read_u16 t addr =
+  if addr land 1 <> 0 then Error (Unaligned addr) else read_le t addr 2
+
+let read_u32 t addr =
+  if addr land 3 <> 0 then Error (Unaligned addr) else read_le t addr 4
+
+let write_u16 t addr v =
+  if addr land 1 <> 0 then Error (Unaligned addr) else write_le t addr v 2
+
+let write_u32 t addr v =
+  if addr land 3 <> 0 then Error (Unaligned addr) else write_le t addr v 4
+
+let load_bytes t ~addr b =
+  Bytes.iteri
+    (fun i c ->
+      match byte_write t (addr + i) (Char.code c) with
+      | Ok () -> ()
+      | Error _ ->
+        invalid_arg
+          (Printf.sprintf "Memory.load_bytes: 0x%08x is not mapped" (addr + i)))
+    b
+
+type snapshot = (int * Bytes.t) list
+
+let snapshot t =
+  List.filter_map
+    (function
+      | Ram { base; data } -> Some (base, Bytes.copy data)
+      | Device _ -> None)
+    t.regions
+
+let restore t snap =
+  List.iter
+    (fun (base, saved) ->
+      match find t base with
+      | Some (Ram { base = b; data }) when b = base
+                                           && Bytes.length data = Bytes.length saved ->
+        Bytes.blit saved 0 data 0 (Bytes.length saved)
+      | Some _ | None -> invalid_arg "Memory.restore: mismatched snapshot")
+    snap

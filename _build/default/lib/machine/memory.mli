@@ -1,0 +1,54 @@
+(** Sparse 32-bit physical memory with explicit mappings.
+
+    Accesses to unmapped addresses report a fault instead of raising, so
+    the executor can classify glitch outcomes ("bad read", "bad fetch")
+    the same way the paper's Unicorn harness does. Word and halfword
+    accesses must be naturally aligned, matching Cortex-M0 behaviour
+    where unaligned accesses HardFault. *)
+
+type t
+
+type fault =
+  | Unmapped of int  (** address with no RAM/ROM/device mapping *)
+  | Unaligned of int  (** naturally misaligned halfword/word access *)
+
+val pp_fault : fault Fmt.t
+
+val create : unit -> t
+
+val map : t -> addr:int -> size:int -> unit
+(** Back [addr, addr+size) with zero-initialised RAM.
+    @raise Invalid_argument on overlap with an existing mapping. *)
+
+val add_device : t ->
+  addr:int -> size:int -> read:(int -> int) -> write:(int -> int -> unit) ->
+  unit
+(** Map a byte-granularity device: [read offset] and [write offset byte]
+    are called with offsets relative to [addr].
+    @raise Invalid_argument on overlap with an existing mapping. *)
+
+val is_mapped : t -> int -> bool
+
+val clear : t -> unit
+(** Zero every RAM region (devices are untouched). Used by glitch
+    campaigns to reuse one address space across millions of runs. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy of all RAM contents (device state is the device's problem). *)
+
+val restore : t -> snapshot -> unit
+(** Restore RAM to a snapshot taken from the same memory.
+    @raise Invalid_argument if region shapes differ. *)
+
+val read_u8 : t -> int -> (int, fault) result
+val read_u16 : t -> int -> (int, fault) result
+val read_u32 : t -> int -> (int, fault) result
+val write_u8 : t -> int -> int -> (unit, fault) result
+val write_u16 : t -> int -> int -> (unit, fault) result
+val write_u32 : t -> int -> int -> (unit, fault) result
+
+val load_bytes : t -> addr:int -> bytes -> unit
+(** Bulk store for program loading. @raise Invalid_argument if any byte
+    falls outside RAM mappings. *)

@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Fmt Hashtbl List Option

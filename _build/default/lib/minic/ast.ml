@@ -1,0 +1,56 @@
+type ty = Tint | Tuint | Tvoid | Tenum of string
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr =
+  | Int of int
+  | Ident of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Sexpr of expr
+  | Sassign of string * expr
+  | Sdecl of decl_stmt
+  | Sif of expr * block * block option
+  | Swhile of expr * block
+  | Sdo_while of block * expr
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+  | Sswitch of expr * switch_arm list
+
+and decl_stmt = { dname : string; dty : ty; dvolatile : bool; dinit : expr option }
+and switch_arm = { arm_cases : expr option list; arm_body : block }
+and block = stmt list
+
+type enum_decl = { ename : string; members : (string * expr option) list }
+type global_decl = { gname : string; gty : ty; gvolatile : bool; ginit : expr option }
+
+type func_decl = {
+  fname : string;
+  fret : ty;
+  fparams : (string * ty) list;
+  fbody : block;
+}
+
+type item = Ienum of enum_decl | Iglobal of global_decl | Ifunc of func_decl
+type program = item list
+
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_program (a : program) (b : program) = a = b
+
+let ty_name = function
+  | Tint -> "int"
+  | Tuint -> "unsigned"
+  | Tvoid -> "void"
+  | Tenum name -> "enum " ^ name

@@ -1,0 +1,86 @@
+(** Abstract syntax for Mini-C, the C subset the firmware under test is
+    written in. It covers what the paper's evaluation needs: 32-bit
+    integer arithmetic, [volatile] globals and locals, [enum]
+    declarations (the ENUM Rewriter's subject), functions, [if] /
+    [while] / [for] control flow, and calls. *)
+
+type ty =
+  | Tint
+  | Tuint
+  | Tvoid
+  | Tenum of string  (** by declaration name *)
+
+type unop = Neg | Lnot  (** [!] *) | Bnot  (** [~] *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuiting *)
+
+type expr =
+  | Int of int  (** literal, 32-bit two's-complement *)
+  | Ident of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Sexpr of expr  (** expression statement (typically a call) *)
+  | Sassign of string * expr
+  | Sdecl of decl_stmt
+  | Sif of expr * block * block option
+  | Swhile of expr * block
+  | Sdo_while of block * expr
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+  | Sswitch of expr * switch_arm list
+      (** C switch with fallthrough: each arm's labels are followed by
+          its statements; control falls into the next arm unless the
+          body breaks. *)
+
+and decl_stmt = { dname : string; dty : ty; dvolatile : bool; dinit : expr option }
+
+and switch_arm = {
+  arm_cases : expr option list;
+      (** constant case labels; [None] is [default:] *)
+  arm_body : block;
+}
+
+and block = stmt list
+
+type enum_decl = {
+  ename : string;
+  members : (string * expr option) list;
+      (** [None] means uninitialized, i.e. C's sequential default — the
+          only form the ENUM Rewriter may touch. *)
+}
+
+type global_decl = {
+  gname : string;
+  gty : ty;
+  gvolatile : bool;
+  ginit : expr option;
+}
+
+type func_decl = {
+  fname : string;
+  fret : ty;
+  fparams : (string * ty) list;
+  fbody : block;
+}
+
+type item =
+  | Ienum of enum_decl
+  | Iglobal of global_decl
+  | Ifunc of func_decl
+
+type program = item list
+
+val equal_expr : expr -> expr -> bool
+val equal_program : program -> program -> bool
+
+val ty_name : ty -> string

@@ -1,0 +1,117 @@
+type token =
+  | Tint_lit of int
+  | Tident of string
+  | Tkeyword of string
+  | Tpunct of string
+  | Teof
+
+let token_to_string = function
+  | Tint_lit v -> string_of_int v
+  | Tident s -> s
+  | Tkeyword s -> s
+  | Tpunct s -> s
+  | Teof -> "<eof>"
+
+type error = { line : int; message : string }
+
+exception Error of error
+
+let pp_error ppf { line; message } = Fmt.pf ppf "line %d: %s" line message
+
+let fail line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+let keywords =
+  [ "int"; "unsigned"; "void"; "enum"; "volatile"; "if"; "else"; "while";
+    "do"; "for"; "return"; "break"; "continue"; "switch"; "case"; "default" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Two-character operators must be matched before their prefixes. *)
+let two_char_puncts = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>" ]
+let one_char_puncts = "(){};:,=<>+-*/%&|^~!"
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit tok = out := (tok, !line) :: !out in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      let start_line = !line in
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail start_line "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while !pos < n && is_hex src.[!pos] do
+          incr pos
+        done;
+        if !pos = start + 2 then fail !line "empty hex literal"
+      end
+      else
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+      let text = String.sub src start (!pos - start) in
+      (match int_of_string_opt text with
+      | Some v -> emit (Tint_lit (v land 0xFFFFFFFF))
+      | None -> fail !line "bad integer literal %S" text);
+      if !pos < n && is_ident_start src.[!pos] then
+        fail !line "identifier character after number"
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then emit (Tkeyword text) else emit (Tident text)
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      match two with
+      | Some t when List.mem t two_char_puncts ->
+        emit (Tpunct t);
+        pos := !pos + 2
+      | Some _ | None ->
+        if String.contains one_char_puncts c then begin
+          emit (Tpunct (String.make 1 c));
+          incr pos
+        end
+        else fail !line "unexpected character %C" c
+    end
+  done;
+  emit Teof;
+  List.rev !out

@@ -1,0 +1,24 @@
+(** Hand-written lexer for Mini-C. Supports decimal and [0x] hex
+    literals, [//] and [/* */] comments, and the full operator set of
+    {!Ast}. *)
+
+type token =
+  | Tint_lit of int
+  | Tident of string
+  | Tkeyword of string
+      (** one of: int, unsigned, void, enum, volatile, if, else, while,
+          do, for, return, break, continue, switch, case, default *)
+  | Tpunct of string
+  | Teof
+
+val token_to_string : token -> string
+
+type error = { line : int; message : string }
+
+exception Error of error
+
+val pp_error : error Fmt.t
+
+val tokenize : string -> (token * int) list
+(** Token stream with 1-based line numbers; always ends with [Teof].
+    @raise Error on malformed input. *)

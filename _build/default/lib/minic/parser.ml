@@ -1,0 +1,447 @@
+type error = { line : int; message : string }
+
+exception Error of error
+
+let pp_error ppf { line; message } = Fmt.pf ppf "line %d: %s" line message
+
+let fail line fmt = Fmt.kstr (fun message -> raise (Error { line; message })) fmt
+
+type state = { toks : (Lexer.token * int) array; mutable cur : int }
+
+let peek st = fst st.toks.(st.cur)
+let peek2 st = if st.cur + 1 < Array.length st.toks then fst st.toks.(st.cur + 1) else Lexer.Teof
+let line st = snd st.toks.(st.cur)
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.Tpunct q when q = p -> advance st
+  | tok -> fail (line st) "expected %S, found %S" p (Lexer.token_to_string tok)
+
+let expect_keyword st k =
+  match peek st with
+  | Lexer.Tkeyword q when q = k -> advance st
+  | tok -> fail (line st) "expected %S, found %S" k (Lexer.token_to_string tok)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Tident name ->
+    advance st;
+    name
+  | tok -> fail (line st) "expected identifier, found %S" (Lexer.token_to_string tok)
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.Tpunct q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let eat_keyword st k =
+  match peek st with
+  | Lexer.Tkeyword q when q = k ->
+    advance st;
+    true
+  | _ -> false
+
+(* --- types -------------------------------------------------------------- *)
+
+let is_type_start st =
+  match peek st with
+  | Lexer.Tkeyword ("int" | "unsigned" | "void" | "enum" | "volatile") -> true
+  | Lexer.Tkeyword _ | Lexer.Tint_lit _ | Lexer.Tident _ | Lexer.Tpunct _
+  | Lexer.Teof -> false
+
+let parse_type st : Ast.ty =
+  match peek st with
+  | Lexer.Tkeyword "int" ->
+    advance st;
+    Ast.Tint
+  | Lexer.Tkeyword "unsigned" ->
+    advance st;
+    ignore (eat_keyword st "int");
+    Ast.Tuint
+  | Lexer.Tkeyword "void" ->
+    advance st;
+    Ast.Tvoid
+  | Lexer.Tkeyword "enum" ->
+    advance st;
+    Ast.Tenum (expect_ident st)
+  | tok -> fail (line st) "expected a type, found %S" (Lexer.token_to_string tok)
+
+(* --- expressions --------------------------------------------------------- *)
+
+let rec parse_expr st = parse_lor st
+
+and parse_lor st =
+  let lhs = ref (parse_land st) in
+  while eat_punct st "||" do
+    lhs := Ast.Binop (Ast.Lor, !lhs, parse_land st)
+  done;
+  !lhs
+
+and parse_land st =
+  let lhs = ref (parse_bor st) in
+  while eat_punct st "&&" do
+    lhs := Ast.Binop (Ast.Land, !lhs, parse_bor st)
+  done;
+  !lhs
+
+and parse_bor st =
+  let lhs = ref (parse_bxor st) in
+  while eat_punct st "|" do
+    lhs := Ast.Binop (Ast.Bor, !lhs, parse_bxor st)
+  done;
+  !lhs
+
+and parse_bxor st =
+  let lhs = ref (parse_band st) in
+  while eat_punct st "^" do
+    lhs := Ast.Binop (Ast.Bxor, !lhs, parse_band st)
+  done;
+  !lhs
+
+and parse_band st =
+  let lhs = ref (parse_equality st) in
+  while eat_punct st "&" do
+    lhs := Ast.Binop (Ast.Band, !lhs, parse_equality st)
+  done;
+  !lhs
+
+and parse_equality st =
+  let lhs = ref (parse_relational st) in
+  let continue = ref true in
+  while !continue do
+    if eat_punct st "==" then
+      lhs := Ast.Binop (Ast.Eq, !lhs, parse_relational st)
+    else if eat_punct st "!=" then
+      lhs := Ast.Binop (Ast.Ne, !lhs, parse_relational st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_relational st =
+  let lhs = ref (parse_shift st) in
+  let continue = ref true in
+  while !continue do
+    if eat_punct st "<=" then lhs := Ast.Binop (Ast.Le, !lhs, parse_shift st)
+    else if eat_punct st ">=" then lhs := Ast.Binop (Ast.Ge, !lhs, parse_shift st)
+    else if eat_punct st "<" then lhs := Ast.Binop (Ast.Lt, !lhs, parse_shift st)
+    else if eat_punct st ">" then lhs := Ast.Binop (Ast.Gt, !lhs, parse_shift st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_shift st =
+  let lhs = ref (parse_additive st) in
+  let continue = ref true in
+  while !continue do
+    if eat_punct st "<<" then lhs := Ast.Binop (Ast.Shl, !lhs, parse_additive st)
+    else if eat_punct st ">>" then
+      lhs := Ast.Binop (Ast.Shr, !lhs, parse_additive st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    if eat_punct st "+" then
+      lhs := Ast.Binop (Ast.Add, !lhs, parse_multiplicative st)
+    else if eat_punct st "-" then
+      lhs := Ast.Binop (Ast.Sub, !lhs, parse_multiplicative st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    if eat_punct st "*" then lhs := Ast.Binop (Ast.Mul, !lhs, parse_unary st)
+    else if eat_punct st "/" then lhs := Ast.Binop (Ast.Div, !lhs, parse_unary st)
+    else if eat_punct st "%" then lhs := Ast.Binop (Ast.Mod, !lhs, parse_unary st)
+    else continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if eat_punct st "-" then Ast.Unop (Ast.Neg, parse_unary st)
+  else if eat_punct st "!" then Ast.Unop (Ast.Lnot, parse_unary st)
+  else if eat_punct st "~" then Ast.Unop (Ast.Bnot, parse_unary st)
+  else if eat_punct st "+" then parse_unary st
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Tint_lit v ->
+    advance st;
+    Ast.Int v
+  | Lexer.Tident name -> (
+    advance st;
+    match peek st with
+    | Lexer.Tpunct "(" ->
+      advance st;
+      let args = ref [] in
+      if not (eat_punct st ")") then begin
+        args := [ parse_expr st ];
+        while eat_punct st "," do
+          args := parse_expr st :: !args
+        done;
+        expect_punct st ")"
+      end;
+      Ast.Call (name, List.rev !args)
+    | _ -> Ast.Ident name)
+  | Lexer.Tpunct "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | tok -> fail (line st) "expected expression, found %S" (Lexer.token_to_string tok)
+
+(* --- statements ------------------------------------------------------------ *)
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.Tpunct "{" -> Ast.Sblock (parse_block st)
+  | Lexer.Tpunct ";" ->
+    advance st;
+    Ast.Sblock []
+  | Lexer.Tkeyword "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_stmt_as_block st in
+    let else_ = if eat_keyword st "else" then Some (parse_stmt_as_block st) else None in
+    Ast.Sif (cond, then_, else_)
+  | Lexer.Tkeyword "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    Ast.Swhile (cond, parse_stmt_as_block st)
+  | Lexer.Tkeyword "do" ->
+    advance st;
+    let body = parse_stmt_as_block st in
+    expect_keyword st "while";
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    Ast.Sdo_while (body, cond)
+  | Lexer.Tkeyword "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if eat_punct st ";" then None
+      else begin
+        let s =
+          if is_type_start st then parse_decl_stmt st else parse_simple_stmt st
+        in
+        expect_punct st ";";
+        Some s
+      end
+    in
+    let cond = if eat_punct st ";" then None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        Some e
+      end
+    in
+    let step =
+      if eat_punct st ")" then None
+      else begin
+        let s = parse_simple_stmt st in
+        expect_punct st ")";
+        Some s
+      end
+    in
+    Ast.Sfor (init, cond, step, parse_stmt_as_block st)
+  | Lexer.Tkeyword "switch" ->
+    advance st;
+    expect_punct st "(";
+    let scrutinee = parse_expr st in
+    expect_punct st ")";
+    expect_punct st "{";
+    let arms = ref [] in
+    while not (eat_punct st "}") do
+      (* one arm: one or more case/default labels, then statements *)
+      let labels = ref [] in
+      let rec collect_labels () =
+        match peek st with
+        | Lexer.Tkeyword "case" ->
+          advance st;
+          let v = parse_expr st in
+          expect_punct st ":";
+          labels := Some v :: !labels;
+          collect_labels ()
+        | Lexer.Tkeyword "default" ->
+          advance st;
+          expect_punct st ":";
+          labels := None :: !labels;
+          collect_labels ()
+        | _ -> ()
+      in
+      collect_labels ();
+      if !labels = [] then
+        fail (line st) "expected 'case' or 'default' in switch body";
+      let body = ref [] in
+      let rec collect_body () =
+        match peek st with
+        | Lexer.Tkeyword ("case" | "default") | Lexer.Tpunct "}" -> ()
+        | Lexer.Teof -> fail (line st) "unterminated switch"
+        | _ ->
+          body := parse_stmt st :: !body;
+          collect_body ()
+      in
+      collect_body ();
+      arms :=
+        { Ast.arm_cases = List.rev !labels; arm_body = List.rev !body } :: !arms
+    done;
+    Ast.Sswitch (scrutinee, List.rev !arms)
+  | Lexer.Tkeyword "return" ->
+    advance st;
+    if eat_punct st ";" then Ast.Sreturn None
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Ast.Sreturn (Some e)
+    end
+  | Lexer.Tkeyword "break" ->
+    advance st;
+    expect_punct st ";";
+    Ast.Sbreak
+  | Lexer.Tkeyword "continue" ->
+    advance st;
+    expect_punct st ";";
+    Ast.Scontinue
+  | Lexer.Tkeyword ("int" | "unsigned" | "void" | "enum" | "volatile") ->
+    let s = parse_decl_stmt st in
+    expect_punct st ";";
+    s
+  | Lexer.Tkeyword _ | Lexer.Tint_lit _ | Lexer.Tident _ | Lexer.Tpunct _
+  | Lexer.Teof ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+and parse_decl_stmt st : Ast.stmt =
+  let dvolatile = eat_keyword st "volatile" in
+  let dty = parse_type st in
+  let dvolatile = dvolatile || eat_keyword st "volatile" in
+  let dname = expect_ident st in
+  let dinit = if eat_punct st "=" then Some (parse_expr st) else None in
+  Ast.Sdecl { dname; dty; dvolatile; dinit }
+
+and parse_simple_stmt st : Ast.stmt =
+  match (peek st, peek2 st) with
+  | Lexer.Tident name, Lexer.Tpunct "=" ->
+    advance st;
+    advance st;
+    Ast.Sassign (name, parse_expr st)
+  | _ -> Ast.Sexpr (parse_expr st)
+
+and parse_stmt_as_block st : Ast.block =
+  match parse_stmt st with Ast.Sblock b -> b | s -> [ s ]
+
+and parse_block st : Ast.block =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (eat_punct st "}") do
+    if peek st = Lexer.Teof then fail (line st) "unterminated block";
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+(* --- top level ---------------------------------------------------------------- *)
+
+let parse_enum_decl st : Ast.enum_decl =
+  expect_keyword st "enum";
+  let ename = expect_ident st in
+  expect_punct st "{";
+  let members = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.Tpunct "}" ->
+      advance st;
+      continue := false
+    | _ ->
+      let name = expect_ident st in
+      let init = if eat_punct st "=" then Some (parse_expr st) else None in
+      members := (name, init) :: !members;
+      if not (eat_punct st ",") then begin
+        expect_punct st "}";
+        continue := false
+      end
+  done;
+  expect_punct st ";";
+  { ename; members = List.rev !members }
+
+let parse_item st : Ast.item =
+  match (peek st, peek2 st) with
+  | Lexer.Tkeyword "enum", Lexer.Tident _
+    when (match fst st.toks.(st.cur + 2) with
+         | Lexer.Tpunct "{" -> true
+         | _ -> false) ->
+    Ast.Ienum (parse_enum_decl st)
+  | _ ->
+    let gvolatile = eat_keyword st "volatile" in
+    let ty = parse_type st in
+    let gvolatile = gvolatile || eat_keyword st "volatile" in
+    let name = expect_ident st in
+    if eat_punct st "(" then begin
+      (* function definition *)
+      let params = ref [] in
+      if not (eat_punct st ")") then begin
+        if peek st = Lexer.Tkeyword "void" && peek2 st = Lexer.Tpunct ")" then begin
+          advance st;
+          advance st
+        end
+        else begin
+          let parse_param () =
+            let pty = parse_type st in
+            let pname = expect_ident st in
+            params := (pname, pty) :: !params
+          in
+          parse_param ();
+          while eat_punct st "," do
+            parse_param ()
+          done;
+          expect_punct st ")"
+        end
+      end;
+      let body = parse_block st in
+      Ast.Ifunc { fname = name; fret = ty; fparams = List.rev !params; fbody = body }
+    end
+    else begin
+      let ginit = if eat_punct st "=" then Some (parse_expr st) else None in
+      expect_punct st ";";
+      Ast.Iglobal { gname = name; gty = ty; gvolatile; ginit }
+    end
+
+let make_state src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error { line; message } -> raise (Error { line; message })
+  in
+  { toks = Array.of_list toks; cur = 0 }
+
+let program src =
+  let st = make_state src in
+  let items = ref [] in
+  while peek st <> Lexer.Teof do
+    items := parse_item st :: !items
+  done;
+  List.rev !items
+
+let expr src =
+  let st = make_state src in
+  let e = parse_expr st in
+  (match peek st with
+  | Lexer.Teof -> ()
+  | tok -> fail (line st) "trailing input %S" (Lexer.token_to_string tok));
+  e

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for Mini-C.
+
+    Grammar (roughly): a program is a sequence of [enum] declarations,
+    global variable declarations, and function definitions. Statements
+    cover declarations, assignment, [if]/[else], [while], [do-while],
+    [for], [return], [break], [continue], blocks, and expression
+    statements. Expressions have C precedence, including short-circuit
+    [&&] and [||]. *)
+
+type error = { line : int; message : string }
+
+exception Error of error
+
+val pp_error : error Fmt.t
+
+val program : string -> Ast.program
+(** @raise Error on syntax errors (lexer errors are converted). *)
+
+val expr : string -> Ast.expr
+(** Parse a single expression (testing convenience). *)

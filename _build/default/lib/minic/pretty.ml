@@ -1,0 +1,108 @@
+open Ast
+
+let unop_symbol = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+
+(* Fully parenthesised: simple and always re-parses to the same tree. *)
+let rec pp_expr ppf = function
+  | Int v -> Fmt.pf ppf "%d" v
+  | Ident name -> Fmt.string ppf name
+  | Unop (op, e) -> Fmt.pf ppf "%s(%a)" (unop_symbol op) pp_expr e
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+
+let pp_decl ppf { dname; dty; dvolatile; dinit } =
+  Fmt.pf ppf "%s%s %s%a;"
+    (if dvolatile then "volatile " else "")
+    (ty_name dty) dname
+    Fmt.(option (fun ppf e -> pf ppf " = %a" pp_expr e))
+    dinit
+
+let rec pp_stmt ppf = function
+  | Sexpr e -> Fmt.pf ppf "%a;" pp_expr e
+  | Sassign (name, e) -> Fmt.pf ppf "%s = %a;" name pp_expr e
+  | Sdecl d -> pp_decl ppf d
+  | Sif (cond, then_, else_) ->
+    Fmt.pf ppf "if (%a) %a%a" pp_expr cond pp_block then_
+      Fmt.(option (fun ppf b -> pf ppf " else %a" pp_block b))
+      else_
+  | Swhile (cond, body) -> Fmt.pf ppf "while (%a) %a" pp_expr cond pp_block body
+  | Sdo_while (body, cond) ->
+    Fmt.pf ppf "do %a while (%a);" pp_block body pp_expr cond
+  | Sfor (init, cond, step, body) ->
+    let pp_simple ppf = function
+      | Sexpr e -> pp_expr ppf e
+      | Sassign (name, e) -> Fmt.pf ppf "%s = %a" name pp_expr e
+      | Sdecl { dname; dty; dvolatile; dinit } ->
+        Fmt.pf ppf "%s%s %s%a"
+          (if dvolatile then "volatile " else "")
+          (ty_name dty) dname
+          Fmt.(option (fun ppf e -> pf ppf " = %a" pp_expr e))
+          dinit
+      | Sif _ | Swhile _ | Sdo_while _ | Sfor _ | Sreturn _ | Sbreak
+      | Scontinue | Sblock _ | Sswitch _ -> Fmt.string ppf "/* unsupported */"
+    in
+    Fmt.pf ppf "for (%a; %a; %a) %a"
+      Fmt.(option pp_simple)
+      init
+      Fmt.(option pp_expr)
+      cond
+      Fmt.(option pp_simple)
+      step pp_block body
+  | Sreturn None -> Fmt.string ppf "return;"
+  | Sreturn (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Sbreak -> Fmt.string ppf "break;"
+  | Scontinue -> Fmt.string ppf "continue;"
+  | Sblock b -> pp_block ppf b
+  | Sswitch (scrutinee, arms) ->
+    let pp_label ppf = function
+      | Some v -> Fmt.pf ppf "case %a:" pp_expr v
+      | None -> Fmt.string ppf "default:"
+    in
+    let pp_arm ppf { arm_cases; arm_body } =
+      Fmt.pf ppf "@[<v>%a@;<1 2>@[<v>%a@]@]"
+        Fmt.(list ~sep:sp pp_label)
+        arm_cases
+        Fmt.(list ~sep:cut pp_stmt)
+        arm_body
+    in
+    Fmt.pf ppf "switch (%a) {@;<1 2>@[<v>%a@]@ }" pp_expr scrutinee
+      Fmt.(list ~sep:cut pp_arm)
+      arms
+
+and pp_block ppf block =
+  Fmt.pf ppf "{@;<1 2>@[<v>%a@]@ }" Fmt.(list ~sep:cut pp_stmt) block
+
+let pp_item ppf = function
+  | Ienum { ename; members } ->
+    let pp_member ppf (name, init) =
+      Fmt.pf ppf "%s%a" name
+        Fmt.(option (fun ppf e -> pf ppf " = %a" pp_expr e))
+        init
+    in
+    Fmt.pf ppf "@[<v>enum %s {@;<1 2>@[<v>%a@]@ };@]" ename
+      Fmt.(list ~sep:(any ",@ ") pp_member)
+      members
+  | Iglobal { gname; gty; gvolatile; ginit } ->
+    Fmt.pf ppf "%s%s %s%a;"
+      (if gvolatile then "volatile " else "")
+      (ty_name gty) gname
+      Fmt.(option (fun ppf e -> pf ppf " = %a" pp_expr e))
+      ginit
+  | Ifunc { fname; fret; fparams; fbody } ->
+    let pp_param ppf (name, ty) = Fmt.pf ppf "%s %s" (ty_name ty) name in
+    Fmt.pf ppf "@[<v>%s %s(%a) %a@]" (ty_name fret) fname
+      Fmt.(list ~sep:(any ", ") pp_param)
+      fparams pp_block fbody
+
+let pp_program ppf prog =
+  Fmt.pf ppf "@[<v>%a@]@." Fmt.(list ~sep:(any "@ @ ") pp_item) prog
+
+let to_string prog = Fmt.str "%a" pp_program prog

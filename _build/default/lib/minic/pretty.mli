@@ -1,0 +1,10 @@
+(** Source printer for Mini-C. [Parser.program (to_string p)] yields a
+    program equal to [p] (up to parenthesisation, which does not appear
+    in the AST) — the property the ENUM Rewriter relies on, since it is
+    a source-to-source tool. *)
+
+val pp_expr : Ast.expr Fmt.t
+val pp_stmt : Ast.stmt Fmt.t
+val pp_item : Ast.item Fmt.t
+val pp_program : Ast.program Fmt.t
+val to_string : Ast.program -> string

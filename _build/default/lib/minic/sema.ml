@@ -1,0 +1,260 @@
+type enum_info = {
+  decl : Ast.enum_decl;
+  values : (string * int) list;
+  fully_uninitialized : bool;
+}
+
+type t = {
+  prog : Ast.program;
+  enums : enum_info list;
+  globals : Ast.global_decl list;
+  funcs : Ast.func_decl list;
+  enum_constants : (string * int) list;
+}
+
+type error = { message : string }
+
+exception Error of error
+
+let pp_error ppf { message } = Fmt.string ppf message
+let fail fmt = Fmt.kstr (fun message -> raise (Error { message })) fmt
+
+let mask32 v = v land 0xFFFFFFFF
+
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let rec const_eval env (e : Ast.expr) =
+  match e with
+  | Ast.Int v -> Some (mask32 v)
+  | Ast.Ident name -> List.assoc_opt name env
+  | Ast.Unop (op, e) -> (
+    match const_eval env e with
+    | None -> None
+    | Some v -> (
+      match op with
+      | Ast.Neg -> Some (mask32 (-v))
+      | Ast.Lnot -> Some (if v = 0 then 1 else 0)
+      | Ast.Bnot -> Some (mask32 (lnot v))))
+  | Ast.Binop (op, a, b) -> (
+    match (const_eval env a, const_eval env b) with
+    | Some a, Some b -> (
+      let bool_of p = if p then 1 else 0 in
+      match op with
+      | Ast.Add -> Some (mask32 (a + b))
+      | Ast.Sub -> Some (mask32 (a - b))
+      | Ast.Mul -> Some (mask32 (a * b))
+      | Ast.Div -> if b = 0 then None else Some (mask32 (to_signed a / to_signed b))
+      | Ast.Mod -> if b = 0 then None else Some (mask32 (to_signed a mod to_signed b))
+      | Ast.Band -> Some (a land b)
+      | Ast.Bor -> Some (a lor b)
+      | Ast.Bxor -> Some (a lxor b)
+      | Ast.Shl -> Some (mask32 (a lsl (b land 31)))
+      | Ast.Shr -> Some (a lsr (b land 31))
+      | Ast.Eq -> Some (bool_of (a = b))
+      | Ast.Ne -> Some (bool_of (a <> b))
+      | Ast.Lt -> Some (bool_of (to_signed a < to_signed b))
+      | Ast.Le -> Some (bool_of (to_signed a <= to_signed b))
+      | Ast.Gt -> Some (bool_of (to_signed a > to_signed b))
+      | Ast.Ge -> Some (bool_of (to_signed a >= to_signed b))
+      | Ast.Land -> Some (bool_of (a <> 0 && b <> 0))
+      | Ast.Lor -> Some (bool_of (a <> 0 || b <> 0)))
+    | None, _ | _, None -> None)
+  | Ast.Call _ -> None
+
+(* Resolve an enum declaration's member values with C's sequential
+   default: an uninitialized member is previous + 1, starting at 0. *)
+let resolve_enum env (decl : Ast.enum_decl) =
+  let _, values, all_default =
+    List.fold_left
+      (fun (next, acc, all_default) (name, init) ->
+        match init with
+        | None -> (next + 1, (name, mask32 next) :: acc, all_default)
+        | Some e -> (
+          match const_eval (acc @ env) e with
+          | Some v -> (to_signed v + 1, (name, v) :: acc, false)
+          | None -> fail "enum %s: initializer of %s is not constant" decl.ename name))
+      (0, [], true) decl.members
+  in
+  { decl; values = List.rev values; fully_uninitialized = all_default }
+
+type scope = {
+  enums : enum_info list;
+  enum_env : (string * int) list;
+  global_names : string list;
+  func_sigs : (string * int) list;  (* name -> arity *)
+}
+
+let rec check_expr scope locals (e : Ast.expr) =
+  match e with
+  | Ast.Int _ -> ()
+  | Ast.Ident name ->
+    if
+      (not (List.mem name locals))
+      && (not (List.mem name scope.global_names))
+      && not (List.mem_assoc name scope.enum_env)
+    then fail "undefined identifier %s" name
+  | Ast.Unop (_, e) -> check_expr scope locals e
+  | Ast.Binop (_, a, b) ->
+    check_expr scope locals a;
+    check_expr scope locals b
+  | Ast.Call (f, args) -> (
+    List.iter (check_expr scope locals) args;
+    match List.assoc_opt f scope.func_sigs with
+    | None -> fail "call to undefined function %s" f
+    | Some arity ->
+      if arity <> List.length args then
+        fail "%s expects %d arguments, got %d" f arity (List.length args))
+
+let rec check_stmt scope ~in_loop ?(in_switch = false) locals (s : Ast.stmt) =
+  ignore in_switch;
+  match s with
+  | Ast.Sexpr e ->
+    check_expr scope locals e;
+    locals
+  | Ast.Sassign (name, e) ->
+    if
+      (not (List.mem name locals)) && not (List.mem name scope.global_names)
+    then fail "assignment to undefined variable %s" name;
+    if List.mem_assoc name scope.enum_env then
+      fail "assignment to enum constant %s" name;
+    check_expr scope locals e;
+    locals
+  | Ast.Sdecl { dname; dinit; _ } ->
+    (match dinit with Some e -> check_expr scope locals e | None -> ());
+    if List.mem dname locals then fail "redeclaration of %s" dname;
+    dname :: locals
+  | Ast.Sif (cond, then_, else_) ->
+    check_expr scope locals cond;
+    ignore (check_block scope ~in_loop locals then_);
+    Option.iter (fun b -> ignore (check_block scope ~in_loop locals b)) else_;
+    locals
+  | Ast.Swhile (cond, body) ->
+    check_expr scope locals cond;
+    ignore (check_block scope ~in_loop:true locals body);
+    locals
+  | Ast.Sdo_while (body, cond) ->
+    ignore (check_block scope ~in_loop:true locals body);
+    check_expr scope locals cond;
+    locals
+  | Ast.Sfor (init, cond, step, body) ->
+    let locals' =
+      match init with
+      | Some s -> check_stmt scope ~in_loop locals s
+      | None -> locals
+    in
+    Option.iter (check_expr scope locals') cond;
+    Option.iter (fun s -> ignore (check_stmt scope ~in_loop:true locals' s)) step;
+    ignore (check_block scope ~in_loop:true locals' body);
+    locals
+  | Ast.Sreturn e ->
+    Option.iter (check_expr scope locals) e;
+    locals
+  | Ast.Sbreak ->
+    if not (in_loop || in_switch) then fail "break outside a loop or switch";
+    locals
+  | Ast.Scontinue ->
+    if not in_loop then fail "continue outside a loop";
+    locals
+  | Ast.Sblock b ->
+    ignore (check_block scope ~in_loop locals b);
+    locals
+  | Ast.Sswitch (scrutinee, arms) ->
+    check_expr scope locals scrutinee;
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun { Ast.arm_cases; arm_body } ->
+        List.iter
+          (function
+            | None ->
+              if Hashtbl.mem seen `Default then fail "duplicate default label";
+              Hashtbl.replace seen `Default ()
+            | Some label -> (
+              match const_eval scope.enum_env label with
+              | None -> fail "case label is not a constant expression"
+              | Some v ->
+                if Hashtbl.mem seen (`Case v) then
+                  fail "duplicate case label %d" (to_signed v);
+                Hashtbl.replace seen (`Case v) ()))
+          arm_cases;
+        ignore (check_block scope ~in_loop ~in_switch:true locals arm_body))
+      arms;
+    locals
+
+and check_block scope ~in_loop ?in_switch locals block =
+  List.fold_left
+    (fun locals s -> check_stmt scope ~in_loop ?in_switch locals s)
+    locals block
+
+let check ?(externs = []) (prog : Ast.program) =
+  let enums =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Ast.Ienum decl ->
+          if List.exists (fun e -> e.decl.Ast.ename = decl.Ast.ename) acc then
+            fail "duplicate enum %s" decl.Ast.ename;
+          resolve_enum (List.concat_map (fun e -> e.values) acc) decl :: acc
+        | Ast.Iglobal _ | Ast.Ifunc _ -> acc)
+      [] prog
+    |> List.rev
+  in
+  let enum_env = List.concat_map (fun e -> e.values) enums in
+  (match
+     List.fold_left
+       (fun seen (name, _) ->
+         if List.mem name seen then fail "duplicate enum member %s" name
+         else name :: seen)
+       [] enum_env
+   with
+  | _ -> ());
+  let globals =
+    List.filter_map
+      (function Ast.Iglobal g -> Some g | Ast.Ienum _ | Ast.Ifunc _ -> None)
+      prog
+  in
+  let funcs =
+    List.filter_map
+      (function Ast.Ifunc f -> Some f | Ast.Ienum _ | Ast.Iglobal _ -> None)
+      prog
+  in
+  let global_names = List.map (fun (g : Ast.global_decl) -> g.gname) globals in
+  (match
+     List.fold_left
+       (fun seen name ->
+         if List.mem name seen then fail "duplicate global %s" name
+         else name :: seen)
+       [] global_names
+   with
+  | _ -> ());
+  let func_sigs =
+    externs
+    @ List.map (fun (f : Ast.func_decl) -> (f.fname, List.length f.fparams)) funcs
+  in
+  (match
+     List.fold_left
+       (fun seen (name, _) ->
+         if List.mem name seen then fail "duplicate function %s" name
+         else name :: seen)
+       [] func_sigs
+   with
+  | _ -> ());
+  let scope = { enums; enum_env; global_names; func_sigs } in
+  (* Global initializers must be compile-time constants. *)
+  List.iter
+    (fun (g : Ast.global_decl) ->
+      match g.ginit with
+      | None -> ()
+      | Some e -> (
+        match const_eval enum_env e with
+        | Some _ -> ()
+        | None -> fail "global %s: initializer is not constant" g.gname))
+    globals;
+  List.iter
+    (fun (f : Ast.func_decl) ->
+      let params = List.map fst f.fparams in
+      ignore (check_block scope ~in_loop:false params f.fbody))
+    funcs;
+  { prog; enums; globals; funcs; enum_constants = enum_env }
+
+let enum_of_member (t : t) member =
+  List.find_opt (fun e -> List.mem_assoc member e.values) t.enums

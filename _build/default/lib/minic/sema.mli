@@ -1,0 +1,39 @@
+(** Semantic analysis for Mini-C: name resolution, enum constant
+    evaluation, arity checking, and the classification the ENUM Rewriter
+    needs ("are all members of this declaration uninitialized?"). *)
+
+type enum_info = {
+  decl : Ast.enum_decl;
+  values : (string * int) list;  (** member -> resolved value *)
+  fully_uninitialized : bool;
+      (** true iff no member had an explicit initializer — the only
+          declarations the ENUM Rewriter may rewrite (Section VI-A). *)
+}
+
+type t = {
+  prog : Ast.program;
+  enums : enum_info list;
+  globals : Ast.global_decl list;
+  funcs : Ast.func_decl list;
+  enum_constants : (string * int) list;  (** all members, flattened *)
+}
+
+type error = { message : string }
+
+exception Error of error
+
+val pp_error : error Fmt.t
+
+val check : ?externs:(string * int) list -> Ast.program -> t
+(** [externs] declares runtime-provided functions as (name, arity)
+    pairs, e.g. the GlitchResistor detection hook.
+    @raise Error on duplicate/undefined names, bad call arity,
+    [break]/[continue] outside loops, or non-constant initializers. *)
+
+val const_eval : (string * int) list -> Ast.expr -> int option
+(** Evaluate a constant expression given enum-constant bindings. 32-bit
+    wrap-around semantics; [None] if the expression reads a variable or
+    calls a function. *)
+
+val enum_of_member : t -> string -> enum_info option
+(** Which enum declaration defines the given member name. *)

@@ -1,0 +1,1 @@
+lib/reedsolomon/diversify.ml: Array List Rs

@@ -1,0 +1,1 @@
+lib/reedsolomon/gf256.ml: Array

@@ -1,0 +1,1 @@
+lib/reedsolomon/gfpoly.ml: Array Fmt Gf256

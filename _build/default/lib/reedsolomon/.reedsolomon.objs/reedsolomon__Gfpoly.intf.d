@@ -1,0 +1,1 @@
+lib/reedsolomon/gfpoly.mli: Fmt

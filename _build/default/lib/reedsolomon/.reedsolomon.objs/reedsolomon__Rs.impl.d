@@ -1,0 +1,1 @@
+lib/reedsolomon/rs.ml: Array Gf256 Gfpoly List

@@ -1,0 +1,1 @@
+lib/reedsolomon/rs.mli:

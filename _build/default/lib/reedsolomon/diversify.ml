@@ -1,0 +1,26 @@
+let value ~width_bytes ordinal =
+  if width_bytes < 1 || width_bytes > 8 then
+    invalid_arg "Diversify.value: width_bytes out of [1, 8]";
+  if ordinal < 0 || ordinal > 0xFFFF then
+    invalid_arg "Diversify.value: ordinal out of [0, 65535]";
+  let msg = [| (ordinal lsr 8) land 0xFF; ordinal land 0xFF |] in
+  let parity = Rs.parity ~ecc_len:width_bytes msg in
+  Array.fold_left (fun acc byte -> (acc lsl 8) lor byte) 0 parity
+
+let values ?(width_bytes = 4) ~count () =
+  List.init count (fun i -> value ~width_bytes (i + 1))
+
+let hamming a b =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 (a lxor b)
+
+let min_pairwise_hamming vs =
+  let rec go acc = function
+    | [] -> acc
+    | v :: rest ->
+      let acc =
+        List.fold_left (fun acc w -> min acc (hamming v w)) acc rest
+      in
+      go acc rest
+  in
+  go max_int vs

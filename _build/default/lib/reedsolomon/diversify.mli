@@ -1,0 +1,25 @@
+(** Constant diversification (paper Section VI-A): generate sets of
+    integer constants with a large minimum pairwise Hamming distance, to
+    replace sequential ENUM values and trivial return codes.
+
+    Following the paper's configuration, each value is the Reed-Solomon
+    parity of a two-byte message (the value's ordinal, supporting up to
+    2^16 values per set) with [ecc_len] equal to the byte width of the
+    generated constant — 4 bytes for a typical ENUM — which yields a
+    minimum pairwise bit-level Hamming distance of 8 in practice. *)
+
+val value : width_bytes:int -> int -> int
+(** [value ~width_bytes ordinal] is the diversified constant for
+    [ordinal] (1-based in the paper; any value in [0, 65535] works).
+    @raise Invalid_argument if [width_bytes] is not in [1, 8] or the
+    ordinal is out of range. *)
+
+val values : ?width_bytes:int -> count:int -> unit -> int list
+(** The paper's generator: constants for ordinals [1..count]
+    ([width_bytes] defaults to 4). *)
+
+val hamming : int -> int -> int
+(** Bit-level Hamming distance. *)
+
+val min_pairwise_hamming : int list -> int
+(** Minimum over all pairs; [max_int] for lists shorter than 2. *)

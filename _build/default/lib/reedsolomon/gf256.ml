@@ -1,0 +1,43 @@
+let primitive_poly = 0x11D
+
+(* exp_table.(i) = alpha^i for i in [0, 511] so products of logs never
+   need an explicit modulo; log_table.(exp_table.(i)) = i mod 255. *)
+let exp_table, log_table =
+  let exp_table = Array.make 512 0 in
+  let log_table = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor primitive_poly
+  done;
+  for i = 255 to 511 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done;
+  (exp_table, log_table)
+
+let add = ( lxor )
+let sub = ( lxor )
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) + 255 - log_table.(b))
+
+let inv a = div 1 a
+
+let pow x n =
+  if n < 0 then invalid_arg "Gf256.pow: negative exponent"
+  else if n = 0 then 1
+  else if x = 0 then 0
+  else exp_table.(log_table.(x) * n mod 255)
+
+let exp i =
+  if i < 0 then invalid_arg "Gf256.exp: negative exponent"
+  else exp_table.(i mod 255)
+
+let log a = if a = 0 then invalid_arg "Gf256.log: log of zero" else log_table.(a)

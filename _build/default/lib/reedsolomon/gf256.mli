@@ -1,0 +1,26 @@
+(** The finite field GF(2^8) with the conventional primitive polynomial
+    [x^8 + x^4 + x^3 + x^2 + 1] (0x11D) and generator [alpha = 2] — the
+    same field as the open-source codec the paper builds its constant
+    diversification on. Elements are ints in [0, 255]. *)
+
+val add : int -> int -> int
+(** Addition = subtraction = XOR in characteristic 2. *)
+
+val sub : int -> int -> int
+
+val mul : int -> int -> int
+
+val div : int -> int -> int
+(** @raise Division_by_zero when the divisor is 0. *)
+
+val inv : int -> int
+(** @raise Division_by_zero on 0. *)
+
+val pow : int -> int -> int
+(** [pow x n] with [n >= 0]; [pow 0 0 = 1]. *)
+
+val exp : int -> int
+(** [exp i] is [alpha^i]; accepts any non-negative exponent. *)
+
+val log : int -> int
+(** Discrete log base alpha. @raise Invalid_argument on 0. *)

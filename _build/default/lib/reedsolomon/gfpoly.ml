@@ -1,0 +1,65 @@
+type t = int array
+
+let normalize p =
+  let n = Array.length p in
+  let rec first i = if i < n - 1 && p.(i) = 0 then first (i + 1) else i in
+  let i = first 0 in
+  if i = 0 then p else Array.sub p i (n - i)
+
+let degree p = Array.length (normalize p) - 1
+let is_zero p = Array.for_all (fun c -> c = 0) p
+let equal a b = normalize a = normalize b
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make n 0 in
+  Array.iteri (fun i c -> out.(i + n - la) <- c) a;
+  Array.iteri (fun i c -> out.(i + n - lb) <- Gf256.add out.(i + n - lb) c) b;
+  normalize out
+
+let mul a b =
+  if is_zero a || is_zero b then [| 0 |]
+  else begin
+    let out = Array.make (Array.length a + Array.length b - 1) 0 in
+    Array.iteri
+      (fun i ca ->
+        Array.iteri
+          (fun j cb -> out.(i + j) <- Gf256.add out.(i + j) (Gf256.mul ca cb))
+          b)
+      a;
+    normalize out
+  end
+
+let scale k p = normalize (Array.map (Gf256.mul k) p)
+
+let divmod a b =
+  let b = normalize b in
+  if is_zero b then raise Division_by_zero;
+  let a = Array.copy (normalize a) in
+  let la = Array.length a and lb = Array.length b in
+  if la < lb then ([| 0 |], normalize a)
+  else begin
+    let lead = b.(0) in
+    let quot = Array.make (la - lb + 1) 0 in
+    for i = 0 to la - lb do
+      let coef = Gf256.div a.(i) lead in
+      quot.(i) <- coef;
+      if coef <> 0 then
+        for j = 0 to lb - 1 do
+          a.(i + j) <- Gf256.sub a.(i + j) (Gf256.mul coef b.(j))
+        done
+    done;
+    (normalize quot, normalize (Array.sub a (la - lb + 1) (lb - 1)))
+  end
+
+let eval p x = Array.fold_left (fun acc c -> Gf256.add (Gf256.mul acc x) c) 0 p
+
+let generator n =
+  let rec go acc i =
+    if i = n then acc else go (mul acc [| 1; Gf256.exp i |]) (i + 1)
+  in
+  go [| 1 |] 0
+
+let pp ppf p =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any " ") int) (normalize p)

@@ -1,0 +1,29 @@
+(** Polynomials over GF(2^8), represented as int arrays with the
+    highest-degree coefficient first (the convention of most RS codecs).
+    The zero polynomial is [[|0|]]. *)
+
+type t = int array
+
+val normalize : t -> t
+(** Strip leading zero coefficients. *)
+
+val degree : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val scale : int -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(quotient, remainder)].
+    @raise Division_by_zero if [b] is zero. *)
+
+val eval : t -> int -> int
+(** Horner evaluation. *)
+
+val generator : int -> t
+(** [generator n] is the degree-n Reed-Solomon generator polynomial
+    [(x - alpha^0)(x - alpha^1)...(x - alpha^(n-1))]. *)
+
+val pp : t Fmt.t

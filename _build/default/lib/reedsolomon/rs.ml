@@ -1,0 +1,133 @@
+type error = [ `Too_many_errors | `Invalid_length ]
+
+let check_lengths ~ecc_len total =
+  if ecc_len < 1 then invalid_arg "Rs: ecc_len must be positive";
+  if total > 255 then invalid_arg "Rs: codeword longer than 255 symbols"
+
+let parity ~ecc_len msg =
+  check_lengths ~ecc_len (Array.length msg + ecc_len);
+  let gen = Gfpoly.generator ecc_len in
+  (* msg(x) * x^ecc mod gen *)
+  let shifted = Array.append msg (Array.make ecc_len 0) in
+  let _, rem = Gfpoly.divmod shifted gen in
+  let rem = Gfpoly.normalize rem in
+  (* left-pad the remainder to exactly ecc_len symbols *)
+  let out = Array.make ecc_len 0 in
+  let lr = Array.length rem in
+  if not (Gfpoly.is_zero rem) then
+    Array.blit rem 0 out (ecc_len - lr) lr;
+  out
+
+let encode ~ecc_len msg = Array.append msg (parity ~ecc_len msg)
+
+let syndromes ~ecc_len code =
+  Array.init ecc_len (fun i -> Gfpoly.eval code (Gf256.exp i))
+
+let is_valid ~ecc_len code =
+  Array.for_all (fun s -> s = 0) (syndromes ~ecc_len code)
+
+(* Berlekamp-Massey: error locator sigma as a lowest-degree-first array
+   with sigma.(0) = 1. Returns (sigma, nu) where nu is the number of
+   errors located. *)
+let berlekamp_massey synd =
+  let nsym = Array.length synd in
+  let c = Array.make (nsym + 1) 0 and b = Array.make (nsym + 1) 0 in
+  c.(0) <- 1;
+  b.(0) <- 1;
+  let l = ref 0 and m = ref 1 and bb = ref 1 in
+  for n = 0 to nsym - 1 do
+    let d = ref synd.(n) in
+    for k = 1 to !l do
+      d := Gf256.add !d (Gf256.mul c.(k) synd.(n - k))
+    done;
+    if !d = 0 then incr m
+    else if 2 * !l <= n then begin
+      let t = Array.copy c in
+      let coef = Gf256.div !d !bb in
+      for k = 0 to nsym - !m do
+        c.(k + !m) <- Gf256.add c.(k + !m) (Gf256.mul coef b.(k))
+      done;
+      l := n + 1 - !l;
+      Array.blit t 0 b 0 (Array.length t);
+      bb := !d;
+      m := 1
+    end
+    else begin
+      let coef = Gf256.div !d !bb in
+      for k = 0 to nsym - !m do
+        c.(k + !m) <- Gf256.add c.(k + !m) (Gf256.mul coef b.(k))
+      done;
+      incr m
+    end
+  done;
+  (Array.sub c 0 (!l + 1), !l)
+
+(* Evaluate a lowest-first polynomial. *)
+let eval_low p x =
+  let acc = ref 0 in
+  for k = Array.length p - 1 downto 0 do
+    acc := Gf256.add (Gf256.mul !acc x) p.(k)
+  done;
+  !acc
+
+let decode ~ecc_len code =
+  check_lengths ~ecc_len (Array.length code);
+  if Array.length code <= ecc_len then Error `Invalid_length
+  else begin
+    let n = Array.length code in
+    let synd = syndromes ~ecc_len code in
+    if Array.for_all (fun s -> s = 0) synd then Ok (Array.copy code)
+    else begin
+      let sigma, nu = berlekamp_massey synd in
+      if 2 * nu > ecc_len then Error `Too_many_errors
+      else begin
+        (* Chien search over exponents: error at exponent e iff
+           sigma(alpha^(-e)) = 0; codeword position = n - 1 - e. *)
+        let positions = ref [] in
+        for e = 0 to n - 1 do
+          let x_inv = Gf256.exp (255 - (e mod 255)) in
+          if eval_low sigma x_inv = 0 then positions := e :: !positions
+        done;
+        if List.length !positions <> nu then Error `Too_many_errors
+        else begin
+          (* Forney: omega = synd * sigma mod x^ecc (lowest-first). *)
+          let omega = Array.make ecc_len 0 in
+          for i = 0 to ecc_len - 1 do
+            for k = 0 to min i (Array.length sigma - 1) do
+              omega.(i) <- Gf256.add omega.(i) (Gf256.mul sigma.(k) synd.(i - k))
+            done
+          done;
+          (* Formal derivative of sigma: odd-degree terms shift down. *)
+          let sigma' =
+            Array.init
+              (max 1 (Array.length sigma - 1))
+              (fun k -> if k land 1 = 0 && k + 1 < Array.length sigma then sigma.(k + 1) else 0)
+          in
+          let out = Array.copy code in
+          let ok = ref true in
+          List.iter
+            (fun e ->
+              let x = Gf256.exp e in
+              let x_inv = Gf256.exp (255 - (e mod 255)) in
+              let denom = eval_low sigma' x_inv in
+              if denom = 0 then ok := false
+              else begin
+                let magnitude =
+                  Gf256.mul x (Gf256.div (eval_low omega x_inv) denom)
+                in
+                let pos = n - 1 - e in
+                out.(pos) <- Gf256.sub out.(pos) magnitude
+              end)
+            !positions;
+          if (not !ok) || not (is_valid ~ecc_len out) then Error `Too_many_errors
+          else Ok out
+        end
+      end
+    end
+  end
+
+let decode_message ~ecc_len code =
+  match decode ~ecc_len code with
+  | Ok corrected ->
+    Ok (Array.sub corrected 0 (Array.length corrected - ecc_len))
+  | Error _ as e -> e

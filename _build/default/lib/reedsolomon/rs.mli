@@ -1,0 +1,28 @@
+(** Reed-Solomon codec over GF(2^8) (the substitute for the
+    [mersinvald/Reed-Solomon] C++ codec the paper uses).
+
+    A codeword with [ecc_len] parity symbols corrects up to
+    [ecc_len / 2] corrupted symbols. Symbols are bytes; messages and
+    codewords are int arrays with values in [0, 255]. *)
+
+type error = [ `Too_many_errors | `Invalid_length ]
+
+val encode : ecc_len:int -> int array -> int array
+(** [encode ~ecc_len msg] appends [ecc_len] parity bytes.
+    @raise Invalid_argument if the codeword would exceed 255 symbols or
+    [ecc_len < 1]. *)
+
+val parity : ecc_len:int -> int array -> int array
+(** Just the parity bytes of {!encode}. *)
+
+val syndromes : ecc_len:int -> int array -> int array
+(** All-zero iff the codeword is valid. *)
+
+val is_valid : ecc_len:int -> int array -> bool
+
+val decode : ecc_len:int -> int array -> (int array, error) result
+(** Correct up to [ecc_len / 2] symbol errors in place of a received
+    codeword (message ++ parity); returns the corrected codeword. *)
+
+val decode_message : ecc_len:int -> int array -> (int array, error) result
+(** {!decode} and strip the parity, returning only the message bytes. *)

@@ -1,0 +1,1 @@
+lib/resistor/branches.ml: Detect Hashtbl Ir List Pass

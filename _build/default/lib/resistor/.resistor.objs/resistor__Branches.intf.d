@@ -1,0 +1,1 @@
+lib/resistor/branches.mli: Config Hashtbl Ir Pass

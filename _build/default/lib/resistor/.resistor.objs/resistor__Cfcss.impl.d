@@ -1,0 +1,1 @@
+lib/resistor/cfcss.ml: Config Detect Driver Hashtbl Ir List Lower Option Pass

@@ -1,0 +1,1 @@
+lib/resistor/cfcss.mli: Config Ir Lower

@@ -1,0 +1,1 @@
+lib/resistor/compare.ml: List Stats

@@ -1,0 +1,1 @@
+lib/resistor/delay.ml: Config Detect Ir List Pass

@@ -1,0 +1,1 @@
+lib/resistor/delay.mli: Config Ir

@@ -1,0 +1,1 @@
+lib/resistor/detect.ml: Config Ir List

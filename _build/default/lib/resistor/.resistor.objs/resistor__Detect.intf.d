@@ -1,0 +1,1 @@
+lib/resistor/detect.mli: Config Ir

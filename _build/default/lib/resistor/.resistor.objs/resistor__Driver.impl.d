@@ -1,0 +1,1 @@
+lib/resistor/driver.ml: Branches Config Delay Detect Enum_rewriter Integrity Ir List Loops Lower Minic Returns

@@ -1,0 +1,1 @@
+lib/resistor/driver.mli: Branches Config Delay Enum_rewriter Integrity Ir Loops Lower Returns

@@ -1,0 +1,1 @@
+lib/resistor/enum_rewriter.mli: Minic

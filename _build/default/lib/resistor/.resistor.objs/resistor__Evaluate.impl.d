@@ -1,0 +1,1 @@
+lib/resistor/evaluate.ml: Config Detect Driver Firmware Hw List Stats

@@ -1,0 +1,1 @@
+lib/resistor/evaluate.mli: Config Hw Lower

@@ -1,0 +1,1 @@
+lib/resistor/firmware.ml:

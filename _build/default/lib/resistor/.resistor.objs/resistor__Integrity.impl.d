@@ -1,0 +1,1 @@
+lib/resistor/integrity.ml: Detect Ir List Option Pass

@@ -1,0 +1,1 @@
+lib/resistor/integrity.mli: Config Ir

@@ -1,0 +1,1 @@
+lib/resistor/loops.ml: Branches Detect Hashtbl Ir List Pass

@@ -1,0 +1,1 @@
+lib/resistor/loops.mli: Config Ir

@@ -1,0 +1,1 @@
+lib/resistor/overhead.ml: Config Driver Firmware Hw List Lower

@@ -1,0 +1,1 @@
+lib/resistor/overhead.mli: Config

@@ -1,0 +1,1 @@
+lib/resistor/pass.ml: Fmt Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/resistor/pass.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/resistor/returns.ml: Hashtbl Ir List Pass Reedsolomon

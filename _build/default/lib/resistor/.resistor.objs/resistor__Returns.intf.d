@@ -1,0 +1,1 @@
+lib/resistor/returns.mli: Ir

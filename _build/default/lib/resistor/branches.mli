@@ -1,0 +1,23 @@
+(** Conditional-branch duplication (Section VI-B): on the {e true} edge
+    of every conditional branch, re-verify the condition before letting
+    execution continue. The re-check replicates the instructions that
+    computed the comparison (volatile loads and call results excepted)
+    and evaluates the {e complemented} form — [if (a == 5)] is
+    re-checked as [if (~a == ~5)] — so the same unidirectional bit flips
+    applied twice cannot satisfy both encodings. A failed re-check is a
+    logical impossibility and calls the detector. *)
+
+type report = { branches_instrumented : int }
+
+val instrument_edge :
+  Ir.func ->
+  Pass.fresh ->
+  (int, Ir.instr) Hashtbl.t ->
+  block:Ir.block ->
+  edge:[ `True | `False ] ->
+  Ir.block list
+(** Build the re-check on one edge of [block]'s conditional terminator
+    (re-pointing the terminator); returns the new blocks to append.
+    Shared with the loop-guard pass. *)
+
+val run : Config.reaction -> Ir.modul -> report

@@ -1,0 +1,74 @@
+type technique = {
+  name : string;
+  generic : bool;
+  extensible : bool;
+  backward_compatible : bool;
+  constant_diversification : bool;
+  data_integrity : bool;
+  control_flow_hardening : bool;
+  random_delay : bool;
+}
+
+let glitch_resistor =
+  { name = "GlitchResistor";
+    generic = true;
+    extensible = true;
+    backward_compatible = true;
+    constant_diversification = true;
+    data_integrity = true;
+    control_flow_hardening = true;
+    random_delay = true }
+
+(* Rows transcribed from Table VII. *)
+let table =
+  [ { name = "Data Encoding"; generic = false; extensible = false;
+      backward_compatible = false; constant_diversification = true;
+      data_integrity = true; control_flow_hardening = false;
+      random_delay = false };
+    { name = "CAMFAS"; generic = true; extensible = false;
+      backward_compatible = false; constant_diversification = false;
+      data_integrity = true; control_flow_hardening = false;
+      random_delay = false };
+    { name = "Loop Hardening"; generic = true; extensible = false;
+      backward_compatible = true; constant_diversification = false;
+      data_integrity = false; control_flow_hardening = true;
+      random_delay = false };
+    { name = "IIR"; generic = false; extensible = false;
+      backward_compatible = false; constant_diversification = false;
+      data_integrity = true; control_flow_hardening = false;
+      random_delay = false };
+    { name = "CountCompile"; generic = true; extensible = false;
+      backward_compatible = true; constant_diversification = false;
+      data_integrity = false; control_flow_hardening = true;
+      random_delay = false };
+    { name = "CountC"; generic = false; extensible = false;
+      backward_compatible = false; constant_diversification = false;
+      data_integrity = false; control_flow_hardening = true;
+      random_delay = false };
+    { name = "SWIFT"; generic = true; extensible = false;
+      backward_compatible = false; constant_diversification = false;
+      data_integrity = true; control_flow_hardening = true;
+      random_delay = false };
+    { name = "CFCSS"; generic = true; extensible = false;
+      backward_compatible = false; constant_diversification = false;
+      data_integrity = false; control_flow_hardening = true;
+      random_delay = false };
+    glitch_resistor ]
+
+let render () =
+  let mark b = if b then "yes" else "-" in
+  let header =
+    [ "Defense"; "Generic"; "Extensible"; "Backward Compat.";
+      "Const. Diversification"; "Data Integrity"; "CF Hardening";
+      "Random Delay" ]
+  in
+  let rows =
+    List.map
+      (fun t ->
+        [ t.name; mark t.generic; mark t.extensible;
+          mark t.backward_compatible; mark t.constant_diversification;
+          mark t.data_integrity; mark t.control_flow_hardening;
+          mark t.random_delay ])
+      table
+  in
+  Stats.Table.render ~header rows

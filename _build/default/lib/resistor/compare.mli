@@ -1,0 +1,22 @@
+(** Table VII: qualitative comparison of software-based glitching
+    defenses. The matrix is reproduced from the paper's related-work
+    analysis; GlitchResistor is the only row with every property. *)
+
+type technique = {
+  name : string;
+  generic : bool;  (** not application-specific (e.g. not AES-only) *)
+  extensible : bool;  (** new defenses can be added to the framework *)
+  backward_compatible : bool;  (** applies to existing code unchanged *)
+  constant_diversification : bool;
+  data_integrity : bool;
+  control_flow_hardening : bool;
+  random_delay : bool;
+}
+
+val table : technique list
+(** All prior techniques plus GlitchResistor, in the paper's order. *)
+
+val glitch_resistor : technique
+
+val render : unit -> string
+(** The check/cross matrix as text. *)

@@ -1,0 +1,59 @@
+type delay_scope =
+  | Delay_everywhere
+  | Delay_opt_in of string list
+  | Delay_opt_out of string list
+
+type reaction = Spin | Halt | Record
+
+type t = {
+  enums : bool;
+  returns : bool;
+  integrity : bool;
+  branches : bool;
+  loops : bool;
+  delay : bool;
+  delay_scope : delay_scope;
+  sensitive : string list;
+  reaction : reaction;
+}
+
+let none =
+  { enums = false;
+    returns = false;
+    integrity = false;
+    branches = false;
+    loops = false;
+    delay = false;
+    delay_scope = Delay_everywhere;
+    sensitive = [];
+    reaction = Spin }
+
+let all ?(sensitive = []) () =
+  { none with
+    enums = true;
+    returns = true;
+    integrity = true;
+    branches = true;
+    loops = true;
+    delay = true;
+    sensitive }
+
+let all_but_delay ?sensitive () = { (all ?sensitive ()) with delay = false }
+
+let only ?(enums = false) ?(returns = false) ?(integrity = false)
+    ?(branches = false) ?(loops = false) ?(delay = false) ?(sensitive = []) () =
+  { none with enums; returns; integrity; branches; loops; delay; sensitive }
+
+let name t =
+  match (t.enums, t.returns, t.integrity, t.branches, t.loops, t.delay) with
+  | false, false, false, false, false, false -> "None"
+  | true, true, true, true, true, true -> "All"
+  | true, true, true, true, true, false -> "All\\Delay"
+  | _ ->
+    let parts =
+      List.filter_map
+        (fun (on, label) -> if on then Some label else None)
+        [ (t.enums, "Enums"); (t.returns, "Returns"); (t.integrity, "Integrity");
+          (t.branches, "Branches"); (t.loops, "Loops"); (t.delay, "Delay") ]
+    in
+    String.concat "+" parts

@@ -1,0 +1,43 @@
+(** GlitchResistor configuration: which defenses to apply (they compose
+    "a la carte", as evaluated in Tables IV and V), which globals are
+    sensitive, where random delays go, and what to do on detection. *)
+
+type delay_scope =
+  | Delay_everywhere  (** every basic block ending in a branch *)
+  | Delay_opt_in of string list  (** only the listed functions *)
+  | Delay_opt_out of string list  (** everywhere except the listed functions *)
+
+type reaction =
+  | Spin  (** deny service: loop forever in the detector *)
+  | Halt  (** stop the core (breakpoint) *)
+  | Record  (** count and continue (evaluation harnesses) *)
+
+type t = {
+  enums : bool;  (** ENUM Rewriter (source-to-source) *)
+  returns : bool;  (** non-trivial return codes *)
+  integrity : bool;  (** sensitive-variable shadow complements *)
+  branches : bool;  (** conditional-branch duplication *)
+  loops : bool;  (** loop-guard duplication *)
+  delay : bool;  (** random timing injection *)
+  delay_scope : delay_scope;
+  sensitive : string list;  (** globals protected by the integrity pass *)
+  reaction : reaction;
+}
+
+val none : t
+(** Baseline: nothing enabled. *)
+
+val all : ?sensitive:string list -> unit -> t
+(** Every defense, delays everywhere, [Spin] reaction — the paper's
+    "All" configuration. *)
+
+val all_but_delay : ?sensitive:string list -> unit -> t
+(** The paper's "All\Delay" configuration. *)
+
+val only :
+  ?enums:bool -> ?returns:bool -> ?integrity:bool -> ?branches:bool ->
+  ?loops:bool -> ?delay:bool -> ?sensitive:string list -> unit -> t
+(** Single defenses for the a-la-carte overhead rows of Tables IV/V. *)
+
+val name : t -> string
+(** "None", "Branches", "All\\Delay", ... for report rows. *)

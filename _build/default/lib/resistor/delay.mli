@@ -1,0 +1,22 @@
+(** Random timing injection (Section VI-B.1): a linear congruential
+    generator (glibc's constants) seeds a short busy-wait that runs at
+    the end of every basic block ending in a branch, de-synchronising
+    any externally observable trigger from the security-critical
+    instructions that follow it.
+
+    [__gr_init] runs once at boot, {e before} anything else: it
+    increments the persisted seed and commits it to flash (modelled by
+    the runtime's [__flash_commit] busy-wait, whose ~178k cycles are
+    Table IV's constant overhead), so repeated attempts against the same
+    seed are useless. The delay and init routines are themselves subject
+    to the other defenses — the driver runs this pass first. *)
+
+type report = { sites : int  (** blocks that received a delay call *) }
+
+val seed_global : string
+val delay_fn : string
+val init_fn : string
+
+val run : scope:Config.delay_scope -> Ir.modul -> report
+(** Adds the seed global, [__gr_delay], [__gr_init], the per-block
+    calls, and the boot-time init call at the head of [main]. *)

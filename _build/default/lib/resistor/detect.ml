@@ -1,0 +1,32 @@
+let detected_fn = "__gr_detected"
+let counter_global = "__gr_detect_count"
+
+let ensure reaction (m : Ir.modul) =
+  if Ir.find_global m counter_global = None then
+    m.globals <-
+      m.globals
+      @ [ { Ir.gname = counter_global; init = 0; volatile = true;
+            sensitive = false } ];
+  if Ir.find_func m detected_fn = None then begin
+    let b = Ir.Builder.create ~fname:detected_fn ~params:[] ~returns_value:false in
+    let v = Ir.Builder.load ~volatile:true b (Ir.Global counter_global) in
+    let v' = Ir.Builder.binop b Ir.Add v (Ir.Const 1) in
+    Ir.Builder.store ~volatile:true b (Ir.Global counter_global) v';
+    (match (reaction : Config.reaction) with
+    | Config.Record -> Ir.Builder.ret b None
+    | Config.Halt ->
+      ignore (Ir.Builder.call b "__halt" []);
+      Ir.Builder.ret b None
+    | Config.Spin ->
+      Ir.Builder.br b "spin";
+      let _spin = Ir.Builder.new_block b "spin" in
+      Ir.Builder.br b "spin");
+    m.funcs <- m.funcs @ [ Ir.Builder.func b ];
+    if
+      (match reaction with Config.Halt -> true | Config.Spin | Config.Record -> false)
+      && not (List.mem "__halt" m.externs)
+    then m.externs <- "__halt" :: m.externs
+  end
+
+let detections read_global =
+  match read_global counter_global with Some n -> n | None -> 0

@@ -1,0 +1,18 @@
+(** The detection runtime (Section VI-B "Detection Reaction"): a module
+    gains one counter global and one [__gr_detected] function that every
+    injected check calls when a logically-impossible state is observed.
+    The reaction is configurable; the paper leaves it to the developer
+    (report, disable updates, destroy data, ...). *)
+
+val detected_fn : string
+(** ["__gr_detected"]. *)
+
+val counter_global : string
+(** ["__gr_detect_count"]; non-zero after any detection. *)
+
+val ensure : Config.reaction -> Ir.modul -> unit
+(** Add the counter and function to the module if not present. *)
+
+val detections : (string -> int option) -> int
+(** Given a global reader (e.g. [Hw.Board.read_global board]), the
+    number of detections recorded. *)

@@ -1,0 +1,66 @@
+type reports = {
+  enum_report : Enum_rewriter.report option;
+  returns_report : Returns.report option;
+  integrity_report : Integrity.report option;
+  branches_report : Branches.report option;
+  loops_report : Loops.report option;
+  delay_report : Delay.report option;
+}
+
+type compiled = {
+  config : Config.t;
+  modul : Ir.modul;
+  image : Lower.Layout.image;
+  reports : reports;
+}
+
+let firmware_externs =
+  [ ("__trigger_high", 0); ("__trigger_low", 0); ("__halt", 0) ]
+
+let compile_modul (config : Config.t) source =
+  let ast = Minic.Parser.program source in
+  let sema = Minic.Sema.check ~externs:firmware_externs ast in
+  (* source-to-source stage *)
+  let ast, enum_report =
+    if config.enums then begin
+      let ast, report = Enum_rewriter.rewrite sema in
+      (ast, Some report)
+    end
+    else (ast, None)
+  in
+  let sema = Minic.Sema.check ~externs:firmware_externs ast in
+  let m = Lower.Ast_lower.modul ~externs:firmware_externs sema in
+  (* mark sensitive globals (from configuration, like the paper's
+     developer-provided list) *)
+  List.iter
+    (fun name ->
+      match Ir.find_global m name with
+      | Some g -> g.sensitive <- true
+      | None -> ())
+    config.sensitive;
+  if config.integrity || config.branches || config.loops then
+    Detect.ensure config.reaction m;
+  let delay_report =
+    if config.delay then Some (Delay.run ~scope:config.delay_scope m) else None
+  in
+  let returns_report = if config.returns then Some (Returns.run m) else None in
+  let branches_report =
+    if config.branches then Some (Branches.run config.reaction m) else None
+  in
+  let loops_report =
+    if config.loops then Some (Loops.run config.reaction m) else None
+  in
+  let integrity_report =
+    if config.integrity then
+      Some (Integrity.run ~sensitive:config.sensitive config.reaction m)
+    else None
+  in
+  Ir.Verify.check_exn m;
+  ( m,
+    { enum_report; returns_report; integrity_report; branches_report;
+      loops_report; delay_report } )
+
+let compile config source =
+  let modul, reports = compile_modul config source in
+  let image = Lower.Layout.link modul in
+  { config; modul; image; reports }

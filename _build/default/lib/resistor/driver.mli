@@ -1,0 +1,40 @@
+(** The GlitchResistor compile pipeline: Mini-C source in, defended
+    firmware image out.
+
+    Stage order mirrors the paper's architecture — one source-to-source
+    rewriter (the clang-level ENUM pass) followed by IR passes:
+
+    + parse, check, {!Enum_rewriter} (then re-check: the rewritten
+      source must still be a valid program);
+    + lower to IR;
+    + {!Delay} (first, so its generator and init code are themselves
+      protected by the passes that follow);
+    + {!Returns}, {!Branches}, {!Loops}, {!Integrity};
+    + verify, code-generate, link.
+
+    Firmware may call the board intrinsics [__trigger_high()],
+    [__trigger_low()] and [__halt()]. *)
+
+type reports = {
+  enum_report : Enum_rewriter.report option;
+  returns_report : Returns.report option;
+  integrity_report : Integrity.report option;
+  branches_report : Branches.report option;
+  loops_report : Loops.report option;
+  delay_report : Delay.report option;
+}
+
+type compiled = {
+  config : Config.t;
+  modul : Ir.modul;
+  image : Lower.Layout.image;
+  reports : reports;
+}
+
+val firmware_externs : (string * int) list
+
+val compile_modul : Config.t -> string -> Ir.modul * reports
+(** Source through all enabled passes; module verified. *)
+
+val compile : Config.t -> string -> compiled
+(** [compile_modul] plus code generation and linking. *)

@@ -1,0 +1,44 @@
+type report = {
+  rewritten : (string * (string * int) list) list;
+  skipped : string list;
+}
+
+let rewrite (sema : Minic.Sema.t) =
+  let rewritten = ref [] and skipped = ref [] in
+  let prog =
+    List.map
+      (fun item ->
+        match item with
+        | Minic.Ast.Ienum decl -> (
+          match
+            List.find_opt
+              (fun (info : Minic.Sema.enum_info) -> info.decl.ename = decl.ename)
+              sema.enums
+          with
+          | Some info when info.fully_uninitialized ->
+            let assignments =
+              List.mapi
+                (fun i (member, _) ->
+                  (member, Reedsolomon.Diversify.value ~width_bytes:4 (i + 1)))
+                decl.members
+            in
+            rewritten := (decl.ename, assignments) :: !rewritten;
+            Minic.Ast.Ienum
+              { decl with
+                members =
+                  List.map
+                    (fun (member, v) -> (member, Some (Minic.Ast.Int v)))
+                    assignments }
+          | Some _ | None ->
+            skipped := decl.ename :: !skipped;
+            item)
+        | Minic.Ast.Iglobal _ | Minic.Ast.Ifunc _ -> item)
+      sema.prog
+  in
+  (prog, { rewritten = List.rev !rewritten; skipped = List.rev !skipped })
+
+let min_hamming_distance report =
+  List.fold_left
+    (fun acc (_, assignments) ->
+      min acc (Reedsolomon.Diversify.min_pairwise_hamming (List.map snd assignments)))
+    max_int report.rewritten

@@ -1,0 +1,27 @@
+(** The ENUM Rewriter (Section VI-A): a source-to-source pass — the one
+    defense that cannot run on IR, because enum identity is already
+    erased to plain constants there.
+
+    Only declarations whose members are {e all} uninitialized are
+    rewritten (the paper's soundness condition: explicit values may
+    encode protocol constants, and C's sequential-from-zero default may
+    be assumed by the programmer, so both are left alone unless the
+    developer opts in). Each rewritten member receives a Reed-Solomon
+    diversified 32-bit constant with minimum pairwise Hamming
+    distance 8. *)
+
+type report = {
+  rewritten : (string * (string * int) list) list;
+      (** enum name -> member assignments *)
+  skipped : string list;  (** enums left alone (had initializers) *)
+}
+
+val rewrite : Minic.Sema.t -> Minic.Ast.program * report
+(** Rewrites the declarations in the checked program's AST. Because
+    members are referenced by name everywhere else in the source, no
+    other construct needs editing — exactly why the paper implements
+    this as a clang rewriter. *)
+
+val min_hamming_distance : report -> int
+(** Smallest pairwise bit distance across every rewritten enum set
+    ([max_int] if nothing was rewritten). *)

@@ -1,0 +1,72 @@
+type scenario = Worst_case | Best_case
+
+let scenario_name = function
+  | Worst_case -> "while(!a)"
+  | Best_case -> "if(a==SUCCESS)"
+
+let scenario_source = function
+  | Worst_case -> Firmware.guard_loop
+  | Best_case -> Firmware.if_success
+
+type attack = Single | Long | Windowed
+
+let attack_name = function
+  | Single -> "single"
+  | Long -> "long"
+  | Windowed -> "windowed(10)"
+
+type outcome = { attempts : int; successes : int; detections : int }
+
+let success_rate o =
+  Stats.Rate.pct ~num:o.successes ~den:o.attempts
+
+let detection_rate o =
+  Stats.Rate.pct ~num:o.detections ~den:(o.detections + o.successes)
+
+(* Schedules per attack, in (ext_offset, repeat) form. *)
+let windows = function
+  | Single -> List.init 11 (fun c -> (c, 1))
+  | Long -> List.init 10 (fun i -> (0, 10 * (i + 1)))
+  | Windowed -> List.init 11 (fun s -> (s, 10))
+
+let run_image ?fault_config ?(sweep_step = 1) image attack =
+  let board = Hw.Board.create (Hw.Board.Image image) in
+  if not (Hw.Board.run_until_trigger ~max_cycles:2_000_000 board) then
+    invalid_arg "Evaluate.run: firmware never raised its trigger";
+  let snap = Hw.Board.snapshot board in
+  let boot_cycles = Hw.Board.cycles board in
+  (* enough budget after the trigger for the defended loop plus the
+     spin-on-detection reaction to settle *)
+  let max_cycles = boot_cycles + 4_000 in
+  let attempts = ref 0 and successes = ref 0 and detections = ref 0 in
+  List.iter
+    (fun (ext_offset, repeat) ->
+      let width = ref (-49) in
+      while !width <= 49 do
+        let offset = ref (-49) in
+        while !offset <= 49 do
+          incr attempts;
+          let schedule =
+            [ Hw.Glitcher.with_repeat
+                (Hw.Glitcher.single ~width:!width ~offset:!offset ~ext_offset)
+                repeat ]
+          in
+          let (_ : Hw.Glitcher.observation) =
+            Hw.Glitcher.run ?config:fault_config ~max_cycles ~from:snap board
+              schedule
+          in
+          let marker = Hw.Board.read_global board Firmware.attack_marker_global in
+          let succeeded = marker = Some Firmware.attack_marker_value in
+          if succeeded then incr successes
+          else if Detect.detections (Hw.Board.read_global board) > 0 then
+            incr detections;
+          offset := !offset + sweep_step
+        done;
+        width := !width + sweep_step
+      done)
+    (windows attack);
+  { attempts = !attempts; successes = !successes; detections = !detections }
+
+let run ?fault_config ?sweep_step (config : Config.t) scenario attack =
+  let compiled = Driver.compile config (scenario_source scenario) in
+  run_image ?fault_config ?sweep_step compiled.image attack

@@ -1,0 +1,59 @@
+(** Table VI: attack the defended firmware on the simulated board.
+
+    For each scenario the firmware is compiled with a defense
+    configuration, booted once to its trigger, snapshotted, and then
+    attacked across the full glitch-parameter plane:
+
+    - {e single}: one glitched cycle, [ext_offset] 0..10
+      (11 x 9,801 = 107,811 attempts);
+    - {e long}: glitches sustained for 10, 20, ..., 100 cycles from the
+      trigger (10 x 9,801 = 98,010 attempts);
+    - {e windowed}: a fixed 10-cycle glitch whose starting cycle varies
+      over 0..10 (107,811 attempts).
+
+    An attempt succeeds when the attack marker global holds [0xAA]
+    post-mortem; it is detected when the GlitchResistor counter is
+    non-zero (and the attack did not succeed), mirroring the paper's
+    success/detection accounting. *)
+
+type scenario =
+  | Worst_case  (** [while (!a)], {!Firmware.guard_loop} *)
+  | Best_case  (** [if (a == SUCCESS)], {!Firmware.if_success} *)
+
+val scenario_name : scenario -> string
+val scenario_source : scenario -> string
+
+type attack = Single | Long | Windowed
+
+val attack_name : attack -> string
+
+type outcome = {
+  attempts : int;
+  successes : int;
+  detections : int;
+}
+
+val success_rate : outcome -> float
+val detection_rate : outcome -> float
+(** detections / (detections + successes), the paper's formula. *)
+
+val run :
+  ?fault_config:Hw.Susceptibility.config ->
+  ?sweep_step:int ->
+  Config.t ->
+  scenario ->
+  attack ->
+  outcome
+(** [sweep_step] strides the (width, offset) plane (default 1 = the full
+    9,801-point sweep; benches may use 1, quick tests a larger step —
+    attempt counts scale accordingly). *)
+
+val run_image :
+  ?fault_config:Hw.Susceptibility.config ->
+  ?sweep_step:int ->
+  Lower.Layout.image ->
+  attack ->
+  outcome
+(** Attack an already-linked image (used by the per-defense ablation and
+    the CFCSS baseline comparison). The firmware must raise the trigger
+    and write the attack marker, like {!Firmware.guard_loop}. *)

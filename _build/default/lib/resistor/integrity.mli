@@ -1,0 +1,16 @@
+(** Data integrity (Section VI-B): every sensitive global gets a shadow
+    "integrity" global holding its bitwise complement, allocated away
+    from the original (here: appended at the end of .data/.bss, so the
+    two never share a memory row). Writes update both; reads verify
+    [var XOR shadow == 0xFFFFFFFF] and call the detector on mismatch —
+    a single glitch cannot produce complementary corruption in two
+    separate cells. *)
+
+type report = {
+  protected : (string * string) list;  (** global -> shadow name *)
+  checks_inserted : int;  (** read-side verifications added *)
+}
+
+val shadow_name : string -> string
+
+val run : sensitive:string list -> Config.reaction -> Ir.modul -> report

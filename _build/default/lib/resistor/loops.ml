@@ -1,0 +1,47 @@
+type report = { loops_instrumented : int }
+
+let loop_headers (f : Ir.func) =
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i (b : Ir.block) -> Hashtbl.replace index b.label i) f.blocks;
+  let is_back_edge ~from target =
+    match Hashtbl.find_opt index target with
+    | Some ti -> ti <= from
+    | None -> false
+  in
+  let headers = Hashtbl.create 8 in
+  List.iteri
+    (fun i (b : Ir.block) ->
+      List.iter
+        (fun successor ->
+          if is_back_edge ~from:i successor then
+            Hashtbl.replace headers successor ())
+        (Ir.successors b.term))
+    f.blocks;
+  List.filter
+    (fun (b : Ir.block) ->
+      Hashtbl.mem headers b.label
+      && match b.term with
+         | Ir.Cond_br _ -> true
+         | Ir.Br _ | Ir.Switch _ | Ir.Ret _ | Ir.Unreachable -> false)
+    f.blocks
+
+let run reaction (m : Ir.modul) =
+  Detect.ensure reaction m;
+  let count = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if f.fname <> Detect.detected_fn then begin
+        let fresh = Pass.fresh_for f in
+        let defs = Pass.def_map f in
+        let additions =
+          List.concat_map
+            (fun block ->
+              incr count;
+              Branches.instrument_edge f fresh defs ~block ~edge:`False)
+            (loop_headers f)
+        in
+        f.blocks <- f.blocks @ additions
+      end)
+    m.funcs;
+  Pass.verify_or_fail "loops" m;
+  { loops_instrumented = !count }

@@ -1,0 +1,14 @@
+(** Loop-guard duplication (Section VI-B): the branch-duplication pass
+    protects the {e true} edge only, on the assumption that the false
+    edge is the common, uninteresting path — which is exactly backwards
+    for loop guards, where escaping the loop takes the false edge. This
+    pass finds loop headers (conditional blocks targeted by a back edge)
+    and adds the same complemented re-check to their false edge. *)
+
+type report = { loops_instrumented : int }
+
+val loop_headers : Ir.func -> Ir.block list
+(** Blocks ending in a conditional branch that are the target of a back
+    edge (an edge from a block at the same or later position). *)
+
+val run : Config.reaction -> Ir.modul -> report

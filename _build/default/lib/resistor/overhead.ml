@@ -1,0 +1,45 @@
+type row = {
+  label : string;
+  boot_cycles : int;
+  text_bytes : int;
+  data_bytes : int;
+  bss_bytes : int;
+  total_bytes : int;
+}
+
+let sensitive = [ "tick" ]
+
+let configurations =
+  [ ("None", Config.none);
+    ("Branches", Config.only ~branches:true ());
+    ("Delay", Config.only ~delay:true ());
+    ("Integrity", Config.only ~integrity:true ~sensitive ());
+    ("Loops", Config.only ~loops:true ());
+    ("Returns", Config.only ~returns:true ~enums:true ());
+    ("All\\Delay", Config.all_but_delay ~sensitive ());
+    ("All", Config.all ~sensitive ()) ]
+
+let flash_commit_cycles =
+  (* subs + taken-branch per iteration, plus entry/exit *)
+  4 * Lower.Runtime.flash_commit_iterations
+
+let measure config ~label =
+  let compiled = Driver.compile config Firmware.boot_tick in
+  let board = Hw.Board.create (Hw.Board.Image compiled.image) in
+  let boot_cycles =
+    if Hw.Board.run_until_trigger ~max_cycles:2_000_000 board then
+      match Hw.Board.trigger_edges board with
+      | edge :: _ -> edge
+      | [] -> invalid_arg "Overhead.measure: trigger lost"
+    else invalid_arg ("Overhead.measure: " ^ label ^ " never finished booting")
+  in
+  let sizes = Lower.Layout.size_report compiled.image in
+  { label;
+    boot_cycles;
+    text_bytes = List.assoc "text" sizes;
+    data_bytes = List.assoc "data" sizes;
+    bss_bytes = List.assoc "bss" sizes;
+    total_bytes = List.assoc "total" sizes }
+
+let all_rows () =
+  List.map (fun (label, config) -> measure config ~label) configurations

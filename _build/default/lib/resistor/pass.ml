@@ -1,0 +1,97 @@
+type fresh = { mutable next_temp : int; mutable next_label : int }
+
+(* Labels already added by earlier passes look like "gr.<hint>.<n>";
+   resume the counter above any existing suffix so passes compose. *)
+let next_free_label_index (f : Ir.func) =
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      match String.rindex_opt b.label '.' with
+      | Some i when String.length b.label > 3 && String.sub b.label 0 3 = "gr." -> (
+        match
+          int_of_string_opt
+            (String.sub b.label (i + 1) (String.length b.label - i - 1))
+        with
+        | Some n -> max acc (n + 1)
+        | None -> acc)
+      | Some _ | None -> acc)
+    0 f.blocks
+
+let fresh_for (f : Ir.func) =
+  { next_temp = Ir.max_temp f + 1; next_label = next_free_label_index f }
+
+let temp fresh =
+  let t = fresh.next_temp in
+  fresh.next_temp <- t + 1;
+  t
+
+let label fresh hint =
+  let n = fresh.next_label in
+  fresh.next_label <- n + 1;
+  Printf.sprintf "gr.%s.%d" hint n
+
+let def_map (f : Ir.func) =
+  let defs = Hashtbl.create 64 in
+  Ir.iter_instrs f (fun _ i ->
+      match i with
+      | Ir.Load { dst; _ } | Ir.Binop { dst; _ } | Ir.Icmp { dst; _ }
+      | Ir.Call { dst = Some dst; _ } -> Hashtbl.replace defs dst i
+      | Ir.Store _ | Ir.Call { dst = None; _ } -> ());
+  defs
+
+type clone_result = {
+  instrs : Ir.instr list;
+  value : Ir.value;
+  replicated : bool;
+}
+
+let max_clone_depth = 12
+
+let clone_chain fresh defs root =
+  let instrs = ref [] in
+  let fully = ref true in
+  let rec go depth (v : Ir.value) : Ir.value =
+    match v with
+    | Ir.Const _ -> v
+    | Ir.Temp t -> (
+      if depth > max_clone_depth then begin
+        fully := false;
+        v
+      end
+      else
+        match Hashtbl.find_opt defs t with
+        | Some (Ir.Load { src; volatile = false; _ }) ->
+          let dst = temp fresh in
+          instrs := Ir.Load { dst; src; volatile = false } :: !instrs;
+          Ir.Temp dst
+        | Some (Ir.Binop { op; lhs; rhs; _ }) ->
+          let lhs = go (depth + 1) lhs in
+          let rhs = go (depth + 1) rhs in
+          let dst = temp fresh in
+          instrs := Ir.Binop { dst; op; lhs; rhs } :: !instrs;
+          Ir.Temp dst
+        | Some (Ir.Icmp { op; lhs; rhs; _ }) ->
+          let lhs = go (depth + 1) lhs in
+          let rhs = go (depth + 1) rhs in
+          let dst = temp fresh in
+          instrs := Ir.Icmp { dst; op; lhs; rhs } :: !instrs;
+          Ir.Temp dst
+        | Some (Ir.Load { volatile = true; _ })
+        | Some (Ir.Call _)
+        | Some (Ir.Store _)
+        | None ->
+          (* volatile data, side effects, or parameters-by-convention:
+             reuse the already-computed value *)
+          fully := false;
+          v)
+  in
+  let value = go 0 root in
+  { instrs = List.rev !instrs; value; replicated = !fully }
+
+let verify_or_fail pass_name m =
+  match Ir.Verify.modul m with
+  | [] -> ()
+  | violations ->
+    invalid_arg
+      (Fmt.str "GlitchResistor pass %s broke the module:@ %a" pass_name
+         Fmt.(list ~sep:cut Ir.Verify.pp_violation)
+         violations)

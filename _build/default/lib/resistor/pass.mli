@@ -1,0 +1,32 @@
+(** Shared infrastructure for GlitchResistor's IR passes: fresh temp and
+    label allocation, use-def lookup, and the operand-chain cloner used
+    by the redundancy passes. *)
+
+type fresh
+
+val fresh_for : Ir.func -> fresh
+val temp : fresh -> int
+val label : fresh -> string -> string
+(** Unique labels of the form ["gr.<hint>.<n>"]. *)
+
+val def_map : Ir.func -> (int, Ir.instr) Hashtbl.t
+(** Temp index -> defining instruction (temps are write-once). *)
+
+type clone_result = {
+  instrs : Ir.instr list;  (** replicated computation, in order *)
+  value : Ir.value;  (** the replicated result *)
+  replicated : bool;
+      (** false if the chain had to reuse the original value because it
+          reaches a volatile load, a call, or exceeds the depth bound *)
+}
+
+val clone_chain :
+  fresh -> (int, Ir.instr) Hashtbl.t -> Ir.value -> clone_result
+(** Replicate the computation producing a value with fresh temps
+    (Section VI-B: "replicates any instructions that are needed to
+    calculate the comparison"). Volatile loads and call results are not
+    replicated — the original temp is reused, as in the paper. *)
+
+val verify_or_fail : string -> Ir.modul -> unit
+(** Run the IR verifier after a pass; raise with the pass name on
+    violation (pass bugs must never produce silently-broken firmware). *)

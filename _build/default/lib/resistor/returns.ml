@@ -1,0 +1,148 @@
+type report = {
+  instrumented : (string * (int * int) list) list;
+  considered : int;
+}
+
+(* Constants a function returns, or None if any return is non-constant
+   (or the function is void). *)
+let return_constants (f : Ir.func) =
+  let constants = ref [] and constant_only = ref f.returns_value in
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Ir.Ret (Some (Ir.Const c)) ->
+        if not (List.mem c !constants) then constants := c :: !constants
+      | Ir.Ret (Some (Ir.Temp _)) | Ir.Ret None -> constant_only := false
+      | Ir.Br _ | Ir.Cond_br _ | Ir.Switch _ | Ir.Unreachable -> ())
+    f.blocks;
+  if !constant_only && !constants <> [] then Some (List.rev !constants) else None
+
+(* Do all uses of call results of [callee] across the module consist of
+   direct comparisons against its return constants? Collect the use
+   sites. *)
+let comparison_uses_only (m : Ir.modul) callee constants =
+  let ok = ref true in
+  let result_temps = Hashtbl.create 8 in
+  (* per function: find temps holding callee's result, then scan uses *)
+  let sites = ref [] in
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.reset result_temps;
+      Ir.iter_instrs f (fun _ i ->
+          match i with
+          | Ir.Call { dst = Some d; callee = c; _ } when c = callee ->
+            Hashtbl.replace result_temps d ()
+          | _ -> ());
+      if Hashtbl.length result_temps > 0 then begin
+        let uses_result v =
+          match v with Ir.Temp t -> Hashtbl.mem result_temps t | Ir.Const _ -> false
+        in
+        List.iter
+          (fun (b : Ir.block) ->
+            List.iter
+              (fun i ->
+                match i with
+                | Ir.Icmp { op = Ir.Eq | Ir.Ne; lhs; rhs; _ }
+                  when uses_result lhs || uses_result rhs -> (
+                  (* must compare against one of the known constants *)
+                  match (lhs, rhs) with
+                  | Ir.Temp _, Ir.Const k | Ir.Const k, Ir.Temp _ ->
+                    if List.mem k constants then
+                      sites := (f, b, i) :: !sites
+                    else ok := false
+                  | _ -> ok := false)
+                | Ir.Icmp { lhs; rhs; _ }
+                  when uses_result lhs || uses_result rhs ->
+                  (* ordered comparison: diversified codes are unordered *)
+                  ok := false
+                | Ir.Load _ | Ir.Icmp _ -> ()
+                | Ir.Store { src; _ } -> if uses_result src then ok := false
+                | Ir.Binop { lhs; rhs; _ } ->
+                  if uses_result lhs || uses_result rhs then ok := false
+                | Ir.Call { args; _ } ->
+                  if List.exists uses_result args then ok := false)
+              b.instrs;
+            match b.term with
+            | Ir.Cond_br { cond; _ } ->
+              (* raw truth-test of the result is not a constant compare *)
+              if uses_result cond then ok := false
+            | Ir.Switch { value; _ } ->
+              (* switching on a diversified result would need every case
+                 rewritten; conservatively skip *)
+              if uses_result value then ok := false
+            | Ir.Ret (Some v) -> if uses_result v then ok := false
+            | Ir.Br _ | Ir.Ret None | Ir.Unreachable -> ())
+          f.blocks
+      end)
+    m.funcs;
+  if !ok then Some !sites else None
+
+let rewrite_function (m : Ir.modul) (f : Ir.func) constants =
+  let mapping =
+    List.mapi
+      (fun i c -> (c, Reedsolomon.Diversify.value ~width_bytes:4 (i + 1)))
+      constants
+  in
+  (* returns *)
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Ir.Ret (Some (Ir.Const c)) ->
+        b.term <- Ir.Ret (Some (Ir.Const (List.assoc c mapping)))
+      | Ir.Ret _ | Ir.Br _ | Ir.Cond_br _ | Ir.Switch _ | Ir.Unreachable -> ())
+    f.blocks;
+  (* call-site comparisons: rewrite the compared constant *)
+  List.iter
+    (fun (g : Ir.func) ->
+      let result_temps = Hashtbl.create 8 in
+      Ir.iter_instrs g (fun _ i ->
+          match i with
+          | Ir.Call { dst = Some d; callee; _ } when callee = f.fname ->
+            Hashtbl.replace result_temps d ()
+          | _ -> ());
+      if Hashtbl.length result_temps > 0 then
+        List.iter
+          (fun (b : Ir.block) ->
+            b.instrs <-
+              List.map
+                (fun i ->
+                  match i with
+                  | Ir.Icmp ({ op = Ir.Eq | Ir.Ne; lhs; rhs; _ } as r) -> (
+                    let is_result v =
+                      match v with
+                      | Ir.Temp t -> Hashtbl.mem result_temps t
+                      | Ir.Const _ -> false
+                    in
+                    match (lhs, rhs) with
+                    | l, Ir.Const k when is_result l && List.mem_assoc k mapping ->
+                      Ir.Icmp { r with rhs = Ir.Const (List.assoc k mapping) }
+                    | Ir.Const k, r' when is_result r' && List.mem_assoc k mapping ->
+                      Ir.Icmp
+                        { r with lhs = Ir.Const (List.assoc k mapping) }
+                    | _ -> i)
+                  | _ -> i)
+                b.instrs)
+          g.blocks)
+    m.funcs;
+  mapping
+
+let run (m : Ir.modul) =
+  let considered = ref 0 in
+  let instrumented = ref [] in
+  List.iter
+    (fun (f : Ir.func) ->
+      match return_constants f with
+      | None -> ()
+      | Some constants -> (
+        incr considered;
+        match comparison_uses_only m f.fname constants with
+        | None | Some [] ->
+          (* unsafe uses, or no comparison sites at all (e.g. an entry
+             point nobody calls): nothing to gain, leave it alone *)
+          ()
+        | Some (_ :: _) ->
+          let mapping = rewrite_function m f constants in
+          instrumented := (f.fname, mapping) :: !instrumented))
+    m.funcs;
+  Pass.verify_or_fail "returns" m;
+  { instrumented = List.rev !instrumented; considered = !considered }

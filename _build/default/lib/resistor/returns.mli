@@ -1,0 +1,18 @@
+(** Non-trivial return codes (Section VI-A): functions that only ever
+    return constants, whose results are used exclusively in comparisons
+    against those same constants, get their return values (and the
+    compared-against literals) replaced by Reed-Solomon diversified
+    constants. A glitched return value then lands at Hamming distance
+    >= 8 from every valid code instead of 1.
+
+    Mirroring the paper's soundness restrictions, a function is skipped
+    when any return is computed, or any caller stores/propagates the
+    result beyond a direct constant comparison. *)
+
+type report = {
+  instrumented : (string * (int * int) list) list;
+      (** function -> (original constant, diversified constant) *)
+  considered : int;  (** functions examined *)
+}
+
+val run : Ir.modul -> report

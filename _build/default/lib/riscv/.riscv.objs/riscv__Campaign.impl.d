@@ -1,0 +1,1 @@
+lib/riscv/campaign.ml: Array Codec Exec Glitch_emu Instr List Machine Seq Stats String

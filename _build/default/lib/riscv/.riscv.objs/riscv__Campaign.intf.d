@@ -1,0 +1,1 @@
+lib/riscv/campaign.mli: Glitch_emu Instr

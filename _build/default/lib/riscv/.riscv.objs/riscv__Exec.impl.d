@@ -1,0 +1,1 @@
+lib/riscv/exec.ml: Array Codec Fmt Instr Machine

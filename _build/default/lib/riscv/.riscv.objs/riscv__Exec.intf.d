@@ -1,0 +1,1 @@
+lib/riscv/exec.mli: Fmt Instr Machine

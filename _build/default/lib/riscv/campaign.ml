@@ -1,0 +1,156 @@
+type config = {
+  flip : Glitch_emu.Fault_model.flip;
+  samples_per_weight : int;
+  seed : int;
+  max_steps : int;
+}
+
+let default_config flip =
+  { flip; samples_per_weight = 600; seed = 0x155C_5EED; max_steps = 200 }
+
+type testcase = { name : string; instrs : Instr.t list; target_index : int }
+
+let skip_reg = 5
+let skip_marker = 0xAD
+let normal_marker = 0xAA
+
+(* Register values that make each condition hold, so the branch is
+   taken and the skip marker is dead code unglitched. *)
+let setup_for (cond : Instr.branch_cond) =
+  match cond with
+  | BEQ -> (4, 4)
+  | BNE -> (1, 0)
+  | BLT -> (-1, 0)
+  | BGE -> (1, 0)
+  | BLTU -> (0, 1)
+  | BGEU -> (1, 0)
+
+let conditional_branch cond =
+  let a, b = setup_for cond in
+  { name = String.uppercase_ascii (Instr.branch_cond_name cond);
+    instrs =
+      [ Instr.Op_imm (ADDI, 10, 0, a);
+        Instr.Op_imm (ADDI, 11, 0, b);
+        Instr.Branch (cond, 10, 11, 8);
+        Instr.Op_imm (ADDI, skip_reg, 0, skip_marker);
+        Instr.Op_imm (ADDI, 6, 0, normal_marker);
+        Instr.Ebreak ];
+    target_index = 2 }
+
+let all_conditional_branches = List.map conditional_branch Instr.branch_conds
+
+(* --- rig ------------------------------------------------------------------ *)
+
+let flash_base = 0x08000000
+let flash_size = 0x400
+let sram_base = 0x20000000
+let sram_size = 0x400
+
+type rig = { mem : Machine.Memory.t; words : int array }
+
+let make_rig case =
+  let mem = Machine.Memory.create () in
+  Machine.Memory.map mem ~addr:flash_base ~size:flash_size;
+  Machine.Memory.map mem ~addr:sram_base ~size:sram_size;
+  { mem; words = Array.of_list (Codec.encode_program case.instrs) }
+
+let write_program rig ~target_word case =
+  Machine.Memory.clear rig.mem;
+  Array.iteri
+    (fun i w ->
+      let w = if i = case.target_index then target_word else w in
+      match Machine.Memory.write_u32 rig.mem (flash_base + (4 * i)) w with
+      | Ok () -> ()
+      | Error _ -> assert false)
+    rig.words
+
+let classify cpu (stop : Exec.stop) : Glitch_emu.Campaign.category =
+  match stop with
+  | Exec.Ebreak_hit ->
+    if Exec.get cpu skip_reg = skip_marker then Glitch_emu.Campaign.Success
+    else Glitch_emu.Campaign.No_effect
+  | Exec.Bad_read _ | Exec.Bad_write _ -> Glitch_emu.Campaign.Bad_read
+  | Exec.Bad_fetch _ -> Glitch_emu.Campaign.Bad_fetch
+  | Exec.Invalid_instruction _ -> Glitch_emu.Campaign.Invalid_instruction
+  | Exec.Ecall_trap | Exec.Step_limit -> Glitch_emu.Campaign.Failed
+
+let run_mask config rig case ~mask =
+  let word =
+    Glitch_emu.Fault_model.apply config.flip ~mask
+      rig.words.(case.target_index)
+    land 0xFFFFFFFF
+  in
+  write_program rig ~target_word:word case;
+  let cpu = Exec.create_cpu ~sp:(sram_base + sram_size - 16) ~pc:flash_base () in
+  let stop = Exec.run ~max_steps:config.max_steps rig.mem cpu in
+  classify cpu stop
+
+let run_one config case ~mask = run_mask config (make_rig case) case ~mask
+
+(* xorshift-based deterministic mask sampling for high weights *)
+let sample_mask state ~weight =
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) land 0x3FFFFFFFFFFFFFFF in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) land 0x3FFFFFFFFFFFFFFF in
+    state := x;
+    x
+  in
+  (* choose [weight] distinct bit positions *)
+  let chosen = Array.make 32 false in
+  let placed = ref 0 in
+  while !placed < weight do
+    let bit = next () land 31 in
+    if not chosen.(bit) then begin
+      chosen.(bit) <- true;
+      incr placed
+    end
+  done;
+  Array.to_seqi chosen
+  |> Seq.fold_left (fun acc (i, on) -> if on then acc lor (1 lsl i) else acc) 0
+
+type result = {
+  case : testcase;
+  config : config;
+  by_weight : (int * int array) list;
+  totals : int array;
+}
+
+let ncat = List.length Glitch_emu.Campaign.categories
+
+let run_case config case =
+  let rig = make_rig case in
+  let totals = Array.make ncat 0 in
+  let state = ref (config.seed lor 1) in
+  let by_weight =
+    List.init 33 (fun weight ->
+        let counts = Array.make ncat 0 in
+        let record mask =
+          let cat = run_mask config rig case ~mask in
+          let idx = Glitch_emu.Campaign.category_index cat in
+          counts.(idx) <- counts.(idx) + 1;
+          if weight > 0 then totals.(idx) <- totals.(idx) + 1
+        in
+        let exhaustive = Glitch_emu.Bitmask.choose 32 weight in
+        if weight <= 2 then
+          Glitch_emu.Bitmask.iter_of_weight ~width:32 ~weight record
+        else begin
+          let n = min exhaustive config.samples_per_weight in
+          for _ = 1 to n do
+            record (sample_mask state ~weight)
+          done
+        end;
+        (Array.fold_left ( + ) 0 counts, counts))
+  in
+  { case; config; by_weight; totals }
+
+let success_percent r =
+  let num = r.totals.(Glitch_emu.Campaign.category_index Glitch_emu.Campaign.Success) in
+  let den = Array.fold_left ( + ) 0 r.totals in
+  Stats.Rate.pct ~num ~den
+
+let category_percent r cat =
+  let num = r.totals.(Glitch_emu.Campaign.category_index cat) in
+  let den = Array.fold_left ( + ) 0 r.totals in
+  Stats.Rate.pct ~num ~den

@@ -1,0 +1,50 @@
+(** The Figure 2 experiment ported to RV32I — the cross-ISA study the
+    paper could not run without fabricating silicon.
+
+    32-bit encodings make exhaustive mask enumeration infeasible
+    (2^32 per instruction), so low weights (0-2 flipped bits) are
+    exhaustive and higher weights are sampled deterministically; rates
+    are reported per weight exactly as for Thumb. Outcome categories are
+    shared with {!Glitch_emu.Campaign} so the two ISAs classify runs
+    identically.
+
+    Note a structural difference that matters to the paper's
+    hypothesis: RV32I's all-zero word is architecturally an illegal
+    instruction (as is all-ones), i.e. RISC-V ships the "make 0x0000
+    invalid" ISA hardening of Figure 2(c) by construction. *)
+
+type config = {
+  flip : Glitch_emu.Fault_model.flip;
+  samples_per_weight : int;  (** for weights whose C(32,k) exceeds it *)
+  seed : int;
+  max_steps : int;
+}
+
+val default_config : Glitch_emu.Fault_model.flip -> config
+
+type testcase = {
+  name : string;
+  instrs : Instr.t list;
+  target_index : int;
+}
+
+val conditional_branch : Instr.branch_cond -> testcase
+val all_conditional_branches : testcase list
+
+val run_one :
+  config -> testcase -> mask:int -> Glitch_emu.Campaign.category
+
+type result = {
+  case : testcase;
+  config : config;
+  by_weight : (int * int array) list;
+      (** (attempted masks, per-category counts) indexed by weight 0-32 *)
+  totals : int array;
+}
+
+val run_case : config -> testcase -> result
+
+val success_percent : result -> float
+(** Share of modified-mask runs that skipped the branch. *)
+
+val category_percent : result -> Glitch_emu.Campaign.category -> float

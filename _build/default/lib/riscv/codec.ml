@@ -1,0 +1,205 @@
+let mask32 v = v land 0xFFFFFFFF
+
+let check name v lo hi =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Riscv.Codec: %s = %d out of [%d, %d]" name v lo hi)
+
+let reg name r = check name r 0 31; r
+
+let sign_extend bits v =
+  let m = 1 lsl (bits - 1) in
+  ((v land ((1 lsl bits) - 1)) lxor m) - m
+
+(* format builders *)
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  check "imm12" imm (-2048) 2047;
+  ((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  check "imm12" imm (-2048) 2047;
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((imm land 0x1F) lsl 7) lor opcode
+
+let b_type ~off ~rs2 ~rs1 ~funct3 =
+  check "branch offset" off (-4096) 4094;
+  if off land 1 <> 0 then invalid_arg "Riscv.Codec: odd branch offset";
+  let imm = off land 0x1FFF in
+  let bit n = (imm lsr n) land 1 in
+  (bit 12 lsl 31)
+  lor (((imm lsr 5) land 0x3F) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((imm lsr 1) land 0xF) lsl 8)
+  lor (bit 11 lsl 7) lor 0b1100011
+
+let branch_funct3 = function
+  | Instr.BEQ -> 0b000 | Instr.BNE -> 0b001 | Instr.BLT -> 0b100
+  | Instr.BGE -> 0b101 | Instr.BLTU -> 0b110 | Instr.BGEU -> 0b111
+
+let load_funct3 = function
+  | Instr.LB -> 0b000 | Instr.LH -> 0b001 | Instr.LW -> 0b010
+  | Instr.LBU -> 0b100 | Instr.LHU -> 0b101
+
+let store_funct3 = function Instr.SB -> 0b000 | Instr.SH -> 0b001 | Instr.SW -> 0b010
+
+let encode (i : Instr.t) =
+  match i with
+  | Lui (rd, imm) ->
+    if imm land 0xFFF <> 0 then invalid_arg "Riscv.Codec: lui imm low bits";
+    (mask32 imm land 0xFFFFF000) lor (reg "rd" rd lsl 7) lor 0b0110111
+  | Auipc (rd, imm) ->
+    if imm land 0xFFF <> 0 then invalid_arg "Riscv.Codec: auipc imm low bits";
+    (mask32 imm land 0xFFFFF000) lor (reg "rd" rd lsl 7) lor 0b0010111
+  | Jal (rd, off) ->
+    check "jal offset" off (-1048576) 1048574;
+    if off land 1 <> 0 then invalid_arg "Riscv.Codec: odd jal offset";
+    let imm = off land 0x1FFFFF in
+    let bit n = (imm lsr n) land 1 in
+    (bit 20 lsl 31)
+    lor (((imm lsr 1) land 0x3FF) lsl 21)
+    lor (bit 11 lsl 20)
+    lor (((imm lsr 12) land 0xFF) lsl 12)
+    lor (reg "rd" rd lsl 7) lor 0b1101111
+  | Jalr (rd, rs1, imm) ->
+    i_type ~imm ~rs1:(reg "rs1" rs1) ~funct3:0 ~rd:(reg "rd" rd) ~opcode:0b1100111
+  | Branch (c, rs1, rs2, off) ->
+    b_type ~off ~rs2:(reg "rs2" rs2) ~rs1:(reg "rs1" rs1)
+      ~funct3:(branch_funct3 c)
+  | Load (w, rd, rs1, imm) ->
+    i_type ~imm ~rs1:(reg "rs1" rs1) ~funct3:(load_funct3 w) ~rd:(reg "rd" rd)
+      ~opcode:0b0000011
+  | Store (w, rs1, rs2, imm) ->
+    s_type ~imm ~rs2:(reg "rs2" rs2) ~rs1:(reg "rs1" rs1)
+      ~funct3:(store_funct3 w) ~opcode:0b0100011
+  | Op_imm (SLLI, rd, rs1, sh) ->
+    check "shamt" sh 0 31;
+    r_type ~funct7:0 ~rs2:sh ~rs1:(reg "rs1" rs1) ~funct3:0b001
+      ~rd:(reg "rd" rd) ~opcode:0b0010011
+  | Op_imm (SRLI, rd, rs1, sh) ->
+    check "shamt" sh 0 31;
+    r_type ~funct7:0 ~rs2:sh ~rs1:(reg "rs1" rs1) ~funct3:0b101
+      ~rd:(reg "rd" rd) ~opcode:0b0010011
+  | Op_imm (SRAI, rd, rs1, sh) ->
+    check "shamt" sh 0 31;
+    r_type ~funct7:0b0100000 ~rs2:sh ~rs1:(reg "rs1" rs1) ~funct3:0b101
+      ~rd:(reg "rd" rd) ~opcode:0b0010011
+  | Op_imm (op, rd, rs1, imm) ->
+    let funct3 =
+      match op with
+      | ADDI -> 0b000 | SLTI -> 0b010 | SLTIU -> 0b011 | XORI -> 0b100
+      | ORI -> 0b110 | ANDI -> 0b111
+      | SLLI | SRLI | SRAI -> assert false
+    in
+    i_type ~imm ~rs1:(reg "rs1" rs1) ~funct3 ~rd:(reg "rd" rd) ~opcode:0b0010011
+  | Op (op, rd, rs1, rs2) ->
+    let funct3, funct7 =
+      match op with
+      | ADD -> (0b000, 0) | SUB -> (0b000, 0b0100000) | SLL -> (0b001, 0)
+      | SLT -> (0b010, 0) | SLTU -> (0b011, 0) | XOR -> (0b100, 0)
+      | SRL -> (0b101, 0) | SRA -> (0b101, 0b0100000) | OR -> (0b110, 0)
+      | AND -> (0b111, 0)
+    in
+    r_type ~funct7 ~rs2:(reg "rs2" rs2) ~rs1:(reg "rs1" rs1) ~funct3
+      ~rd:(reg "rd" rd) ~opcode:0b0110011
+  | Fence -> 0b0001111
+  | Ecall -> 0b1110011
+  | Ebreak -> (1 lsl 20) lor 0b1110011
+  | Undefined w ->
+    check "word" w 0 0xFFFFFFFF;
+    w
+
+let decode w : Instr.t =
+  if w < 0 || w > 0xFFFFFFFF then invalid_arg "Riscv.Codec.decode: not 32-bit";
+  if w land 0b11 <> 0b11 then Instr.Undefined w
+  else begin
+    let opcode = w land 0x7F in
+    let rd = (w lsr 7) land 0x1F in
+    let funct3 = (w lsr 12) land 0x7 in
+    let rs1 = (w lsr 15) land 0x1F in
+    let rs2 = (w lsr 20) land 0x1F in
+    let funct7 = (w lsr 25) land 0x7F in
+    let imm_i = sign_extend 12 (w lsr 20) in
+    match opcode with
+    | 0b0110111 -> Instr.Lui (rd, w land 0xFFFFF000)
+    | 0b0010111 -> Instr.Auipc (rd, w land 0xFFFFF000)
+    | 0b1101111 ->
+      let bit n = (w lsr n) land 1 in
+      let off =
+        (bit 31 lsl 20)
+        lor (((w lsr 12) land 0xFF) lsl 12)
+        lor (bit 20 lsl 11)
+        lor (((w lsr 21) land 0x3FF) lsl 1)
+      in
+      Instr.Jal (rd, sign_extend 21 off)
+    | 0b1100111 when funct3 = 0 -> Instr.Jalr (rd, rs1, imm_i)
+    | 0b1100011 -> (
+      let bit n = (w lsr n) land 1 in
+      let off =
+        (bit 31 lsl 12)
+        lor (bit 7 lsl 11)
+        lor (((w lsr 25) land 0x3F) lsl 5)
+        lor (((w lsr 8) land 0xF) lsl 1)
+      in
+      let off = sign_extend 13 off in
+      match funct3 with
+      | 0b000 -> Instr.Branch (BEQ, rs1, rs2, off)
+      | 0b001 -> Instr.Branch (BNE, rs1, rs2, off)
+      | 0b100 -> Instr.Branch (BLT, rs1, rs2, off)
+      | 0b101 -> Instr.Branch (BGE, rs1, rs2, off)
+      | 0b110 -> Instr.Branch (BLTU, rs1, rs2, off)
+      | 0b111 -> Instr.Branch (BGEU, rs1, rs2, off)
+      | _ -> Instr.Undefined w)
+    | 0b0000011 -> (
+      match funct3 with
+      | 0b000 -> Instr.Load (LB, rd, rs1, imm_i)
+      | 0b001 -> Instr.Load (LH, rd, rs1, imm_i)
+      | 0b010 -> Instr.Load (LW, rd, rs1, imm_i)
+      | 0b100 -> Instr.Load (LBU, rd, rs1, imm_i)
+      | 0b101 -> Instr.Load (LHU, rd, rs1, imm_i)
+      | _ -> Instr.Undefined w)
+    | 0b0100011 -> (
+      let imm = sign_extend 12 ((funct7 lsl 5) lor rd) in
+      match funct3 with
+      | 0b000 -> Instr.Store (SB, rs1, rs2, imm)
+      | 0b001 -> Instr.Store (SH, rs1, rs2, imm)
+      | 0b010 -> Instr.Store (SW, rs1, rs2, imm)
+      | _ -> Instr.Undefined w)
+    | 0b0010011 -> (
+      match funct3 with
+      | 0b000 -> Instr.Op_imm (ADDI, rd, rs1, imm_i)
+      | 0b010 -> Instr.Op_imm (SLTI, rd, rs1, imm_i)
+      | 0b011 -> Instr.Op_imm (SLTIU, rd, rs1, imm_i)
+      | 0b100 -> Instr.Op_imm (XORI, rd, rs1, imm_i)
+      | 0b110 -> Instr.Op_imm (ORI, rd, rs1, imm_i)
+      | 0b111 -> Instr.Op_imm (ANDI, rd, rs1, imm_i)
+      | 0b001 when funct7 = 0 -> Instr.Op_imm (SLLI, rd, rs1, rs2)
+      | 0b101 when funct7 = 0 -> Instr.Op_imm (SRLI, rd, rs1, rs2)
+      | 0b101 when funct7 = 0b0100000 -> Instr.Op_imm (SRAI, rd, rs1, rs2)
+      | _ -> Instr.Undefined w)
+    | 0b0110011 -> (
+      match (funct3, funct7) with
+      | 0b000, 0 -> Instr.Op (ADD, rd, rs1, rs2)
+      | 0b000, 0b0100000 -> Instr.Op (SUB, rd, rs1, rs2)
+      | 0b001, 0 -> Instr.Op (SLL, rd, rs1, rs2)
+      | 0b010, 0 -> Instr.Op (SLT, rd, rs1, rs2)
+      | 0b011, 0 -> Instr.Op (SLTU, rd, rs1, rs2)
+      | 0b100, 0 -> Instr.Op (XOR, rd, rs1, rs2)
+      | 0b101, 0 -> Instr.Op (SRL, rd, rs1, rs2)
+      | 0b101, 0b0100000 -> Instr.Op (SRA, rd, rs1, rs2)
+      | 0b110, 0 -> Instr.Op (OR, rd, rs1, rs2)
+      | 0b111, 0 -> Instr.Op (AND, rd, rs1, rs2)
+      | _ -> Instr.Undefined w)
+    | 0b0001111 when w = 0b0001111 -> Instr.Fence
+    | 0b1110011 when funct3 = 0 && rs1 = 0 && rd = 0 ->
+      if w lsr 20 = 0 then Instr.Ecall
+      else if w lsr 20 = 1 then Instr.Ebreak
+      else Instr.Undefined w
+    | _ -> Instr.Undefined w
+  end
+
+let encode_program is = List.map encode is

@@ -1,0 +1,16 @@
+(** Bit-exact RV32I encoder and total decoder.
+
+    Like the Thumb pair, the decoder is total over the 32-bit word
+    space so perturbed encodings always classify: anything outside the
+    RV32I base set — including the entire 16-bit-compressed space
+    (low bits not [11]) and the all-zero / all-one words the spec
+    reserves as illegal — decodes to [Undefined]. *)
+
+val encode : Instr.t -> int
+(** @raise Invalid_argument on out-of-range fields. [Undefined w]
+    round-trips as [w]. *)
+
+val decode : int -> Instr.t
+(** Total over [0, 0xFFFFFFFF]. *)
+
+val encode_program : Instr.t list -> int list

@@ -1,0 +1,152 @@
+type cpu = { regs : int array; mutable pc : int }
+
+let mask32 v = v land 0xFFFFFFFF
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let create_cpu ?(sp = 0) ?(pc = 0) () =
+  let regs = Array.make 32 0 in
+  regs.(2) <- mask32 sp;
+  { regs; pc = mask32 pc }
+
+let get cpu r = if r = 0 then 0 else cpu.regs.(r)
+let set cpu r v = if r <> 0 then cpu.regs.(r) <- mask32 v
+
+type stop =
+  | Ebreak_hit
+  | Ecall_trap
+  | Bad_read of int
+  | Bad_write of int
+  | Bad_fetch of int
+  | Invalid_instruction of int
+  | Step_limit
+
+let pp_stop ppf = function
+  | Ebreak_hit -> Fmt.string ppf "ebreak"
+  | Ecall_trap -> Fmt.string ppf "ecall"
+  | Bad_read a -> Fmt.pf ppf "bad read at 0x%08x" a
+  | Bad_write a -> Fmt.pf ppf "bad write at 0x%08x" a
+  | Bad_fetch a -> Fmt.pf ppf "bad fetch at 0x%08x" a
+  | Invalid_instruction w -> Fmt.pf ppf "invalid instruction 0x%08x" w
+  | Step_limit -> Fmt.string ppf "step limit exhausted"
+
+type step_result = Running | Stopped of stop
+
+let sign_extend_8 v = if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
+let sign_extend_16 v = if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
+
+let branch_taken cond a b =
+  let sa = to_signed a and sb = to_signed b in
+  match (cond : Instr.branch_cond) with
+  | BEQ -> a = b
+  | BNE -> a <> b
+  | BLT -> sa < sb
+  | BGE -> sa >= sb
+  | BLTU -> a < b
+  | BGEU -> a >= b
+
+let alu_imm (op : Instr.alu_imm_op) a imm =
+  match op with
+  | ADDI -> mask32 (a + imm)
+  | SLTI -> if to_signed a < imm then 1 else 0
+  | SLTIU -> if a < mask32 imm then 1 else 0
+  | XORI -> mask32 (a lxor mask32 imm)
+  | ORI -> mask32 (a lor mask32 imm)
+  | ANDI -> a land mask32 imm
+  | SLLI -> mask32 (a lsl (imm land 31))
+  | SRLI -> a lsr (imm land 31)
+  | SRAI -> mask32 (to_signed a asr (imm land 31))
+
+let alu (op : Instr.alu_op) a b =
+  match op with
+  | ADD -> mask32 (a + b)
+  | SUB -> mask32 (a - b)
+  | SLL -> mask32 (a lsl (b land 31))
+  | SLT -> if to_signed a < to_signed b then 1 else 0
+  | SLTU -> if a < b then 1 else 0
+  | XOR -> a lxor b
+  | SRL -> a lsr (b land 31)
+  | SRA -> mask32 (to_signed a asr (b land 31))
+  | OR -> a lor b
+  | AND -> a land b
+
+let execute mem cpu (i : Instr.t) : step_result =
+  let pc = cpu.pc in
+  let next = ref (pc + 4) in
+  let stop = ref None in
+  (match i with
+  | Lui (rd, imm) -> set cpu rd imm
+  | Auipc (rd, imm) -> set cpu rd (mask32 (pc + imm))
+  | Jal (rd, off) ->
+    set cpu rd (pc + 4);
+    next := mask32 (pc + off)
+  | Jalr (rd, rs1, imm) ->
+    let target = mask32 (get cpu rs1 + imm) land lnot 1 in
+    set cpu rd (pc + 4);
+    next := target
+  | Branch (cond, rs1, rs2, off) ->
+    if branch_taken cond (get cpu rs1) (get cpu rs2) then
+      next := mask32 (pc + off)
+  | Load (w, rd, rs1, imm) -> (
+    let addr = mask32 (get cpu rs1 + imm) in
+    let result =
+      match w with
+      | LW -> Machine.Memory.read_u32 mem addr
+      | LH | LHU -> Machine.Memory.read_u16 mem addr
+      | LB | LBU -> Machine.Memory.read_u8 mem addr
+    in
+    match result with
+    | Error (Machine.Memory.Unmapped a | Machine.Memory.Unaligned a) ->
+      stop := Some (Bad_read a)
+    | Ok v ->
+      let v =
+        match w with
+        | LB -> sign_extend_8 v
+        | LH -> sign_extend_16 v
+        | LW | LBU | LHU -> v
+      in
+      set cpu rd v)
+  | Store (w, rs1, rs2, imm) -> (
+    let addr = mask32 (get cpu rs1 + imm) in
+    let v = get cpu rs2 in
+    let result =
+      match w with
+      | SW -> Machine.Memory.write_u32 mem addr v
+      | SH -> Machine.Memory.write_u16 mem addr v
+      | SB -> Machine.Memory.write_u8 mem addr v
+    in
+    match result with
+    | Error (Machine.Memory.Unmapped a | Machine.Memory.Unaligned a) ->
+      stop := Some (Bad_write a)
+    | Ok () -> ())
+  | Op_imm (op, rd, rs1, imm) -> set cpu rd (alu_imm op (get cpu rs1) imm)
+  | Op (op, rd, rs1, rs2) -> set cpu rd (alu op (get cpu rs1) (get cpu rs2))
+  | Fence -> ()
+  | Ecall -> stop := Some Ecall_trap
+  | Ebreak -> stop := Some Ebreak_hit
+  | Undefined w -> stop := Some (Invalid_instruction w));
+  match !stop with
+  | Some s -> Stopped s
+  | None ->
+    (* instruction-address-misaligned: branch targets must be 4-aligned
+       in RV32I (no compressed extension here) *)
+    if !next land 3 <> 0 then Stopped (Bad_fetch !next)
+    else begin
+      cpu.pc <- !next;
+      Running
+    end
+
+let step mem cpu =
+  match Machine.Memory.read_u32 mem cpu.pc with
+  | Error (Machine.Memory.Unmapped a | Machine.Memory.Unaligned a) ->
+    Stopped (Bad_fetch a)
+  | Ok w -> execute mem cpu (Codec.decode w)
+
+let run ?(max_steps = 10_000) mem cpu =
+  let rec go remaining =
+    if remaining = 0 then Step_limit
+    else
+      match step mem cpu with
+      | Running -> go (remaining - 1)
+      | Stopped s -> s
+  in
+  go max_steps

@@ -1,0 +1,31 @@
+(** RV32I executor over the shared {!Machine.Memory}, mirroring the
+    Thumb executor's outcome taxonomy so the glitch-emulation campaign
+    can classify perturbed runs identically on both ISAs. *)
+
+type cpu = {
+  regs : int array;  (** 32 registers; [x0] reads as zero *)
+  mutable pc : int;
+}
+
+val create_cpu : ?sp:int -> ?pc:int -> unit -> cpu
+(** [sp] initialises [x2] per the standard ABI. *)
+
+val get : cpu -> int -> int
+val set : cpu -> int -> int -> unit
+
+type stop =
+  | Ebreak_hit
+  | Ecall_trap
+  | Bad_read of int
+  | Bad_write of int
+  | Bad_fetch of int
+  | Invalid_instruction of int
+  | Step_limit
+
+val pp_stop : stop Fmt.t
+
+type step_result = Running | Stopped of stop
+
+val execute : Machine.Memory.t -> cpu -> Instr.t -> step_result
+val step : Machine.Memory.t -> cpu -> step_result
+val run : ?max_steps:int -> Machine.Memory.t -> cpu -> stop

@@ -1,0 +1,72 @@
+type branch_cond = BEQ | BNE | BLT | BGE | BLTU | BGEU
+
+let branch_conds = [ BEQ; BNE; BLT; BGE; BLTU; BGEU ]
+
+let branch_cond_name = function
+  | BEQ -> "beq" | BNE -> "bne" | BLT -> "blt"
+  | BGE -> "bge" | BLTU -> "bltu" | BGEU -> "bgeu"
+
+type load_width = LB | LH | LW | LBU | LHU
+type store_width = SB | SH | SW
+
+type alu_imm_op = ADDI | SLTI | SLTIU | XORI | ORI | ANDI | SLLI | SRLI | SRAI
+
+type alu_op = ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND
+
+type t =
+  | Lui of int * int
+  | Auipc of int * int
+  | Jal of int * int
+  | Jalr of int * int * int
+  | Branch of branch_cond * int * int * int
+  | Load of load_width * int * int * int
+  | Store of store_width * int * int * int
+  | Op_imm of alu_imm_op * int * int * int
+  | Op of alu_op * int * int * int
+  | Fence
+  | Ecall
+  | Ebreak
+  | Undefined of int
+
+let nop = Op_imm (ADDI, 0, 0, 0)
+
+let is_branch = function
+  | Branch _ | Jal _ | Jalr _ -> true
+  | Lui _ | Auipc _ | Load _ | Store _ | Op_imm _ | Op _ | Fence | Ecall
+  | Ebreak | Undefined _ -> false
+
+let load_name = function
+  | LB -> "lb" | LH -> "lh" | LW -> "lw" | LBU -> "lbu" | LHU -> "lhu"
+
+let store_name = function SB -> "sb" | SH -> "sh" | SW -> "sw"
+
+let alu_imm_name = function
+  | ADDI -> "addi" | SLTI -> "slti" | SLTIU -> "sltiu" | XORI -> "xori"
+  | ORI -> "ori" | ANDI -> "andi" | SLLI -> "slli" | SRLI -> "srli"
+  | SRAI -> "srai"
+
+let alu_name = function
+  | ADD -> "add" | SUB -> "sub" | SLL -> "sll" | SLT -> "slt" | SLTU -> "sltu"
+  | XOR -> "xor" | SRL -> "srl" | SRA -> "sra" | OR -> "or" | AND -> "and"
+
+let pp ppf = function
+  | Lui (rd, imm) -> Fmt.pf ppf "lui x%d, 0x%x" rd (imm lsr 12)
+  | Auipc (rd, imm) -> Fmt.pf ppf "auipc x%d, 0x%x" rd (imm lsr 12)
+  | Jal (rd, off) -> Fmt.pf ppf "jal x%d, %d" rd off
+  | Jalr (rd, rs1, imm) -> Fmt.pf ppf "jalr x%d, x%d, %d" rd rs1 imm
+  | Branch (c, rs1, rs2, off) ->
+    Fmt.pf ppf "%s x%d, x%d, %d" (branch_cond_name c) rs1 rs2 off
+  | Load (w, rd, rs1, imm) ->
+    Fmt.pf ppf "%s x%d, %d(x%d)" (load_name w) rd imm rs1
+  | Store (w, rs1, rs2, imm) ->
+    Fmt.pf ppf "%s x%d, %d(x%d)" (store_name w) rs2 imm rs1
+  | Op_imm (op, rd, rs1, imm) ->
+    Fmt.pf ppf "%s x%d, x%d, %d" (alu_imm_name op) rd rs1 imm
+  | Op (op, rd, rs1, rs2) ->
+    Fmt.pf ppf "%s x%d, x%d, x%d" (alu_name op) rd rs1 rs2
+  | Fence -> Fmt.string ppf "fence"
+  | Ecall -> Fmt.string ppf "ecall"
+  | Ebreak -> Fmt.string ppf "ebreak"
+  | Undefined w -> Fmt.pf ppf "udf.w 0x%08x" w
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,47 @@
+(** The RV32I base instruction set (unprivileged spec v2.1), used by the
+    cross-ISA fault-tolerance study: the paper hypothesises that "a
+    minor modification to the ISA could pay large dividends" against
+    glitching but cannot test it without fabricating silicon — in
+    emulation we can, by running the Figure 2 campaign over a second,
+    architecturally different encoding (32-bit instructions, dense
+    major-opcode space, [0x00000000] architecturally *defined* as an
+    illegal instruction).
+
+    Registers are integers in [0, 31]; [x0] reads as zero. Immediates
+    are stored sign-extended where the format sign-extends. *)
+
+type branch_cond = BEQ | BNE | BLT | BGE | BLTU | BGEU
+
+val branch_conds : branch_cond list
+val branch_cond_name : branch_cond -> string
+
+type load_width = LB | LH | LW | LBU | LHU
+type store_width = SB | SH | SW
+
+type alu_imm_op = ADDI | SLTI | SLTIU | XORI | ORI | ANDI | SLLI | SRLI | SRAI
+
+type alu_op =
+  | ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND
+
+type t =
+  | Lui of int * int  (** rd, imm[31:12] (stored as the full value) *)
+  | Auipc of int * int
+  | Jal of int * int  (** rd, byte offset (signed, multiple of 2) *)
+  | Jalr of int * int * int  (** rd, rs1, imm12 *)
+  | Branch of branch_cond * int * int * int  (** rs1, rs2, byte offset *)
+  | Load of load_width * int * int * int  (** rd, rs1, imm12 *)
+  | Store of store_width * int * int * int  (** rs1, rs2 (source), imm12 *)
+  | Op_imm of alu_imm_op * int * int * int  (** rd, rs1, imm *)
+  | Op of alu_op * int * int * int  (** rd, rs1, rs2 *)
+  | Fence
+  | Ecall
+  | Ebreak
+  | Undefined of int  (** raw 32-bit word with no RV32I decoding *)
+
+val nop : t
+(** [ADDI x0, x0, 0], the canonical RISC-V NOP (encodes to 0x00000013 —
+    note that unlike Thumb, the all-zero word is NOT a nop). *)
+
+val is_branch : t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,14 @@
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let incr ?(by = 1) t key =
+  Hashtbl.replace t key (by + Option.value ~default:0 (Hashtbl.find_opt t key))
+
+let get t key = Option.value ~default:0 (Hashtbl.find_opt t key)
+let total t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (k1, v1) (k2, v2) ->
+         match compare v2 v1 with 0 -> compare k1 k2 | c -> c)

@@ -1,0 +1,11 @@
+(** String-keyed tallies used by campaign reports. *)
+
+type t
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+val total : t -> int
+
+val to_list : t -> (string * int) list
+(** Sorted by descending count, then key. *)

@@ -1,0 +1,9 @@
+let pct ~num ~den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+let pp_pct ppf p =
+  if p = 0. then Fmt.string ppf "0%"
+  else if p >= 10. then Fmt.pf ppf "%.2f%%" p
+  else if p >= 0.01 then Fmt.pf ppf "%.3f%%" p
+  else Fmt.pf ppf "%.6f%%" p
+
+let pp_count_pct ppf (num, den) = Fmt.pf ppf "%d (%a)" num pp_pct (pct ~num ~den)

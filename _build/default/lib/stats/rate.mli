@@ -1,0 +1,11 @@
+(** Percentage helpers matching the paper's reporting style
+    (e.g. "585 (0.705%)"). *)
+
+val pct : num:int -> den:int -> float
+(** 100 * num/den; 0 when [den] is 0. *)
+
+val pp_pct : Format.formatter -> float -> unit
+(** Adaptive precision: "11.35%", "0.705%", "0.000306%". *)
+
+val pp_count_pct : Format.formatter -> int * int -> unit
+(** [(num, den)] as "num (p%)". *)

@@ -1,0 +1,30 @@
+let render ~header rows =
+  let cols = List.length header in
+  let pad row = row @ List.init (max 0 (cols - List.length row)) (fun _ -> "") in
+  let rows = List.map pad rows in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (header :: rows);
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < cols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  let rule = List.init cols (fun i -> String.make widths.(i) '-') in
+  emit rule;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)

@@ -1,0 +1,9 @@
+(** Aligned plain-text tables for reproducing the paper's tables on a
+    terminal. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays out all cells left-aligned in columns wide
+    enough for their largest member, with a rule under the header. Rows
+    shorter than the header are padded with empty cells. *)
+
+val print : header:string list -> string list list -> unit

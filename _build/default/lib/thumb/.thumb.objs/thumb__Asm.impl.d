@@ -1,0 +1,1 @@
+lib/thumb/asm.ml: Buffer Encode Fmt Hashtbl Instr List Option Reg String

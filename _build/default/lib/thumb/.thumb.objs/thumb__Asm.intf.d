@@ -1,0 +1,1 @@
+lib/thumb/asm.mli: Fmt Instr

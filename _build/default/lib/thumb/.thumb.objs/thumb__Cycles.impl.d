@@ -1,0 +1,1 @@
+lib/thumb/cycles.ml: Instr

@@ -1,0 +1,1 @@
+lib/thumb/decode.mli: Instr

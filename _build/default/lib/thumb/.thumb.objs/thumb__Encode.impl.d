@@ -1,0 +1,1 @@
+lib/thumb/encode.ml: Bytes Instr List Printf Reg

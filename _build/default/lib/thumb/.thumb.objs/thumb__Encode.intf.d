@@ -1,0 +1,1 @@
+lib/thumb/encode.mli: Instr

@@ -1,0 +1,1 @@
+lib/thumb/instr.ml: Fmt List Reg String

@@ -1,0 +1,1 @@
+lib/thumb/instr.mli: Fmt Reg

@@ -1,0 +1,1 @@
+lib/thumb/reg.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/thumb/reg.mli: Fmt

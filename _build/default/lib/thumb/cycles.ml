@@ -1,0 +1,18 @@
+let popcount byte =
+  let rec go acc b = if b = 0 then acc else go (acc + (b land 1)) (b lsr 1) in
+  go 0 byte
+
+let of_instr ~taken (i : Instr.t) =
+  match i with
+  | Shift _ | Add_sub _ | Imm _ | Alu _ | Hi_add _ | Hi_cmp _ | Hi_mov _
+  | Load_addr _ | Sp_adjust _ -> 1
+  | Ldr_pc _ | Mem_reg _ | Mem_sign _ | Mem_imm _ | Mem_half _ | Mem_sp _ -> 2
+  | Push { rlist; lr } -> 1 + popcount rlist + if lr then 1 else 0
+  | Pop { rlist; pc } -> 1 + popcount rlist + if pc then 3 else 0
+  | Stmia (_, rlist) | Ldmia (_, rlist) -> 1 + popcount rlist
+  | B_cond _ -> if taken then 3 else 1
+  | B _ -> 3
+  | Bx _ -> 3
+  | Bl_hi _ -> 1
+  | Bl_lo _ -> 3
+  | Swi _ | Bkpt _ | Undefined _ -> 1

@@ -1,0 +1,13 @@
+(** Cortex-M0 instruction timing, used by the simulated target board's
+    DWT-style cycle counter and by the clock-glitch scheduler.
+
+    Numbers follow the Cortex-M0 Technical Reference Manual: most
+    instructions are single-cycle; loads and stores take 2 cycles; taken
+    branches take 3 (1 if not taken); [BL] takes 4; [BX] takes 3;
+    multiple loads/stores take 1+N. The paper's experiments bound each
+    guard loop at 8 cycles with the branch costing 1-3, which this model
+    reproduces. *)
+
+val of_instr : taken:bool -> Instr.t -> int
+(** [of_instr ~taken i] is the number of clock cycles [i] consumes.
+    [taken] only matters for conditional branches. *)

@@ -1,0 +1,133 @@
+let sign_extend bits v =
+  let m = 1 lsl (bits - 1) in
+  (v lxor m) - m
+
+let reg = Reg.of_int
+
+let bit n w = (w lsr n) land 1
+let bits hi lo w = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+(* Miscellaneous 16-bit space, top nibble 0b1011. *)
+let decode_misc w : Instr.t =
+  match bits 11 8 w with
+  | 0b0000 ->
+    let imm7 = bits 6 0 w in
+    Instr.Sp_adjust (if bit 7 w = 1 then -imm7 else imm7)
+  | 0b0100 | 0b0101 ->
+    Instr.Push { rlist = bits 7 0 w; lr = bit 8 w = 1 }
+  | 0b1100 | 0b1101 ->
+    Instr.Pop { rlist = bits 7 0 w; pc = bit 8 w = 1 }
+  | 0b1110 -> Instr.Bkpt (bits 7 0 w)
+  | 0b0001 | 0b0010 | 0b0011 | 0b0110 | 0b0111 | 0b1000 | 0b1001 | 0b1010
+  | 0b1011 | 0b1111 -> Instr.Undefined w
+  | _ -> assert false
+
+let instr w : Instr.t =
+  if w < 0 || w > 0xFFFF then invalid_arg "Decode.instr: not a 16-bit word";
+  match bits 15 13 w with
+  | 0b000 -> (
+    match bits 12 11 w with
+    | 0b11 ->
+      Instr.Add_sub
+        { sub = bit 9 w = 1;
+          imm = bit 10 w = 1;
+          rd = reg (bits 2 0 w);
+          rs = reg (bits 5 3 w);
+          operand = bits 8 6 w }
+    | op ->
+      let shift_op =
+        match op with
+        | 0 -> Instr.Lsl
+        | 1 -> Instr.Lsr
+        | 2 -> Instr.Asr
+        | _ -> assert false
+      in
+      Instr.Shift (shift_op, reg (bits 2 0 w), reg (bits 5 3 w), bits 10 6 w))
+  | 0b001 ->
+    Instr.Imm
+      (Instr.imm_op_of_int (bits 12 11 w), reg (bits 10 8 w), bits 7 0 w)
+  | 0b010 -> (
+    match bits 12 10 w with
+    | 0b000 ->
+      Instr.Alu
+        (Instr.alu_op_of_int (bits 9 6 w), reg (bits 2 0 w), reg (bits 5 3 w))
+    | 0b001 -> (
+      let h1 = bit 7 w and h2 = bit 6 w in
+      let rd = reg ((h1 lsl 3) lor bits 2 0 w) in
+      let rm = reg ((h2 lsl 3) lor bits 5 3 w) in
+      match bits 9 8 w with
+      | 0b00 -> Instr.Hi_add (rd, rm)
+      | 0b01 -> Instr.Hi_cmp (rd, rm)
+      | 0b10 -> Instr.Hi_mov (rd, rm)
+      | 0b11 -> if h1 = 0 && bits 2 0 w = 0 then Instr.Bx rm else Instr.Undefined w
+      | _ -> assert false)
+    | 0b010 | 0b011 -> Instr.Ldr_pc (reg (bits 10 8 w), bits 7 0 w)
+    | 0b100 | 0b101 | 0b110 | 0b111 ->
+      let rd = reg (bits 2 0 w)
+      and rb = reg (bits 5 3 w)
+      and ro = reg (bits 8 6 w) in
+      if bit 9 w = 0 then
+        Instr.Mem_reg { load = bit 11 w = 1; byte = bit 10 w = 1; rd; rb; ro }
+      else
+        let op =
+          match (bit 10 w, bit 11 w) with
+          | 0, 0 -> Instr.STRH
+          | 0, 1 -> Instr.LDRH
+          | 1, 0 -> Instr.LDSB
+          | 1, 1 -> Instr.LDSH
+          | _ -> assert false
+        in
+        Instr.Mem_sign { op; rd; rb; ro }
+    | _ -> assert false)
+  | 0b011 ->
+    Instr.Mem_imm
+      { load = bit 11 w = 1;
+        byte = bit 12 w = 1;
+        rd = reg (bits 2 0 w);
+        rb = reg (bits 5 3 w);
+        imm = bits 10 6 w }
+  | 0b100 ->
+    if bit 12 w = 0 then
+      Instr.Mem_half
+        { load = bit 11 w = 1;
+          rd = reg (bits 2 0 w);
+          rb = reg (bits 5 3 w);
+          imm = bits 10 6 w }
+    else Instr.Mem_sp { load = bit 11 w = 1; rd = reg (bits 10 8 w); imm = bits 7 0 w }
+  | 0b101 ->
+    if bit 12 w = 0 then
+      Instr.Load_addr
+        { from_sp = bit 11 w = 1; rd = reg (bits 10 8 w); imm = bits 7 0 w }
+    else decode_misc w
+  | 0b110 ->
+    if bit 12 w = 0 then
+      let rb = reg (bits 10 8 w) and rlist = bits 7 0 w in
+      if bit 11 w = 1 then Instr.Ldmia (rb, rlist) else Instr.Stmia (rb, rlist)
+    else begin
+      match bits 11 8 w with
+      | 0b1111 -> Instr.Swi (bits 7 0 w)
+      | 0b1110 -> Instr.Undefined w
+      | c -> (
+        match Instr.cond_of_int c with
+        | Some cond -> Instr.B_cond (cond, sign_extend 8 (bits 7 0 w))
+        | None -> Instr.Undefined w)
+    end
+  | 0b111 -> (
+    match bits 12 11 w with
+    | 0b00 -> Instr.B (sign_extend 11 (bits 10 0 w))
+    | 0b01 -> Instr.Undefined w (* 32-bit Thumb-2 prefix space *)
+    | 0b10 -> Instr.Bl_hi (sign_extend 11 (bits 10 0 w))
+    | 0b11 -> Instr.Bl_lo (bits 10 0 w)
+    | _ -> assert false)
+  | _ -> assert false
+
+let is_undefined w =
+  match instr w with
+  | Instr.Undefined _ -> true
+  | Instr.Shift _ | Instr.Add_sub _ | Instr.Imm _ | Instr.Alu _
+  | Instr.Hi_add _ | Instr.Hi_cmp _ | Instr.Hi_mov _ | Instr.Bx _
+  | Instr.Ldr_pc _ | Instr.Mem_reg _ | Instr.Mem_sign _ | Instr.Mem_imm _
+  | Instr.Mem_half _ | Instr.Mem_sp _ | Instr.Load_addr _ | Instr.Sp_adjust _
+  | Instr.Push _ | Instr.Pop _ | Instr.Stmia _ | Instr.Ldmia _
+  | Instr.B_cond _ | Instr.Swi _ | Instr.B _ | Instr.Bl_hi _ | Instr.Bl_lo _
+  | Instr.Bkpt _ -> false

@@ -1,0 +1,15 @@
+(** Total disassembler for 16-bit Thumb words (the Capstone substitute).
+
+    Every value in [0, 0xFFFF] decodes: words with no architected
+    Thumb-16 meaning (Thumb-2 32-bit prefixes, holes in the [1011]
+    miscellaneous space, the [cond = 0b1110] branch slot) decode to
+    [Instr.Undefined]. This totality is what lets the glitch emulator
+    execute arbitrarily perturbed instruction words and classify the
+    outcome, exactly as the paper does with Unicorn/Capstone. *)
+
+val instr : int -> Instr.t
+(** [instr w] decodes the 16-bit word [w].
+    @raise Invalid_argument if [w] is outside [0, 0xFFFF]. *)
+
+val is_undefined : int -> bool
+(** [is_undefined w] is true iff [instr w] is [Undefined _]. *)

@@ -1,0 +1,142 @@
+let check name v lo hi =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Encode: %s = %d out of [%d, %d]" name v lo hi)
+
+let low name r =
+  let n = Reg.to_int r in
+  check name n 0 7;
+  n
+
+let any r = Reg.to_int r
+
+let shift_op_bits = function Instr.Lsl -> 0 | Instr.Lsr -> 1 | Instr.Asr -> 2
+
+let sign_bits = function
+  | Instr.STRH -> (0, 0)
+  | Instr.LDRH -> (0, 1)
+  | Instr.LDSB -> (1, 0)
+  | Instr.LDSH -> (1, 1)
+
+let instr (i : Instr.t) =
+  match i with
+  | Shift (op, rd, rs, imm) ->
+    check "imm5" imm 0 31;
+    (shift_op_bits op lsl 11) lor (imm lsl 6) lor (low "rs" rs lsl 3)
+    lor low "rd" rd
+  | Add_sub { sub; imm; rd; rs; operand } ->
+    check "operand" operand 0 7;
+    (0b00011 lsl 11)
+    lor ((if imm then 1 else 0) lsl 10)
+    lor ((if sub then 1 else 0) lsl 9)
+    lor (operand lsl 6) lor (low "rs" rs lsl 3) lor low "rd" rd
+  | Imm (op, rd, imm) ->
+    check "imm8" imm 0 255;
+    (0b001 lsl 13) lor (Instr.imm_op_to_int op lsl 11)
+    lor (low "rd" rd lsl 8) lor imm
+  | Alu (op, rd, rs) ->
+    (0b010000 lsl 10) lor (Instr.alu_op_to_int op lsl 6)
+    lor (low "rs" rs lsl 3) lor low "rd" rd
+  | Hi_add (rd, rm) | Hi_cmp (rd, rm) | Hi_mov (rd, rm) ->
+    let op =
+      match i with
+      | Hi_add _ -> 0
+      | Hi_cmp _ -> 1
+      | Hi_mov _ -> 2
+      | Shift _ | Add_sub _ | Imm _ | Alu _ | Bx _ | Ldr_pc _ | Mem_reg _
+      | Mem_sign _ | Mem_imm _ | Mem_half _ | Mem_sp _ | Load_addr _
+      | Sp_adjust _ | Push _ | Pop _ | Stmia _ | Ldmia _ | B_cond _ | Swi _
+      | B _ | Bl_hi _ | Bl_lo _ | Bkpt _ | Undefined _ -> assert false
+    in
+    let d = any rd and m = any rm in
+    let h1 = d lsr 3 and h2 = m lsr 3 in
+    (0b010001 lsl 10) lor (op lsl 8) lor (h1 lsl 7) lor (h2 lsl 6)
+    lor ((m land 7) lsl 3) lor (d land 7)
+  | Bx rm ->
+    let m = any rm in
+    (0b010001 lsl 10) lor (3 lsl 8) lor ((m lsr 3) lsl 6)
+    lor ((m land 7) lsl 3)
+  | Ldr_pc (rd, imm) ->
+    check "imm8" imm 0 255;
+    (0b01001 lsl 11) lor (low "rd" rd lsl 8) lor imm
+  | Mem_reg { load; byte; rd; rb; ro } ->
+    (0b0101 lsl 12)
+    lor ((if load then 1 else 0) lsl 11)
+    lor ((if byte then 1 else 0) lsl 10)
+    lor (low "ro" ro lsl 6) lor (low "rb" rb lsl 3) lor low "rd" rd
+  | Mem_sign { op; rd; rb; ro } ->
+    let s, h = sign_bits op in
+    (0b0101 lsl 12) lor (h lsl 11) lor (s lsl 10) lor (1 lsl 9)
+    lor (low "ro" ro lsl 6) lor (low "rb" rb lsl 3) lor low "rd" rd
+  | Mem_imm { load; byte; rd; rb; imm } ->
+    check "imm5" imm 0 31;
+    (0b011 lsl 13)
+    lor ((if byte then 1 else 0) lsl 12)
+    lor ((if load then 1 else 0) lsl 11)
+    lor (imm lsl 6) lor (low "rb" rb lsl 3) lor low "rd" rd
+  | Mem_half { load; rd; rb; imm } ->
+    check "imm5" imm 0 31;
+    (0b1000 lsl 12)
+    lor ((if load then 1 else 0) lsl 11)
+    lor (imm lsl 6) lor (low "rb" rb lsl 3) lor low "rd" rd
+  | Mem_sp { load; rd; imm } ->
+    check "imm8" imm 0 255;
+    (0b1001 lsl 12)
+    lor ((if load then 1 else 0) lsl 11)
+    lor (low "rd" rd lsl 8) lor imm
+  | Load_addr { from_sp; rd; imm } ->
+    check "imm8" imm 0 255;
+    (0b1010 lsl 12)
+    lor ((if from_sp then 1 else 0) lsl 11)
+    lor (low "rd" rd lsl 8) lor imm
+  | Sp_adjust words ->
+    check "imm7" (abs words) 0 127;
+    (0b10110000 lsl 8)
+    lor ((if words < 0 then 1 else 0) lsl 7)
+    lor abs words
+  | Push { rlist; lr } ->
+    check "rlist" rlist 0 255;
+    (0b1011 lsl 12) lor (0b10 lsl 9) lor ((if lr then 1 else 0) lsl 8) lor rlist
+  | Pop { rlist; pc } ->
+    check "rlist" rlist 0 255;
+    (0b1011 lsl 12) lor (1 lsl 11) lor (0b10 lsl 9)
+    lor ((if pc then 1 else 0) lsl 8)
+    lor rlist
+  | Stmia (rb, rlist) ->
+    check "rlist" rlist 0 255;
+    (0b1100 lsl 12) lor (low "rb" rb lsl 8) lor rlist
+  | Ldmia (rb, rlist) ->
+    check "rlist" rlist 0 255;
+    (0b1100 lsl 12) lor (1 lsl 11) lor (low "rb" rb lsl 8) lor rlist
+  | B_cond (c, off) ->
+    check "offset8" off (-128) 127;
+    (0b1101 lsl 12) lor (Instr.cond_to_int c lsl 8) lor (off land 0xFF)
+  | Swi imm ->
+    check "imm8" imm 0 255;
+    (0b11011111 lsl 8) lor imm
+  | B off ->
+    check "offset11" off (-1024) 1023;
+    (0b11100 lsl 11) lor (off land 0x7FF)
+  | Bl_hi off ->
+    check "offset11" off (-1024) 1023;
+    (0b11110 lsl 11) lor (off land 0x7FF)
+  | Bl_lo off ->
+    check "offset11" off 0 2047;
+    (0b11111 lsl 11) lor off
+  | Bkpt imm ->
+    check "imm8" imm 0 255;
+    (0b10111110 lsl 8) lor imm
+  | Undefined w ->
+    check "word" w 0 0xFFFF;
+    w
+
+let program is = List.map instr is
+
+let to_bytes is =
+  let words = program is in
+  let b = Bytes.create (2 * List.length words) in
+  List.iteri
+    (fun i w ->
+      Bytes.set_uint8 b (2 * i) (w land 0xFF);
+      Bytes.set_uint8 b ((2 * i) + 1) ((w lsr 8) land 0xFF))
+    words;
+  b

@@ -1,0 +1,18 @@
+(** Bit-exact assembler from {!Instr.t} to 16-bit Thumb words
+    (the Keystone substitute).
+
+    Encodings follow the ARM7TDMI Technical Reference Manual Thumb
+    instruction formats 1-19, e.g. [B_cond (EQ, 3)] ("beq #6") encodes to
+    [0xD003] and [Instr.nop] to [0x0000]. *)
+
+val instr : Instr.t -> int
+(** [instr i] is the 16-bit encoding of [i].
+    @raise Invalid_argument if an immediate or register is out of range
+    for the format (e.g. a high register in a 3-bit field). Encoding an
+    [Undefined w] returns [w] unchanged. *)
+
+val program : Instr.t list -> int list
+(** Encode a sequence of instructions to a list of 16-bit words. *)
+
+val to_bytes : Instr.t list -> bytes
+(** Little-endian byte image of {!program}. *)

@@ -1,0 +1,189 @@
+type cond = EQ | NE | CS | CC | MI | PL | VS | VC | HI | LS | GE | LT | GT | LE
+
+let cond_to_int = function
+  | EQ -> 0 | NE -> 1 | CS -> 2 | CC -> 3
+  | MI -> 4 | PL -> 5 | VS -> 6 | VC -> 7
+  | HI -> 8 | LS -> 9 | GE -> 10 | LT -> 11
+  | GT -> 12 | LE -> 13
+
+let cond_of_int = function
+  | 0 -> Some EQ | 1 -> Some NE | 2 -> Some CS | 3 -> Some CC
+  | 4 -> Some MI | 5 -> Some PL | 6 -> Some VS | 7 -> Some VC
+  | 8 -> Some HI | 9 -> Some LS | 10 -> Some GE | 11 -> Some LT
+  | 12 -> Some GT | 13 -> Some LE
+  | _ -> None
+
+let all_conds = [ EQ; NE; CS; CC; MI; PL; VS; VC; HI; LS; GE; LT; GT; LE ]
+
+let cond_name = function
+  | EQ -> "eq" | NE -> "ne" | CS -> "cs" | CC -> "cc"
+  | MI -> "mi" | PL -> "pl" | VS -> "vs" | VC -> "vc"
+  | HI -> "hi" | LS -> "ls" | GE -> "ge" | LT -> "lt"
+  | GT -> "gt" | LE -> "le"
+
+type shift_op = Lsl | Lsr | Asr
+
+type alu_op =
+  | AND | EOR | LSLr | LSRr | ASRr | ADC | SBC | ROR
+  | TST | NEG | CMPr | CMN | ORR | MUL | BIC | MVN
+
+let alu_op_to_int = function
+  | AND -> 0 | EOR -> 1 | LSLr -> 2 | LSRr -> 3
+  | ASRr -> 4 | ADC -> 5 | SBC -> 6 | ROR -> 7
+  | TST -> 8 | NEG -> 9 | CMPr -> 10 | CMN -> 11
+  | ORR -> 12 | MUL -> 13 | BIC -> 14 | MVN -> 15
+
+let alu_op_of_int = function
+  | 0 -> AND | 1 -> EOR | 2 -> LSLr | 3 -> LSRr
+  | 4 -> ASRr | 5 -> ADC | 6 -> SBC | 7 -> ROR
+  | 8 -> TST | 9 -> NEG | 10 -> CMPr | 11 -> CMN
+  | 12 -> ORR | 13 -> MUL | 14 -> BIC | 15 -> MVN
+  | _ -> invalid_arg "Instr.alu_op_of_int"
+
+type imm_op = MOVi | CMPi | ADDi | SUBi
+
+let imm_op_to_int = function MOVi -> 0 | CMPi -> 1 | ADDi -> 2 | SUBi -> 3
+
+let imm_op_of_int = function
+  | 0 -> MOVi | 1 -> CMPi | 2 -> ADDi | 3 -> SUBi
+  | _ -> invalid_arg "Instr.imm_op_of_int"
+
+type sign_op = STRH | LDSB | LDRH | LDSH
+
+type t =
+  | Shift of shift_op * Reg.t * Reg.t * int
+  | Add_sub of { sub : bool; imm : bool; rd : Reg.t; rs : Reg.t; operand : int }
+  | Imm of imm_op * Reg.t * int
+  | Alu of alu_op * Reg.t * Reg.t
+  | Hi_add of Reg.t * Reg.t
+  | Hi_cmp of Reg.t * Reg.t
+  | Hi_mov of Reg.t * Reg.t
+  | Bx of Reg.t
+  | Ldr_pc of Reg.t * int
+  | Mem_reg of { load : bool; byte : bool; rd : Reg.t; rb : Reg.t; ro : Reg.t }
+  | Mem_sign of { op : sign_op; rd : Reg.t; rb : Reg.t; ro : Reg.t }
+  | Mem_imm of { load : bool; byte : bool; rd : Reg.t; rb : Reg.t; imm : int }
+  | Mem_half of { load : bool; rd : Reg.t; rb : Reg.t; imm : int }
+  | Mem_sp of { load : bool; rd : Reg.t; imm : int }
+  | Load_addr of { from_sp : bool; rd : Reg.t; imm : int }
+  | Sp_adjust of int
+  | Push of { rlist : int; lr : bool }
+  | Pop of { rlist : int; pc : bool }
+  | Stmia of Reg.t * int
+  | Ldmia of Reg.t * int
+  | B_cond of cond * int
+  | Swi of int
+  | B of int
+  | Bl_hi of int
+  | Bl_lo of int
+  | Bkpt of int
+  | Undefined of int
+
+let nop = Shift (Lsl, Reg.r0, Reg.r0, 0)
+
+let is_branch = function
+  | B_cond _ | B _ | Bx _ | Bl_hi _ | Bl_lo _ -> true
+  | Pop { pc = true; _ } -> true
+  | Shift _ | Add_sub _ | Imm _ | Alu _ | Hi_add _ | Hi_cmp _ | Hi_mov _
+  | Ldr_pc _ | Mem_reg _ | Mem_sign _ | Mem_imm _ | Mem_half _ | Mem_sp _
+  | Load_addr _ | Sp_adjust _ | Push _ | Pop _ | Stmia _ | Ldmia _ | Swi _
+  | Bkpt _ | Undefined _ -> false
+
+let is_load = function
+  | Ldr_pc _ | Ldmia _ | Pop _ -> true
+  | Mem_reg { load; _ } | Mem_imm { load; _ } | Mem_half { load; _ }
+  | Mem_sp { load; _ } -> load
+  | Mem_sign { op = LDSB | LDRH | LDSH; _ } -> true
+  | Mem_sign { op = STRH; _ } -> false
+  | Shift _ | Add_sub _ | Imm _ | Alu _ | Hi_add _ | Hi_cmp _ | Hi_mov _
+  | Bx _ | Load_addr _ | Sp_adjust _ | Push _ | Stmia _ | B_cond _ | Swi _
+  | B _ | Bl_hi _ | Bl_lo _ | Bkpt _ | Undefined _ -> false
+
+let is_store = function
+  | Push _ | Stmia _ -> true
+  | Mem_reg { load; _ } | Mem_imm { load; _ } | Mem_half { load; _ }
+  | Mem_sp { load; _ } -> not load
+  | Mem_sign { op = STRH; _ } -> true
+  | Mem_sign { op = LDSB | LDRH | LDSH; _ } -> false
+  | Shift _ | Add_sub _ | Imm _ | Alu _ | Hi_add _ | Hi_cmp _ | Hi_mov _
+  | Bx _ | Ldr_pc _ | Load_addr _ | Sp_adjust _ | Pop _ | Ldmia _ | B_cond _
+  | Swi _ | B _ | Bl_hi _ | Bl_lo _ | Bkpt _ | Undefined _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let shift_name = function Lsl -> "lsls" | Lsr -> "lsrs" | Asr -> "asrs"
+
+let alu_name = function
+  | AND -> "ands" | EOR -> "eors" | LSLr -> "lsls" | LSRr -> "lsrs"
+  | ASRr -> "asrs" | ADC -> "adcs" | SBC -> "sbcs" | ROR -> "rors"
+  | TST -> "tst" | NEG -> "negs" | CMPr -> "cmp" | CMN -> "cmn"
+  | ORR -> "orrs" | MUL -> "muls" | BIC -> "bics" | MVN -> "mvns"
+
+let imm_name = function
+  | MOVi -> "movs" | CMPi -> "cmp" | ADDi -> "adds" | SUBi -> "subs"
+
+let sign_name = function
+  | STRH -> "strh" | LDSB -> "ldsb" | LDRH -> "ldrh" | LDSH -> "ldsh"
+
+let pp_rlist ppf (rlist, extra) =
+  let regs =
+    List.filter (fun i -> rlist land (1 lsl i) <> 0) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let names = List.map (fun i -> Fmt.str "r%d" i) regs @ extra in
+  Fmt.pf ppf "{%s}" (String.concat ", " names)
+
+let pp ppf = function
+  | Shift (op, rd, rs, imm) ->
+    Fmt.pf ppf "%s %a, %a, #%d" (shift_name op) Reg.pp rd Reg.pp rs imm
+  | Add_sub { sub; imm; rd; rs; operand } ->
+    let mnem = if sub then "subs" else "adds" in
+    if imm then Fmt.pf ppf "%s %a, %a, #%d" mnem Reg.pp rd Reg.pp rs operand
+    else
+      Fmt.pf ppf "%s %a, %a, %a" mnem Reg.pp rd Reg.pp rs Reg.pp
+        (Reg.of_int operand)
+  | Imm (op, rd, imm) -> Fmt.pf ppf "%s %a, #%d" (imm_name op) Reg.pp rd imm
+  | Alu (op, rd, rs) -> Fmt.pf ppf "%s %a, %a" (alu_name op) Reg.pp rd Reg.pp rs
+  | Hi_add (rd, rm) -> Fmt.pf ppf "add %a, %a" Reg.pp rd Reg.pp rm
+  | Hi_cmp (rd, rm) -> Fmt.pf ppf "cmp %a, %a" Reg.pp rd Reg.pp rm
+  | Hi_mov (rd, rm) -> Fmt.pf ppf "mov %a, %a" Reg.pp rd Reg.pp rm
+  | Bx rm -> Fmt.pf ppf "bx %a" Reg.pp rm
+  | Ldr_pc (rd, imm) -> Fmt.pf ppf "ldr %a, [pc, #%d]" Reg.pp rd (imm * 4)
+  | Mem_reg { load; byte; rd; rb; ro } ->
+    Fmt.pf ppf "%s%s %a, [%a, %a]"
+      (if load then "ldr" else "str")
+      (if byte then "b" else "")
+      Reg.pp rd Reg.pp rb Reg.pp ro
+  | Mem_sign { op; rd; rb; ro } ->
+    Fmt.pf ppf "%s %a, [%a, %a]" (sign_name op) Reg.pp rd Reg.pp rb Reg.pp ro
+  | Mem_imm { load; byte; rd; rb; imm } ->
+    let scale = if byte then 1 else 4 in
+    Fmt.pf ppf "%s%s %a, [%a, #%d]"
+      (if load then "ldr" else "str")
+      (if byte then "b" else "")
+      Reg.pp rd Reg.pp rb (imm * scale)
+  | Mem_half { load; rd; rb; imm } ->
+    Fmt.pf ppf "%s %a, [%a, #%d]"
+      (if load then "ldrh" else "strh")
+      Reg.pp rd Reg.pp rb (imm * 2)
+  | Mem_sp { load; rd; imm } ->
+    Fmt.pf ppf "%s %a, [sp, #%d]" (if load then "ldr" else "str") Reg.pp rd
+      (imm * 4)
+  | Load_addr { from_sp; rd; imm } ->
+    Fmt.pf ppf "add %a, %s, #%d" Reg.pp rd (if from_sp then "sp" else "pc")
+      (imm * 4)
+  | Sp_adjust words ->
+    if words < 0 then Fmt.pf ppf "sub sp, #%d" (-words * 4)
+    else Fmt.pf ppf "add sp, #%d" (words * 4)
+  | Push { rlist; lr } -> Fmt.pf ppf "push %a" pp_rlist (rlist, if lr then [ "lr" ] else [])
+  | Pop { rlist; pc } -> Fmt.pf ppf "pop %a" pp_rlist (rlist, if pc then [ "pc" ] else [])
+  | Stmia (rb, rlist) -> Fmt.pf ppf "stmia %a!, %a" Reg.pp rb pp_rlist (rlist, [])
+  | Ldmia (rb, rlist) -> Fmt.pf ppf "ldmia %a!, %a" Reg.pp rb pp_rlist (rlist, [])
+  | B_cond (c, off) -> Fmt.pf ppf "b%s #%d" (cond_name c) (off * 2)
+  | Swi imm -> Fmt.pf ppf "swi #%d" imm
+  | B off -> Fmt.pf ppf "b #%d" (off * 2)
+  | Bl_hi off -> Fmt.pf ppf "bl.hi #%d" off
+  | Bl_lo off -> Fmt.pf ppf "bl.lo #%d" off
+  | Bkpt imm -> Fmt.pf ppf "bkpt #%d" imm
+  | Undefined w -> Fmt.pf ppf "udf.w 0x%04x" w
+
+let to_string i = Fmt.str "%a" pp i

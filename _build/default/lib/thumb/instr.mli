@@ -1,0 +1,108 @@
+(** ARM Thumb-16 (ARMv6-M / ARM7TDMI Thumb) instruction set.
+
+    One constructor per encoding format of the 16-bit Thumb instruction
+    set. Branch offsets are stored as the raw signed immediate of the
+    encoding (a count of halfwords); the branch target is
+    [pc + 4 + 2 * offset] per the ARM architecture manual. *)
+
+(** Condition codes for conditional branches, in encoding order
+    (bits [11:8] of format 16). Encodings [0b1110] (AL, undefined for
+    [B<cond>]) and [0b1111] (SWI escape) are not conditions. *)
+type cond =
+  | EQ  (** Z set *)
+  | NE  (** Z clear *)
+  | CS  (** C set (aka HS) *)
+  | CC  (** C clear (aka LO) *)
+  | MI  (** N set *)
+  | PL  (** N clear *)
+  | VS  (** V set *)
+  | VC  (** V clear *)
+  | HI  (** C set and Z clear *)
+  | LS  (** C clear or Z set *)
+  | GE  (** N = V *)
+  | LT  (** N <> V *)
+  | GT  (** Z clear and N = V *)
+  | LE  (** Z set or N <> V *)
+
+val cond_to_int : cond -> int
+val cond_of_int : int -> cond option
+val all_conds : cond list
+val cond_name : cond -> string
+
+(** Shift operations of format 1. *)
+type shift_op = Lsl | Lsr | Asr
+
+(** Register-register ALU operations of format 4, in encoding order. *)
+type alu_op =
+  | AND | EOR | LSLr | LSRr | ASRr | ADC | SBC | ROR
+  | TST | NEG | CMPr | CMN | ORR | MUL | BIC | MVN
+
+val alu_op_to_int : alu_op -> int
+val alu_op_of_int : int -> alu_op
+
+(** Immediate operations of format 3, in encoding order. *)
+type imm_op = MOVi | CMPi | ADDi | SUBi
+
+val imm_op_to_int : imm_op -> int
+val imm_op_of_int : int -> imm_op
+
+(** Halfword/sign-extended load-store operations of format 8. *)
+type sign_op = STRH | LDSB | LDRH | LDSH
+
+type t =
+  | Shift of shift_op * Reg.t * Reg.t * int
+      (** [op Rd, Rs, #imm5] (format 1). [Shift (Lsl, rd, rs, 0)] is the
+          canonical [MOVS Rd, Rs]; [0x0000] is therefore [MOVS r0, r0]. *)
+  | Add_sub of { sub : bool; imm : bool; rd : Reg.t; rs : Reg.t; operand : int }
+      (** [ADD/SUB Rd, Rs, Rn] or [ADD/SUB Rd, Rs, #imm3] (format 2).
+          [operand] is a register number or a 3-bit immediate. *)
+  | Imm of imm_op * Reg.t * int  (** [op Rd, #imm8] (format 3). *)
+  | Alu of alu_op * Reg.t * Reg.t  (** [op Rd, Rs] (format 4). *)
+  | Hi_add of Reg.t * Reg.t  (** [ADD Rd, Rm], high registers (format 5). *)
+  | Hi_cmp of Reg.t * Reg.t  (** [CMP Rd, Rm], high registers (format 5). *)
+  | Hi_mov of Reg.t * Reg.t  (** [MOV Rd, Rm], high registers (format 5). *)
+  | Bx of Reg.t  (** [BX Rm] (format 5). *)
+  | Ldr_pc of Reg.t * int
+      (** [LDR Rd, \[PC, #imm8*4\]] (format 6); [imm8] stored unscaled. *)
+  | Mem_reg of { load : bool; byte : bool; rd : Reg.t; rb : Reg.t; ro : Reg.t }
+      (** [STR/STRB/LDR/LDRB Rd, \[Rb, Ro\]] (format 7). *)
+  | Mem_sign of { op : sign_op; rd : Reg.t; rb : Reg.t; ro : Reg.t }
+      (** [STRH/LDSB/LDRH/LDSH Rd, \[Rb, Ro\]] (format 8). *)
+  | Mem_imm of { load : bool; byte : bool; rd : Reg.t; rb : Reg.t; imm : int }
+      (** [STR/LDR(B) Rd, \[Rb, #imm5\]] (format 9); word form scaled by 4
+          at encode time, [imm] stored unscaled (0-31). *)
+  | Mem_half of { load : bool; rd : Reg.t; rb : Reg.t; imm : int }
+      (** [STRH/LDRH Rd, \[Rb, #imm5*2\]] (format 10); [imm] unscaled. *)
+  | Mem_sp of { load : bool; rd : Reg.t; imm : int }
+      (** [STR/LDR Rd, \[SP, #imm8*4\]] (format 11); [imm] unscaled. *)
+  | Load_addr of { from_sp : bool; rd : Reg.t; imm : int }
+      (** [ADD Rd, PC/SP, #imm8*4] (format 12); [imm] unscaled. *)
+  | Sp_adjust of int
+      (** [ADD SP, #imm7*4] or [SUB SP, #imm7*4] (format 13); signed word
+          count in [-127, 127]. *)
+  | Push of { rlist : int; lr : bool }  (** (format 14) *)
+  | Pop of { rlist : int; pc : bool }  (** (format 14) *)
+  | Stmia of Reg.t * int  (** [STMIA Rb!, {rlist}] (format 15). *)
+  | Ldmia of Reg.t * int  (** [LDMIA Rb!, {rlist}] (format 15). *)
+  | B_cond of cond * int  (** [B<cond> target]; signed halfword offset (format 16). *)
+  | Swi of int  (** [SWI imm8] (format 17). *)
+  | B of int  (** [B target]; signed 11-bit halfword offset (format 18). *)
+  | Bl_hi of int  (** First half of [BL] (format 19, H=0); signed 11-bit. *)
+  | Bl_lo of int  (** Second half of [BL] (format 19, H=1); unsigned 11-bit. *)
+  | Bkpt of int  (** [BKPT imm8] (ARMv5T+). *)
+  | Undefined of int
+      (** A 16-bit word with no defined Thumb decoding; the raw word is
+          kept so perturbed instructions can be reported faithfully. *)
+
+val nop : t
+(** [MOVS r0, r0], the all-zero encoding. *)
+
+val is_branch : t -> bool
+(** Conditional and unconditional direct branches, [BX], and [BL] parts. *)
+
+val is_load : t -> bool
+val is_store : t -> bool
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,35 @@
+type t = int
+
+let of_int n =
+  if n < 0 || n > 15 then invalid_arg "Reg.of_int: register out of range"
+  else n
+
+let to_int r = r
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let sp = 13
+let lr = 14
+let pc = 15
+
+let is_low r = r < 8
+let equal = Int.equal
+let compare = Int.compare
+
+let pp ppf r =
+  match r with
+  | 13 -> Fmt.string ppf "sp"
+  | 14 -> Fmt.string ppf "lr"
+  | 15 -> Fmt.string ppf "pc"
+  | n -> Fmt.pf ppf "r%d" n

@@ -1,0 +1,43 @@
+(** ARM core registers, [r0] through [r15].
+
+    Registers are represented as plain integers in [0, 15] so they can be
+    packed directly into instruction encodings; the smart constructor
+    {!of_int} validates the range. *)
+
+type t = private int
+
+val of_int : int -> t
+(** [of_int n] is register [rn]. @raise Invalid_argument unless
+    [0 <= n <= 15]. *)
+
+val to_int : t -> int
+
+val r0 : t
+val r1 : t
+val r2 : t
+val r3 : t
+val r4 : t
+val r5 : t
+val r6 : t
+val r7 : t
+val r8 : t
+val r9 : t
+val r10 : t
+val r11 : t
+val r12 : t
+
+val sp : t
+(** Stack pointer, [r13]. *)
+
+val lr : t
+(** Link register, [r14]. *)
+
+val pc : t
+(** Program counter, [r15]. *)
+
+val is_low : t -> bool
+(** Thumb-16 "low" registers [r0]-[r7], addressable by 3-bit fields. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+test/test_glitch_emu.ml: Alcotest Array Bitmask Campaign Fault_model Glitch_emu Hashtbl List Printf QCheck QCheck_alcotest Testcase Thumb

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Attack Board Fmt Glitch_emu Glitcher Hashrand Hashtbl Hw List Machine Printf QCheck QCheck_alcotest Susceptibility Thumb Tuner

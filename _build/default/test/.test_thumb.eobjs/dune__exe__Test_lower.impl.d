@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Fmt Ir List Lower Machine Option Printf QCheck QCheck_alcotest String Thumb

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cpu Exec List Loader Machine Memory QCheck QCheck_alcotest Thumb

@@ -1,0 +1,1 @@
+test/test_reedsolomon.ml: Alcotest Array Diversify Fmt Gf256 Gfpoly List Printf QCheck QCheck_alcotest Reedsolomon Rs

@@ -1,0 +1,1 @@
+test/test_resistor.ml: Alcotest Array Cfcss Config Delay Detect Driver Enum_rewriter Evaluate Firmware Integrity Ir List Loops Minic Option Overhead Printexc Printf Resistor String

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Campaign Codec Exec Fmt Glitch_emu Instr List Machine Printf QCheck QCheck_alcotest Riscv Thumb

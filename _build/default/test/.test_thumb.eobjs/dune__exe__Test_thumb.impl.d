@@ -1,0 +1,1 @@
+test/test_thumb.ml: Alcotest Asm Cycles Decode Encode Fmt Instr List Printf QCheck QCheck_alcotest Reg Thumb

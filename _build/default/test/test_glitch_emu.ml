@@ -1,0 +1,233 @@
+(* Tests for the Figure 2 emulation framework: mask enumeration, fault
+   models, snippet construction, and outcome classification. *)
+
+open Glitch_emu
+
+(* --- bitmask enumeration ------------------------------------------------- *)
+
+let choose_table () =
+  Alcotest.(check int) "16 choose 0" 1 (Bitmask.choose 16 0);
+  Alcotest.(check int) "16 choose 1" 16 (Bitmask.choose 16 1);
+  Alcotest.(check int) "16 choose 2" 120 (Bitmask.choose 16 2);
+  Alcotest.(check int) "16 choose 8" 12870 (Bitmask.choose 16 8);
+  Alcotest.(check int) "16 choose 16" 1 (Bitmask.choose 16 16);
+  Alcotest.(check int) "out of range" 0 (Bitmask.choose 16 17)
+
+let enumeration_matches_choose () =
+  for k = 0 to 16 do
+    let n = ref 0 in
+    Bitmask.iter_of_weight ~width:16 ~weight:k (fun mask ->
+        incr n;
+        Alcotest.(check int) "weight" k (Bitmask.popcount mask));
+    Alcotest.(check int)
+      (Printf.sprintf "count at weight %d" k)
+      (Bitmask.choose 16 k) !n
+  done
+
+let enumeration_distinct_and_complete () =
+  let seen = Hashtbl.create 65536 in
+  Bitmask.iter_all ~width:16 (fun ~weight:_ ~mask ->
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen mask);
+      Hashtbl.add seen mask ());
+  Alcotest.(check int) "covers 2^16" 65536 (Hashtbl.length seen)
+
+let prop_weight_enumeration =
+  QCheck.Test.make ~name:"of_weight lists are sorted and exact" ~count:50
+    QCheck.(pair (int_range 1 12) (int_range 0 12))
+    (fun (width, weight) ->
+      QCheck.assume (weight <= width);
+      let masks = Bitmask.of_weight ~width ~weight in
+      List.length masks = Bitmask.choose width weight
+      && List.for_all (fun m -> Bitmask.popcount m = weight) masks
+      && List.sort compare masks = masks)
+
+(* --- fault models ---------------------------------------------------------- *)
+
+let fault_semantics () =
+  Alcotest.(check int) "and clears" 0xD000
+    (Fault_model.apply And ~mask:0xF000 0xD003);
+  Alcotest.(check int) "or sets" 0xD0FF (Fault_model.apply Or ~mask:0x00FF 0xD000);
+  Alcotest.(check int) "xor toggles" 0x5000
+    (Fault_model.apply Xor ~mask:0x8000 0xD000)
+
+let fault_identity () =
+  List.iter
+    (fun flip ->
+      let mask = Fault_model.identity_mask flip ~width:16 in
+      Alcotest.(check int)
+        (Fault_model.name flip)
+        0xD003
+        (Fault_model.apply flip ~mask 0xD003))
+    Fault_model.all
+
+let fault_unidirectional () =
+  (* AND can only clear bits; OR can only set them. *)
+  for mask = 0 to 0xFF do
+    let w = 0xD003 in
+    let anded = Fault_model.apply And ~mask:(0xFF00 lor mask) w in
+    Alcotest.(check int) "and subset" anded (anded land w);
+    let ored = Fault_model.apply Or ~mask w in
+    Alcotest.(check int) "or superset" ored (ored lor w)
+  done
+
+let flipped_bits () =
+  Alcotest.(check int) "and identity" 0
+    (Fault_model.flipped_bits And ~width:16 ~mask:0xFFFF);
+  Alcotest.(check int) "and 3 zeros" 3
+    (Fault_model.flipped_bits And ~width:16 ~mask:0x1FFF);
+  Alcotest.(check int) "or identity" 0
+    (Fault_model.flipped_bits Or ~width:16 ~mask:0);
+  Alcotest.(check int) "or 2 ones" 2
+    (Fault_model.flipped_bits Or ~width:16 ~mask:0x0011)
+
+(* --- test cases -------------------------------------------------------------- *)
+
+let all_cases_assemble () =
+  Alcotest.(check int) "14 conditional branches" 14
+    (List.length Testcase.all_conditional_branches);
+  List.iter
+    (fun (case : Testcase.t) ->
+      match List.nth case.instrs case.target_index with
+      | Thumb.Instr.B_cond _ -> ()
+      | i ->
+        Alcotest.fail
+          (Printf.sprintf "%s target is %s, not a conditional branch" case.name
+             (Thumb.Instr.to_string i)))
+    Testcase.all_conditional_branches
+
+let non_branch_cases_work () =
+  List.iter
+    (fun (case : Testcase.t) ->
+      let config = Campaign.default_config Fault_model.And in
+      (* identity: effect present, no marker *)
+      (match Campaign.run_one config case ~mask:0xFFFF with
+      | Campaign.No_effect -> ()
+      | cat ->
+        Alcotest.fail
+          (Printf.sprintf "%s unglitched: %s" case.name
+             (Campaign.category_name cat)));
+      (* zero the word: instruction becomes a nop, effect missing *)
+      match Campaign.run_one config case ~mask:0 with
+      | Campaign.Success -> ()
+      | cat ->
+        Alcotest.fail
+          (Printf.sprintf "%s nopped: %s" case.name (Campaign.category_name cat)))
+    Testcase.non_branch_cases
+
+let unglitched_runs_take_branch () =
+  (* With the identity mask every snippet must take its branch: normal
+     marker set, skip marker clear. *)
+  List.iter
+    (fun (case : Testcase.t) ->
+      let config = Campaign.default_config Fault_model.And in
+      let mask = Fault_model.identity_mask Fault_model.And ~width:16 in
+      match Campaign.run_one config case ~mask with
+      | Campaign.No_effect -> ()
+      | cat ->
+        Alcotest.fail
+          (Printf.sprintf "%s unglitched: %s" case.name
+             (Campaign.category_name cat)))
+    Testcase.all_conditional_branches
+
+(* --- classification ----------------------------------------------------------- *)
+
+let beq_case = Testcase.conditional_branch Thumb.Instr.EQ
+
+let nop_corruption_is_success () =
+  (* AND mask 0 turns the branch into MOVS r0, r0 — the paper's
+     canonical "skipped" instruction. *)
+  let config = Campaign.default_config Fault_model.And in
+  match Campaign.run_one config beq_case ~mask:0 with
+  | Campaign.Success -> ()
+  | cat -> Alcotest.fail (Campaign.category_name cat)
+
+let zero_invalid_changes_classification () =
+  let config =
+    { (Campaign.default_config Fault_model.And) with zero_is_invalid = true }
+  in
+  match Campaign.run_one config beq_case ~mask:0 with
+  | Campaign.Invalid_instruction -> ()
+  | cat -> Alcotest.fail (Campaign.category_name cat)
+
+let condition_inversion_is_success () =
+  (* OR-ing bit 8 turns BEQ (cond 0) into BNE (cond 1): with Z set the
+     branch is no longer taken, so the dead instruction runs. *)
+  let config = Campaign.default_config Fault_model.Or in
+  match Campaign.run_one config beq_case ~mask:0x0100 with
+  | Campaign.Success -> ()
+  | cat -> Alcotest.fail (Campaign.category_name cat)
+
+let far_branch_is_bad_fetch () =
+  (* OR-ing the sign bit of the offset branches far backwards, out of
+     the tiny flash mapping. *)
+  let config = Campaign.default_config Fault_model.Or in
+  match Campaign.run_one config beq_case ~mask:0x0080 with
+  | Campaign.Bad_fetch -> ()
+  | cat -> Alcotest.fail (Campaign.category_name cat)
+
+let prop_classification_deterministic =
+  QCheck.Test.make ~name:"run_one is deterministic" ~count:100
+    QCheck.(int_bound 0xFFFF)
+    (fun mask ->
+      let config = Campaign.default_config Fault_model.Xor in
+      Campaign.run_one config beq_case ~mask = Campaign.run_one config beq_case ~mask)
+
+(* --- the paper's headline result ---------------------------------------- *)
+
+let and_beats_or_on_beq () =
+  let run flip =
+    Campaign.run_case (Campaign.default_config flip) beq_case
+  in
+  let and_rate = Campaign.category_percent (run Fault_model.And) Campaign.Success in
+  let or_rate = Campaign.category_percent (run Fault_model.Or) Campaign.Success in
+  Alcotest.(check bool)
+    (Printf.sprintf "AND %.1f%% > OR %.1f%%" and_rate or_rate)
+    true (and_rate > or_rate);
+  Alcotest.(check bool) "AND skips over half the time" true (and_rate > 50.);
+  (* weight-0 entries are the unmodified instruction: never a success *)
+  let r = run Fault_model.And in
+  Alcotest.(check int) "unmodified is never a success" 0
+    r.by_weight.(0).(Campaign.category_index Campaign.Success)
+
+let counts_are_conserved () =
+  let r = Campaign.run_case (Campaign.default_config Fault_model.And) beq_case in
+  let sum =
+    Array.fold_left
+      (fun acc row -> acc + Array.fold_left ( + ) 0 row)
+      0 r.by_weight
+  in
+  Alcotest.(check int) "all 65536 masks classified" 65536 sum
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_weight_enumeration; prop_classification_deterministic ]
+  in
+  Alcotest.run "glitch_emu"
+    [ ("bitmask",
+       [ Alcotest.test_case "binomial table" `Quick choose_table;
+         Alcotest.test_case "enumeration counts" `Quick enumeration_matches_choose;
+         Alcotest.test_case "distinct and complete" `Quick
+           enumeration_distinct_and_complete ]);
+      ("bitmask-properties", props);
+      ("fault-model",
+       [ Alcotest.test_case "apply semantics" `Quick fault_semantics;
+         Alcotest.test_case "identity masks" `Quick fault_identity;
+         Alcotest.test_case "unidirectionality" `Quick fault_unidirectional;
+         Alcotest.test_case "flipped-bit counting" `Quick flipped_bits ]);
+      ("testcases",
+       [ Alcotest.test_case "all 14 assemble" `Quick all_cases_assemble;
+         Alcotest.test_case "branches taken unglitched" `Quick
+           unglitched_runs_take_branch;
+         Alcotest.test_case "non-branch cases" `Quick non_branch_cases_work ]);
+      ("classification",
+       [ Alcotest.test_case "nop corruption succeeds" `Quick
+           nop_corruption_is_success;
+         Alcotest.test_case "0x0000 invalid mode" `Quick
+           zero_invalid_changes_classification;
+         Alcotest.test_case "condition inversion succeeds" `Quick
+           condition_inversion_is_success;
+         Alcotest.test_case "far branch bad-fetches" `Quick far_branch_is_bad_fetch ]);
+      ("figure2",
+       [ Alcotest.test_case "AND beats OR (paper headline)" `Slow and_beats_or_on_beq;
+         Alcotest.test_case "mask accounting" `Slow counts_are_conserved ]) ]

@@ -1,0 +1,370 @@
+(* Tests for the hardware simulation: deterministic randomness, the
+   susceptibility landscape, board/trigger mechanics, glitcher
+   behaviour, the attack programs of Tables I-III, and the qualitative
+   results the paper reports. *)
+
+open Hw
+
+(* --- hashrand ----------------------------------------------------------- *)
+
+let hashrand_deterministic () =
+  Alcotest.(check int) "stable" (Hashrand.hash ~seed:1 [ 2; 3 ])
+    (Hashrand.hash ~seed:1 [ 2; 3 ]);
+  Alcotest.(check bool) "seed matters" true
+    (Hashrand.hash ~seed:1 [ 2; 3 ] <> Hashrand.hash ~seed:2 [ 2; 3 ]);
+  Alcotest.(check bool) "coords matter" true
+    (Hashrand.hash ~seed:1 [ 2; 3 ] <> Hashrand.hash ~seed:1 [ 3; 2 ])
+
+let prop_u01_range =
+  QCheck.Test.make ~name:"u01 in [0,1)" ~count:1000
+    QCheck.(pair int (small_list int))
+    (fun (seed, coords) ->
+      let u = Hashrand.u01 ~seed coords in
+      u >= 0. && u < 1.)
+
+let prop_bits_range =
+  QCheck.Test.make ~name:"bits within width" ~count:500
+    QCheck.(pair int (int_range 1 32))
+    (fun (seed, width) ->
+      let v = Hashrand.bits ~seed [ 7 ] ~width in
+      v >= 0 && v < 1 lsl width)
+
+(* --- susceptibility -------------------------------------------------------- *)
+
+let landscape_properties () =
+  let config = Susceptibility.default in
+  (* bounded, non-negative, and small on most of the plane *)
+  let above_one = ref 0 and total = ref 0 in
+  for w = -49 to 49 do
+    for o = -49 to 49 do
+      incr total;
+      let e = Susceptibility.landscape config ~width:w ~offset:o in
+      Alcotest.(check bool) "non-negative" true (e >= 0.);
+      if e > 1. then incr above_one
+    done
+  done;
+  Alcotest.(check bool) "deterministic cores are rare" true
+    (!above_one > 0 && !above_one < !total / 100)
+
+let class_factors_ordered () =
+  let load =
+    Thumb.Instr.Mem_imm
+      { load = true; byte = true; rd = Thumb.Reg.r3; rb = Thumb.Reg.r3; imm = 0 }
+  in
+  let cmp = Thumb.Instr.Imm (CMPi, Thumb.Reg.r3, 0) in
+  let branch = Thumb.Instr.B_cond (EQ, -4) in
+  let alu = Thumb.Instr.Imm (ADDi, Thumb.Reg.r3, 7) in
+  let f = Susceptibility.class_factor in
+  Alcotest.(check bool) "loads easiest (RQ4)" true
+    (f load > f cmp && f load > f alu);
+  Alcotest.(check bool) "branches glitchable" true (f branch > f alu);
+  Alcotest.(check bool) "register ALU nearly immune" true (f alu < 0.2)
+
+let corrupt_word_biased () =
+  let config = Susceptibility.default in
+  (* over many salts, 1->0 flips must dominate 0->1 flips *)
+  let cleared = ref 0 and set = ref 0 in
+  for salt = 0 to 500 do
+    let w = 0xD0F0 in
+    let w' = Susceptibility.corrupt_word config ~salt:[ salt ] w in
+    cleared := !cleared + Glitch_emu.Bitmask.popcount (w land lnot w');
+    set := !set + Glitch_emu.Bitmask.popcount (w' land lnot w)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "clears (%d) >> sets (%d)" !cleared !set)
+    true
+    (!cleared > 4 * !set)
+
+let roll_deterministic_effect () =
+  let config = Susceptibility.default in
+  let instr = Thumb.Instr.B_cond (EQ, -4) in
+  (* same point, different nonces: the effect kind never changes between
+     firing attempts (only whether it fires) *)
+  let kinds = Hashtbl.create 8 in
+  for nonce = 0 to 200 do
+    match
+      Susceptibility.roll config ~sustained:false ~width:(-10) ~offset:4
+        ~cycle:5 ~nonce ~instr ~sp:0x20003FE8
+    with
+    | Susceptibility.No_fault -> ()
+    | effect -> Hashtbl.replace kinds (Fmt.str "%a" Susceptibility.pp_effect effect) ()
+  done;
+  Alcotest.(check bool) "at most one firing effect kind" true
+    (Hashtbl.length kinds <= 1)
+
+(* --- board ------------------------------------------------------------------ *)
+
+let board_trigger_and_cycles () =
+  let board = Board.create (Board.Asm (Attack.single_loop_program While_not_a)) in
+  (match Board.run_plain ~max_cycles:200 board with
+  | `Timeout -> () (* the unglitched guard loops forever *)
+  | `Stopped s -> Alcotest.fail (Fmt.str "stopped: %a" Machine.Exec.pp_stop s));
+  match Board.trigger_edges board with
+  | [ edge ] -> Alcotest.(check bool) "trigger early" true (edge > 0 && edge < 30)
+  | edges ->
+    Alcotest.fail (Printf.sprintf "expected 1 trigger edge, got %d" (List.length edges))
+
+let board_reset_is_clean () =
+  let board = Board.create (Board.Asm (Attack.single_loop_program While_not_a)) in
+  let (_ : [ `Stopped of Machine.Exec.stop | `Timeout ]) =
+    Board.run_plain ~max_cycles:100 board
+  in
+  let c1 = Board.cycles board in
+  Board.reset board;
+  Alcotest.(check int) "cycles cleared" 0 (Board.cycles board);
+  Alcotest.(check (list int)) "edges cleared" [] (Board.trigger_edges board);
+  let (_ : [ `Stopped of Machine.Exec.stop | `Timeout ]) =
+    Board.run_plain ~max_cycles:100 board
+  in
+  Alcotest.(check int) "deterministic rerun" c1 (Board.cycles board)
+
+let board_double_loop_triggers_twice () =
+  (* Force the value to change so both loops exit: run the while(a)
+     double loop with a = 1; it spins in loop1 forever unglitched, so
+     instead use skip faults via the glitcher at a known-hot point...
+     simpler: check the while(!a) double program re-arms the trigger by
+     glitching with a blanket schedule. *)
+  let board = Board.create (Board.Asm (Attack.double_loop_program While_not_a)) in
+  let (_ : [ `Stopped of Machine.Exec.stop | `Timeout ]) =
+    Board.run_plain ~max_cycles:120 board
+  in
+  Alcotest.(check int) "one edge while stuck in loop1" 1
+    (List.length (Board.trigger_edges board))
+
+let guard_programs_assemble () =
+  List.iter
+    (fun guard ->
+      List.iter
+        (fun src -> ignore (Thumb.Asm.assemble src))
+        [ Attack.single_loop_program guard;
+          Attack.double_loop_program guard;
+          Attack.long_glitch_program guard ])
+    Attack.all_guards
+
+(* Every pc-relative load in the guard programs must hit a literal pool
+   word holding one of the experiment's two constants — this pins the
+   hand-computed [pc, #imm] offsets. *)
+let literal_pool_offsets_correct () =
+  let constants = [ 0xE7D25763; 0xD3B9AEC6 ] in
+  List.iter
+    (fun src ->
+      let words = Array.of_list (Thumb.Asm.assemble_words src) in
+      Array.iteri
+        (fun i w ->
+          match Thumb.Decode.instr w with
+          | Thumb.Instr.Ldr_pc (_, imm) ->
+            let target = (((2 * i) + 4) land lnot 3) + (4 * imm) in
+            let idx = target / 2 in
+            if idx + 1 >= Array.length words then
+              Alcotest.fail "pool load out of program";
+            let v = words.(idx) lor (words.(idx + 1) lsl 16) in
+            Alcotest.(check bool)
+              (Printf.sprintf "pool value 0x%08x at instr %d" v i)
+              true (List.mem v constants)
+          | _ -> ())
+        words)
+    [ Attack.single_loop_program While_ne_const;
+      Attack.double_loop_program While_ne_const;
+      Attack.long_glitch_program While_ne_const ]
+
+(* --- glitcher ------------------------------------------------------------------ *)
+
+let glitcher_deterministic () =
+  let board = Board.create (Board.Asm (Attack.single_loop_program While_not_a)) in
+  let schedule = [ Glitcher.single ~width:(-10) ~offset:5 ~ext_offset:4 ] in
+  let o1 = Glitcher.run ~max_cycles:200 ~nonce:3 board schedule in
+  let c1 = Board.cycles board in
+  let o2 = Glitcher.run ~max_cycles:200 ~nonce:3 board schedule in
+  Alcotest.(check bool) "same stop" true (o1.stop = o2.stop);
+  Alcotest.(check int) "same cycles" c1 o2.cycles
+
+let glitcher_without_schedule_is_plain () =
+  let board = Board.create (Board.Asm (Attack.single_loop_program While_not_a)) in
+  let obs = Glitcher.run ~max_cycles:200 board [] in
+  Alcotest.(check bool) "loops forever" true (obs.stop = `Timeout);
+  Alcotest.(check int) "nothing glitched" 0 obs.glitched_cycles
+
+let forced_skip_escapes_loop () =
+  (* Drive the board manually: skipping the BEQ must exit while(!a). *)
+  let board = Board.create (Board.Asm (Attack.single_loop_program While_not_a)) in
+  let rec go budget =
+    if budget = 0 then Alcotest.fail "never reached breakpoint"
+    else
+      let applied =
+        match Board.peek board with
+        | Ok (Thumb.Instr.B_cond (EQ, _)) -> Board.As_nop
+        | Ok _ | Error _ -> Board.Normal
+      in
+      match Board.step ~applied board with
+      | Machine.Exec.Running -> go (budget - 1)
+      | Machine.Exec.Stopped (Machine.Exec.Breakpoint 0) ->
+        Alcotest.(check int) "escape marker" 0xAA (Board.reg board 0)
+      | Machine.Exec.Stopped s ->
+        Alcotest.fail (Fmt.str "stopped: %a" Machine.Exec.pp_stop s)
+  in
+  go 200
+
+let snapshot_restore_equivalence () =
+  (* restoring a snapshot must reproduce a fresh deterministic run *)
+  let board = Board.create (Board.Asm (Attack.single_loop_program While_not_a)) in
+  let schedule = [ Glitcher.single ~width:(-12) ~offset:8 ~ext_offset:3 ] in
+  let o_fresh = Glitcher.run ~max_cycles:250 ~nonce:9 board schedule in
+  let r3_fresh = Board.reg board 3 in
+  (* snapshot a freshly reset board right after boot-to-trigger *)
+  Board.reset board;
+  ignore (Board.run_until_trigger ~max_cycles:100 board);
+  let snap = Board.snapshot board in
+  let o_restored = Glitcher.run ~max_cycles:250 ~nonce:9 ~from:snap board schedule in
+  Alcotest.(check bool) "same stop" true (o_fresh.stop = o_restored.stop);
+  Alcotest.(check int) "same comparator" r3_fresh (Board.reg board 3)
+
+let second_trigger_schedules () =
+  (* a schedule armed on trigger 1 must not fire while only trigger 0
+     has occurred *)
+  let board = Board.create (Board.Asm (Attack.double_loop_program While_not_a)) in
+  let late =
+    [ { (Glitcher.single ~width:(-10) ~offset:5 ~ext_offset:2) with
+        trigger_index = 1 } ]
+  in
+  let obs = Glitcher.run ~max_cycles:250 board late in
+  (* stuck in loop1 forever: the second trigger never arrives *)
+  Alcotest.(check bool) "timeout in loop1" true (obs.stop = `Timeout);
+  Alcotest.(check int) "no glitched cycles" 0 obs.glitched_cycles
+
+let loop_takes_eight_cycles () =
+  (* the paper's guard loops are 8 cycles per iteration on the M0; the
+     board's cycle accounting must agree, or every ext_offset in
+     Tables I-III would target the wrong instruction *)
+  let board = Board.create (Board.Asm (Attack.single_loop_program While_not_a)) in
+  let (_ : [ `Stopped of Machine.Exec.stop | `Timeout ]) =
+    Board.run_plain ~max_cycles:200 board
+  in
+  match Board.trigger_edges board with
+  | [ edge ] ->
+    (* cycles after the trigger must be a multiple of the loop period *)
+    let after = 200 - edge in
+    let remainder = after mod Attack.loop_cycles in
+    (* the run stops mid-loop at the cap; simulate exactly N loops by
+       measuring pc recurrence instead: step until pc repeats twice *)
+    ignore remainder;
+    Board.reset board;
+    ignore (Board.run_until_trigger ~max_cycles:100 board);
+    let start_pc = ref None in
+    let c0 = ref 0 and c1 = ref 0 in
+    (try
+       for _ = 1 to 64 do
+         let pc = Board.pc board in
+         (match !start_pc with
+         | None ->
+           start_pc := Some pc;
+           c0 := Board.cycles board
+         | Some p when p = pc && !c1 = 0 && Board.cycles board > !c0 ->
+           c1 := Board.cycles board;
+           raise Exit
+         | Some _ -> ());
+         ignore (Board.step board)
+       done
+     with Exit -> ());
+    Alcotest.(check int) "8-cycle loop" Attack.loop_cycles (!c1 - !c0)
+  | _ -> Alcotest.fail "expected one trigger edge"
+
+(* --- paper-shape assertions (slow) --------------------------------------------- *)
+
+let table1_shape () =
+  let not_a = Attack.run_table1 While_not_a in
+  let a = Attack.run_table1 While_a in
+  let total (t : Attack.table1) =
+    Array.fold_left (fun acc (c : Attack.cycle_stats) -> acc + c.successes) 0
+      t.per_cycle
+  in
+  let t_not_a = total not_a and t_a = total a in
+  Alcotest.(check bool)
+    (Printf.sprintf "while(!a)=%d more glitchable than while(a)=%d" t_not_a t_a)
+    true (t_not_a > t_a);
+  (* overall success rate in the sub-percent regime the paper reports *)
+  let rate = 100. *. float_of_int t_not_a /. float_of_int (8 * 9801) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f%% in [0.2, 2.0]" rate)
+    true
+    (rate > 0.2 && rate < 2.0);
+  (* successes exist at late (compare/branch) cycles *)
+  Alcotest.(check bool) "branch cycles glitchable" true
+    (not_a.per_cycle.(5).successes > 0 || not_a.per_cycle.(6).successes > 0)
+
+let table2_partial_exceeds_full () =
+  let t = Attack.run_table2 While_not_a in
+  let partial = Array.fold_left ( + ) 0 t.partial in
+  let full = Array.fold_left ( + ) 0 t.full in
+  Alcotest.(check bool)
+    (Printf.sprintf "partial %d > full %d (multi-glitch harder)" partial full)
+    true
+    (partial > 2 * full && full > 0)
+
+(* Reproducibility pin: the experiments are fully deterministic, so the
+   default-seed totals are exact. If the fault-model calibration changes
+   intentionally, update these numbers AND the tables in EXPERIMENTS.md. *)
+let table1_golden_totals () =
+  let total guard =
+    let t = Attack.run_table1 guard in
+    Array.fold_left (fun acc (c : Attack.cycle_stats) -> acc + c.successes) 0
+      t.per_cycle
+  in
+  Alcotest.(check int) "while(!a)" 460 (total While_not_a);
+  Alcotest.(check int) "while(a)" 315 (total While_a);
+  Alcotest.(check int) "while(a!=K)" 260 (total While_ne_const)
+
+let tuner_finds_reliable_params () =
+  let r = Tuner.search While_not_a in
+  (match r.found with
+  | Some (w, o, cycle) ->
+    Alcotest.(check bool) "params in range" true
+      (w >= -49 && w <= 49 && o >= -49 && o <= 49 && cycle >= 0 && cycle < 8);
+    (* re-validate with fresh attempt noise: like the paper's "10 out
+       of 10", the tuned point must be highly reliable, though attempt
+       noise means a fresh batch can drop an attempt or two *)
+    let board =
+      Board.create (Board.Asm (Attack.single_loop_program While_not_a))
+    in
+    let ok = ref 0 in
+    for nonce = 100 to 109 do
+      let obs =
+        Glitcher.run ~max_cycles:300 ~nonce board
+          [ Glitcher.single ~width:w ~offset:o ~ext_offset:cycle ]
+      in
+      if Attack.escaped board obs then incr ok
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "reliable (%d/10 on fresh attempts)" !ok)
+      true (!ok >= 7)
+  | None -> Alcotest.fail "tuner found no 100% parameters");
+  Alcotest.(check bool) "search did work" true (r.attempts > 1000)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_u01_range; prop_bits_range ] in
+  Alcotest.run "hw"
+    [ ("hashrand",
+       Alcotest.test_case "deterministic" `Quick hashrand_deterministic :: props);
+      ("susceptibility",
+       [ Alcotest.test_case "landscape" `Quick landscape_properties;
+         Alcotest.test_case "class factors (RQ4)" `Quick class_factors_ordered;
+         Alcotest.test_case "1->0 bias" `Quick corrupt_word_biased;
+         Alcotest.test_case "deterministic effects" `Quick roll_deterministic_effect ]);
+      ("board",
+       [ Alcotest.test_case "trigger and cycles" `Quick board_trigger_and_cycles;
+         Alcotest.test_case "reset" `Quick board_reset_is_clean;
+         Alcotest.test_case "double loop trigger" `Quick board_double_loop_triggers_twice;
+         Alcotest.test_case "guard programs assemble" `Quick guard_programs_assemble;
+         Alcotest.test_case "literal pools correct" `Quick literal_pool_offsets_correct ]);
+      ("glitcher",
+       [ Alcotest.test_case "deterministic" `Quick glitcher_deterministic;
+         Alcotest.test_case "no schedule = plain run" `Quick
+           glitcher_without_schedule_is_plain;
+         Alcotest.test_case "forced skip escapes" `Quick forced_skip_escapes_loop;
+         Alcotest.test_case "snapshot/restore" `Quick snapshot_restore_equivalence;
+         Alcotest.test_case "second trigger" `Quick second_trigger_schedules;
+         Alcotest.test_case "loop cycle accounting" `Quick loop_takes_eight_cycles ]);
+      ("paper-shapes",
+       [ Alcotest.test_case "table 1" `Slow table1_shape;
+         Alcotest.test_case "table 1 golden totals" `Slow table1_golden_totals;
+         Alcotest.test_case "table 2" `Slow table2_partial_exceeds_full;
+         Alcotest.test_case "tuner" `Slow tuner_finds_reliable_params ]) ]

@@ -1,0 +1,235 @@
+(* Tests for the IR: builder ergonomics, verifier diagnostics, and
+   interpreter semantics (including the 32-bit arithmetic the codegen
+   must agree with). *)
+
+let empty_modul () : Ir.modul = { globals = []; funcs = []; externs = [] }
+
+(* Build: int add2(a, b) { return a + b + 2; } *)
+let build_add2 () =
+  let b = Ir.Builder.create ~fname:"add2" ~params:[ "a"; "b" ] ~returns_value:true in
+  let va = Ir.Builder.load b (Ir.Local "a") in
+  let vb = Ir.Builder.load b (Ir.Local "b") in
+  let sum = Ir.Builder.binop b Ir.Add va vb in
+  let sum2 = Ir.Builder.binop b Ir.Add sum (Ir.Const 2) in
+  Ir.Builder.ret b (Some sum2);
+  Ir.Builder.func b
+
+(* Build: int countdown(n) { while (n != 0) n = n - 1; return n; }
+   with n spilled through a local, exercising loops. *)
+let build_countdown () =
+  let b = Ir.Builder.create ~fname:"countdown" ~params:[ "n" ] ~returns_value:true in
+  Ir.Builder.br b "head";
+  let head = Ir.Builder.new_block b "head" in
+  let n = Ir.Builder.load b (Ir.Local "n") in
+  let cond = Ir.Builder.icmp b Ir.Ne n (Ir.Const 0) in
+  Ir.Builder.cond_br b cond ~if_true:"body" ~if_false:"exit";
+  let _body = Ir.Builder.new_block b "body" in
+  let n2 = Ir.Builder.load b (Ir.Local "n") in
+  let dec = Ir.Builder.binop b Ir.Sub n2 (Ir.Const 1) in
+  Ir.Builder.store b (Ir.Local "n") dec;
+  Ir.Builder.br b "head";
+  let _exit = Ir.Builder.new_block b "exit" in
+  let out = Ir.Builder.load b (Ir.Local "n") in
+  Ir.Builder.ret b (Some out);
+  ignore head;
+  Ir.Builder.func b
+
+let run_ok ?builtins m ~entry ~args =
+  match Ir.Interp.run ?builtins m ~entry ~args with
+  | Ok outcome -> outcome
+  | Error e -> Alcotest.fail ("interp error: " ^ e)
+
+let builder_and_interp () =
+  let m = empty_modul () in
+  m.funcs <- [ build_add2 () ];
+  Ir.Verify.check_exn m;
+  let out = run_ok m ~entry:"add2" ~args:[ 40; 0 ] in
+  Alcotest.(check (option int)) "40+0+2" (Some 42) out.ret
+
+let loop_semantics () =
+  let m = empty_modul () in
+  m.funcs <- [ build_countdown () ];
+  Ir.Verify.check_exn m;
+  let out = run_ok m ~entry:"countdown" ~args:[ 1000 ] in
+  Alcotest.(check (option int)) "terminates at zero" (Some 0) out.ret
+
+let globals_and_calls () =
+  let m = empty_modul () in
+  m.globals <-
+    [ { Ir.gname = "counter"; init = 5; volatile = false; sensitive = false } ];
+  let b = Ir.Builder.create ~fname:"bump" ~params:[] ~returns_value:true in
+  let v = Ir.Builder.load b (Ir.Global "counter") in
+  let v' = Ir.Builder.binop b Ir.Add v (Ir.Const 1) in
+  Ir.Builder.store b (Ir.Global "counter") v';
+  Ir.Builder.ret b (Some v');
+  let bump = Ir.Builder.func b in
+  let b2 = Ir.Builder.create ~fname:"main" ~params:[] ~returns_value:true in
+  let r1 = Option.get (Ir.Builder.call b2 ~dst:true "bump" []) in
+  let _r2 = Option.get (Ir.Builder.call b2 ~dst:true "bump" []) in
+  ignore r1;
+  let final = Ir.Builder.load b2 (Ir.Global "counter") in
+  Ir.Builder.ret b2 (Some final);
+  m.funcs <- [ bump; Ir.Builder.func b2 ];
+  Ir.Verify.check_exn m;
+  let out = run_ok m ~entry:"main" ~args:[] in
+  Alcotest.(check (option int)) "two bumps" (Some 7) out.ret;
+  Alcotest.(check (list (pair string int))) "global state" [ ("counter", 7) ]
+    out.globals
+
+let builtins_dispatch () =
+  let m = empty_modul () in
+  m.externs <- [ "magic" ];
+  let b = Ir.Builder.create ~fname:"main" ~params:[] ~returns_value:true in
+  let r = Option.get (Ir.Builder.call b ~dst:true "magic" [ Ir.Const 10 ]) in
+  Ir.Builder.ret b (Some r);
+  m.funcs <- [ Ir.Builder.func b ];
+  Ir.Verify.check_exn m;
+  let out =
+    run_ok m ~entry:"main" ~args:[]
+      ~builtins:[ ("magic", fun args -> List.hd args * 3) ]
+  in
+  Alcotest.(check (option int)) "builtin result" (Some 30) out.ret
+
+let fuel_bounds_runaway () =
+  let b = Ir.Builder.create ~fname:"spin" ~params:[] ~returns_value:false in
+  Ir.Builder.br b "entry";
+  let m = empty_modul () in
+  m.funcs <- [ Ir.Builder.func b ];
+  match Ir.Interp.run ~fuel:1000 m ~entry:"spin" ~args:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "infinite loop must exhaust fuel"
+
+let arithmetic_32bit () =
+  let check_binop name op a b expected =
+    Alcotest.(check int) name expected (Ir.eval_binop op a b)
+  in
+  check_binop "wraparound add" Ir.Add 0xFFFFFFFF 1 0;
+  check_binop "signed div" Ir.Sdiv 0xFFFFFFFE 2 0xFFFFFFFF (* -2/2 = -1 *);
+  check_binop "div by zero" Ir.Sdiv 5 0 0;
+  check_binop "ashr sign" Ir.Ashr 0x80000000 31 0xFFFFFFFF;
+  check_binop "lshr" Ir.Lshr 0x80000000 31 1;
+  check_binop "shl masks amount" Ir.Shl 1 32 1;
+  Alcotest.(check int) "signed lt" 1 (Ir.eval_icmp Ir.Slt 0xFFFFFFFF 0);
+  Alcotest.(check int) "unsigned lt" 0 (Ir.eval_icmp Ir.Ult 0xFFFFFFFF 0)
+
+let negate_icmp_involution () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "involution" true
+        (Ir.negate_icmp (Ir.negate_icmp op) = op);
+      (* negation complements the outcome on all inputs we try *)
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool) "complement" true
+            (Ir.eval_icmp op a b <> Ir.eval_icmp (Ir.negate_icmp op) a b))
+        [ (0, 0); (1, 0); (0, 1); (0xFFFFFFFF, 1); (5, 5) ])
+    [ Ir.Eq; Ir.Ne; Ir.Slt; Ir.Sle; Ir.Sgt; Ir.Sge; Ir.Ult; Ir.Ule; Ir.Ugt; Ir.Uge ]
+
+let switch_interp () =
+  let b = Ir.Builder.create ~fname:"pick" ~params:[ "v" ] ~returns_value:true in
+  let v = Ir.Builder.load b (Ir.Local "v") in
+  Ir.Builder.switch b v
+    ~cases:[ (1, "one"); (2, "two") ]
+    ~default:"other";
+  let _ = Ir.Builder.new_block b "one" in
+  Ir.Builder.ret b (Some (Ir.Const 10));
+  let _ = Ir.Builder.new_block b "two" in
+  Ir.Builder.ret b (Some (Ir.Const 20));
+  let _ = Ir.Builder.new_block b "other" in
+  Ir.Builder.ret b (Some (Ir.Const 99));
+  let m = empty_modul () in
+  m.funcs <- [ Ir.Builder.func b ];
+  Ir.Verify.check_exn m;
+  List.iter
+    (fun (arg, expected) ->
+      let out = run_ok m ~entry:"pick" ~args:[ arg ] in
+      Alcotest.(check (option int))
+        (Printf.sprintf "pick %d" arg)
+        (Some expected) out.ret)
+    [ (1, 10); (2, 20); (3, 99); (0, 99) ]
+
+let switch_verifier () =
+  let bad_switch cases =
+    let b = Ir.Builder.create ~fname:"f" ~params:[] ~returns_value:false in
+    Ir.Builder.switch b (Ir.Const 0) ~cases ~default:"entry";
+    let m = empty_modul () in
+    m.funcs <- [ Ir.Builder.func b ];
+    Ir.Verify.modul m
+  in
+  Alcotest.(check bool) "duplicate cases rejected" true
+    (bad_switch [ (1, "entry"); (1, "entry") ] <> []);
+  Alcotest.(check bool) "unknown target rejected" true
+    (bad_switch [ (1, "ghost") ] <> []);
+  Alcotest.(check bool) "well-formed accepted" true
+    (bad_switch [ (1, "entry"); (2, "entry") ] = [])
+
+let verifier_catches () =
+  let expect_violation build =
+    let m = empty_modul () in
+    build m;
+    match Ir.Verify.modul m with
+    | [] -> Alcotest.fail "expected a verifier violation"
+    | _ -> ()
+  in
+  (* branch to unknown label *)
+  expect_violation (fun m ->
+      let b = Ir.Builder.create ~fname:"f" ~params:[] ~returns_value:false in
+      Ir.Builder.br b "nowhere";
+      m.funcs <- [ Ir.Builder.func b ]);
+  (* undeclared global *)
+  expect_violation (fun m ->
+      let b = Ir.Builder.create ~fname:"f" ~params:[] ~returns_value:false in
+      let _ = Ir.Builder.load b (Ir.Global "ghost") in
+      Ir.Builder.ret b None;
+      m.funcs <- [ Ir.Builder.func b ]);
+  (* call to unknown function *)
+  expect_violation (fun m ->
+      let b = Ir.Builder.create ~fname:"f" ~params:[] ~returns_value:false in
+      let _ = Ir.Builder.call b "ghost" [] in
+      Ir.Builder.ret b None;
+      m.funcs <- [ Ir.Builder.func b ]);
+  (* ret void from value-returning function *)
+  expect_violation (fun m ->
+      let b = Ir.Builder.create ~fname:"f" ~params:[] ~returns_value:true in
+      Ir.Builder.ret b None;
+      m.funcs <- [ Ir.Builder.func b ]);
+  (* double assignment of a temp *)
+  expect_violation (fun m ->
+      let f : Ir.func =
+        { fname = "f"; params = []; returns_value = false; locals = [ "x" ];
+          blocks =
+            [ { label = "entry";
+                instrs =
+                  [ Ir.Load { dst = 0; src = Ir.Local "x"; volatile = false };
+                    Ir.Load { dst = 0; src = Ir.Local "x"; volatile = false } ];
+                term = Ir.Ret None } ] }
+      in
+      m.funcs <- [ f ])
+
+let verifier_accepts_good () =
+  let m = empty_modul () in
+  m.funcs <- [ build_add2 (); build_countdown () ];
+  Alcotest.(check int) "no violations" 0 (List.length (Ir.Verify.modul m))
+
+let max_temp_tracking () =
+  let f = build_add2 () in
+  Alcotest.(check int) "max temp" 3 (Ir.max_temp f)
+
+let () =
+  Alcotest.run "ir"
+    [ ("interp",
+       [ Alcotest.test_case "builder + interp" `Quick builder_and_interp;
+         Alcotest.test_case "loops" `Quick loop_semantics;
+         Alcotest.test_case "globals and calls" `Quick globals_and_calls;
+         Alcotest.test_case "builtins" `Quick builtins_dispatch;
+         Alcotest.test_case "fuel" `Quick fuel_bounds_runaway ]);
+      ("semantics",
+       [ Alcotest.test_case "32-bit arithmetic" `Quick arithmetic_32bit;
+         Alcotest.test_case "icmp negation" `Quick negate_icmp_involution ]);
+      ("switch",
+       [ Alcotest.test_case "interp dispatch" `Quick switch_interp;
+         Alcotest.test_case "verifier" `Quick switch_verifier ]);
+      ("verify",
+       [ Alcotest.test_case "catches violations" `Quick verifier_catches;
+         Alcotest.test_case "accepts good modules" `Quick verifier_accepts_good;
+         Alcotest.test_case "max_temp" `Quick max_temp_tracking ]) ]

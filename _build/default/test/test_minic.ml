@@ -1,0 +1,388 @@
+(* Tests for the Mini-C front end: lexer, parser precedence, printer
+   round-trips, and semantic analysis (enum resolution in particular,
+   since the ENUM Rewriter depends on it). *)
+
+open Minic
+
+let parse = Parser.program
+let parse_expr = Parser.expr
+
+(* --- lexer ----------------------------------------------------------------- *)
+
+let lexer_basics () =
+  let toks = Lexer.tokenize "int x = 0x2A; // comment\nx = x + 1;" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool) "hex literal" true
+    (List.mem (Lexer.Tint_lit 42) kinds);
+  Alcotest.(check bool) "keyword" true (List.mem (Lexer.Tkeyword "int") kinds);
+  Alcotest.(check bool) "comment skipped" true
+    (not (List.exists (function Lexer.Tident "comment" -> true | _ -> false) kinds))
+
+let lexer_block_comment () =
+  let toks = Lexer.tokenize "a /* b\nc */ d" in
+  Alcotest.(check int) "two idents + eof" 3 (List.length toks);
+  match toks with
+  | [ (Lexer.Tident "a", 1); (Lexer.Tident "d", 2); (Lexer.Teof, _) ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens/lines"
+
+let lexer_two_char_ops () =
+  let toks = Lexer.tokenize "a <= b << c == d && e" in
+  let puncts =
+    List.filter_map (function Lexer.Tpunct p, _ -> Some p | _ -> None) toks
+  in
+  Alcotest.(check (list string)) "ops" [ "<="; "<<"; "=="; "&&" ] puncts
+
+let lexer_errors () =
+  let expect_error src =
+    match Lexer.tokenize src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected lexer error for %S" src)
+  in
+  expect_error "int $x;";
+  expect_error "/* unterminated";
+  expect_error "0x";
+  expect_error "123abc"
+
+(* --- parser ------------------------------------------------------------------ *)
+
+let precedence () =
+  let open Ast in
+  Alcotest.(check bool) "mul over add" true
+    (equal_expr (parse_expr "1 + 2 * 3")
+       (Binop (Add, Int 1, Binop (Mul, Int 2, Int 3))));
+  Alcotest.(check bool) "shift over compare" true
+    (equal_expr (parse_expr "a << 1 < b")
+       (Binop (Lt, Binop (Shl, Ident "a", Int 1), Ident "b")));
+  Alcotest.(check bool) "and over or" true
+    (equal_expr (parse_expr "a || b && c")
+       (Binop (Lor, Ident "a", Binop (Land, Ident "b", Ident "c"))));
+  Alcotest.(check bool) "unary binds tight" true
+    (equal_expr (parse_expr "!a == 0")
+       (Binop (Eq, Unop (Lnot, Ident "a"), Int 0)));
+  Alcotest.(check bool) "parens" true
+    (equal_expr (parse_expr "(1 + 2) * 3")
+       (Binop (Mul, Binop (Add, Int 1, Int 2), Int 3)))
+
+let left_associativity () =
+  let open Ast in
+  Alcotest.(check bool) "a - b - c" true
+    (equal_expr (parse_expr "a - b - c")
+       (Binop (Sub, Binop (Sub, Ident "a", Ident "b"), Ident "c")))
+
+let paper_guards_parse () =
+  (* The three guard expressions from Table I. *)
+  let prog =
+    parse
+      {|
+        volatile unsigned a = 0;
+        int main(void) {
+          while (!a) { }
+          while (a) { }
+          while (a != 0xD3B9AEC6) { }
+          return 0;
+        }
+      |}
+  in
+  match prog with
+  | [ Ast.Iglobal g; Ast.Ifunc f ] ->
+    Alcotest.(check bool) "volatile" true g.gvolatile;
+    Alcotest.(check int) "three loops + return" 4 (List.length f.fbody)
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let enum_and_functions_parse () =
+  let prog =
+    parse
+      {|
+        enum status { SUCCESS, FAILURE, PENDING };
+        enum fixed { A = 1, B = 2 };
+        int check(int tick) {
+          if (tick == 0) { return SUCCESS; }
+          return FAILURE;
+        }
+      |}
+  in
+  match prog with
+  | [ Ast.Ienum e1; Ast.Ienum e2; Ast.Ifunc f ] ->
+    Alcotest.(check int) "members" 3 (List.length e1.members);
+    Alcotest.(check bool) "uninitialized" true
+      (List.for_all (fun (_, i) -> i = None) e1.members);
+    Alcotest.(check bool) "initialized" true
+      (List.for_all (fun (_, i) -> i <> None) e2.members);
+    Alcotest.(check string) "name" "check" f.fname
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let statements_parse () =
+  let prog =
+    parse
+      {|
+        int f(int n) {
+          int acc = 0;
+          for (int i = 0; i < n; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            acc = acc + i;
+            if (acc > 100) { break; }
+          }
+          do { acc = acc - 1; } while (acc > 50);
+          return acc;
+        }
+      |}
+  in
+  Alcotest.(check int) "one item" 1 (List.length prog)
+
+let switch_parses () =
+  let prog =
+    parse
+      {|
+        int f(int v) {
+          int r = 0;
+          switch (v) {
+            case 1:
+            case 2:
+              r = 10;
+              break;
+            case 3:
+              r = 20;
+            default:
+              r = r + 1;
+              break;
+          }
+          return r;
+        }
+      |}
+  in
+  match prog with
+  | [ Ast.Ifunc f ] -> (
+    match List.nth f.fbody 1 with
+    | Ast.Sswitch (_, arms) ->
+      Alcotest.(check int) "three arms" 3 (List.length arms);
+      let first = List.nth arms 0 in
+      Alcotest.(check int) "two labels on first arm" 2
+        (List.length first.arm_cases);
+      let last = List.nth arms 2 in
+      Alcotest.(check bool) "default label" true
+        (List.mem None last.arm_cases)
+    | _ -> Alcotest.fail "expected a switch statement")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let switch_sema_errors () =
+  let expect_error src =
+    match Sema.check (parse src) with
+    | exception Sema.Error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected semantic error for %S" src)
+  in
+  expect_error "int f(int v) { switch (v) { case 1: break; case 1: break; } return 0; }";
+  expect_error
+    "int f(int v) { switch (v) { default: break; default: break; } return 0; }";
+  expect_error "int f(int v) { switch (v) { case v: break; } return 0; }"
+
+let switch_break_allowed_continue_not () =
+  (* break is legal in a switch; continue still needs a loop *)
+  ignore (Sema.check (parse "int f(int v) { switch (v) { case 1: break; } return 0; }"));
+  (match
+     Sema.check (parse "int f(int v) { switch (v) { case 1: continue; } return 0; }")
+   with
+  | exception Sema.Error _ -> ()
+  | _ -> Alcotest.fail "continue inside switch must be rejected");
+  (* ... unless the switch is inside a loop *)
+  ignore
+    (Sema.check
+       (parse
+          "int f(int v) { while (v) { switch (v) { case 1: continue; } v = v - 1; } return 0; }"))
+
+let switch_roundtrip () =
+  let src =
+    "int f(int v) { switch (v) { case 1: return 10; case 2: default: return 20; } return 0; }"
+  in
+  let ast = parse src in
+  let printed = Pretty.to_string ast in
+  Alcotest.(check bool) "switch print/parse roundtrip" true
+    (Ast.equal_program ast (parse printed))
+
+let parser_errors () =
+  let expect_error src =
+    match parse src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" src)
+  in
+  expect_error "int f( { }";
+  expect_error "int x";
+  expect_error "enum e { };;";
+  expect_error "int f(void) { return 1 }";
+  expect_error "int f(void) { break }"
+
+(* --- printer round-trip -------------------------------------------------------- *)
+
+let roundtrip_programs () =
+  let sources =
+    [ "volatile unsigned a = 0;\nint main(void) { while (!a) { } return 0; }";
+      "enum e { X, Y, Z };\nint f(int p, unsigned q) { return p + q; }";
+      "int g(void) { int x = 1; do { x = x << 1; } while (x < 100); return x; }";
+      "int h(int n) { for (int i = 0; i < n; i = i + 1) { n = n - 1; } return n; }";
+      "int i(void) { if (1) { return 2; } else { return 3; } }" ]
+  in
+  List.iter
+    (fun src ->
+      let ast = parse src in
+      let printed = Pretty.to_string ast in
+      let reparsed =
+        try parse printed
+        with Parser.Error e ->
+          Alcotest.fail (Fmt.str "reparse failed: %a\n%s" Parser.pp_error e printed)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %S" src)
+        true
+        (Ast.equal_program ast reparsed))
+    sources
+
+(* Random expression generator for printer/parser agreement. *)
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let binops =
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Band; Ast.Bor; Ast.Bxor;
+      Ast.Shl; Ast.Shr; Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge;
+      Ast.Land; Ast.Lor ]
+  in
+  let unops = [ Ast.Neg; Ast.Lnot; Ast.Bnot ] in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun v -> Ast.Int v) (int_bound 1000);
+            oneofl [ Ast.Ident "a"; Ast.Ident "b"; Ast.Ident "c" ] ]
+      else
+        frequency
+          [ (2, map (fun v -> Ast.Int v) (int_bound 1000));
+            (1, oneofl [ Ast.Ident "a"; Ast.Ident "b" ]);
+            (2,
+             map3
+               (fun op l r -> Ast.Binop (op, l, r))
+               (oneofl binops) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun op e -> Ast.Unop (op, e)) (oneofl unops) (self (n - 1)));
+            (1,
+             map
+               (fun args -> Ast.Call ("f", args))
+               (list_size (int_range 0 3) (self (n / 3)))) ])
+
+let prop_expr_roundtrip =
+  let arb = QCheck.make ~print:(Fmt.str "%a" Pretty.pp_expr) gen_expr in
+  QCheck.Test.make ~name:"print/parse expression round-trip" ~count:500 arb
+    (fun e ->
+      let printed = Fmt.str "%a" Pretty.pp_expr e in
+      Ast.equal_expr e (parse_expr printed))
+
+(* --- sema ------------------------------------------------------------------------ *)
+
+let sema_enum_defaults () =
+  let t = Sema.check (parse "enum e { A, B, C };") in
+  match t.enums with
+  | [ info ] ->
+    Alcotest.(check bool) "fully uninitialized" true info.fully_uninitialized;
+    Alcotest.(check (list (pair string int)))
+      "sequential" [ ("A", 0); ("B", 1); ("C", 2) ] info.values
+  | _ -> Alcotest.fail "one enum expected"
+
+let sema_enum_explicit () =
+  let t = Sema.check (parse "enum e { A = 5, B, C = 2 + 3, D };") in
+  match t.enums with
+  | [ info ] ->
+    Alcotest.(check bool) "not fully uninitialized" false info.fully_uninitialized;
+    Alcotest.(check (list (pair string int)))
+      "values" [ ("A", 5); ("B", 6); ("C", 5); ("D", 6) ] info.values
+  | _ -> Alcotest.fail "one enum expected"
+
+let sema_enum_reference () =
+  (* Later enums may reference earlier constants. *)
+  let t = Sema.check (parse "enum a { X = 3 };\nenum b { Y = X + 1 };") in
+  Alcotest.(check int) "Y" 4 (List.assoc "Y" t.enum_constants)
+
+let sema_errors () =
+  let expect_error src =
+    match Sema.check (parse src) with
+    | exception Sema.Error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected semantic error for %S" src)
+  in
+  expect_error "int f(void) { return x; }";
+  expect_error "int f(void) { g(); return 0; }";
+  expect_error "int f(int a) { return f(a, a); }";
+  expect_error "int x; int x;";
+  expect_error "enum e { A }; enum f { A };";
+  expect_error "int f(void) { int y = 1; int y = 2; return y; }";
+  expect_error "enum e { A }; int f(void) { A = 3; return 0; }";
+  expect_error "int g = h;"
+
+let sema_const_eval () =
+  let ev e = Sema.const_eval [ ("K", 7) ] (parse_expr e) in
+  Alcotest.(check (option int)) "arith" (Some 14) (ev "K * 2");
+  Alcotest.(check (option int)) "bitnot" (Some 0xFFFFFFFF) (ev "~0");
+  Alcotest.(check (option int)) "logic" (Some 1) (ev "3 < 4 && 1");
+  Alcotest.(check (option int)) "shift" (Some 0x80000000) (ev "1 << 31");
+  Alcotest.(check (option int)) "wraps" (Some 0) (ev "(1 << 31) * 2");
+  Alcotest.(check (option int)) "signed compare" (Some 1) (ev "0 - 1 < 0");
+  Alcotest.(check (option int)) "non-const" None (ev "x + 1");
+  Alcotest.(check (option int)) "call" None (ev "f()")
+
+let lexer_line_numbers () =
+  (* errors report the right line even past comments *)
+  (match Parser.program "int x = 1;\n// c\nint f( { }" with
+  | exception Parser.Error e -> Alcotest.(check int) "line" 3 e.line
+  | _ -> Alcotest.fail "expected error")
+
+let unary_precedence () =
+  let open Ast in
+  Alcotest.(check bool) "-a * b parses as (-a) * b" true
+    (equal_expr (Parser.expr "-a * b")
+       (Binop (Mul, Unop (Neg, Ident "a"), Ident "b")));
+  Alcotest.(check bool) "~a & b" true
+    (equal_expr (Parser.expr "~a & b")
+       (Binop (Band, Unop (Bnot, Ident "a"), Ident "b")));
+  Alcotest.(check bool) "double negation" true
+    (equal_expr (Parser.expr "!!a") (Unop (Lnot, Unop (Lnot, Ident "a"))))
+
+let volatile_placement () =
+  (* volatile accepted before or after the type *)
+  let p1 = Parser.program "volatile unsigned a;" in
+  let p2 = Parser.program "unsigned volatile a;" in
+  (match (p1, p2) with
+  | [ Ast.Iglobal g1 ], [ Ast.Iglobal g2 ] ->
+    Alcotest.(check bool) "both volatile" true (g1.gvolatile && g2.gvolatile)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let sema_enum_of_member () =
+  let t = Sema.check (parse "enum a { X };\nenum b { Y };") in
+  (match Sema.enum_of_member t "Y" with
+  | Some info -> Alcotest.(check string) "found b" "b" info.decl.ename
+  | None -> Alcotest.fail "Y not found");
+  Alcotest.(check bool) "missing" true (Sema.enum_of_member t "Z" = None)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_expr_roundtrip ] in
+  Alcotest.run "minic"
+    [ ("lexer",
+       [ Alcotest.test_case "basics" `Quick lexer_basics;
+         Alcotest.test_case "block comments" `Quick lexer_block_comment;
+         Alcotest.test_case "two-char operators" `Quick lexer_two_char_ops;
+         Alcotest.test_case "errors" `Quick lexer_errors ]);
+      ("parser",
+       [ Alcotest.test_case "precedence" `Quick precedence;
+         Alcotest.test_case "left associativity" `Quick left_associativity;
+         Alcotest.test_case "paper guards" `Quick paper_guards_parse;
+         Alcotest.test_case "enums and functions" `Quick enum_and_functions_parse;
+         Alcotest.test_case "statements" `Quick statements_parse;
+         Alcotest.test_case "switch" `Quick switch_parses;
+         Alcotest.test_case "switch sema errors" `Quick switch_sema_errors;
+         Alcotest.test_case "switch break/continue" `Quick
+           switch_break_allowed_continue_not;
+         Alcotest.test_case "switch roundtrip" `Quick switch_roundtrip;
+         Alcotest.test_case "errors" `Quick parser_errors ]);
+      ("printer",
+       (Alcotest.test_case "program round-trips" `Quick roundtrip_programs :: props));
+      ("sema",
+       [ Alcotest.test_case "enum defaults" `Quick sema_enum_defaults;
+         Alcotest.test_case "enum explicit values" `Quick sema_enum_explicit;
+         Alcotest.test_case "cross-enum reference" `Quick sema_enum_reference;
+         Alcotest.test_case "errors" `Quick sema_errors;
+         Alcotest.test_case "const eval" `Quick sema_const_eval;
+         Alcotest.test_case "enum_of_member" `Quick sema_enum_of_member;
+         Alcotest.test_case "error line numbers" `Quick lexer_line_numbers;
+         Alcotest.test_case "unary precedence" `Quick unary_precedence;
+         Alcotest.test_case "volatile placement" `Quick volatile_placement ]) ]

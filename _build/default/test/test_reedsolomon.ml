@@ -1,0 +1,279 @@
+(* Tests for the GF(2^8) field, polynomial arithmetic, the Reed-Solomon
+   codec, and the constant diversification scheme built on it. *)
+
+open Reedsolomon
+
+(* --- field laws (property-based) ----------------------------------------- *)
+
+let gen_elt = QCheck.int_bound 255
+let gen_nonzero = QCheck.int_range 1 255
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"add associative" ~count:500
+    QCheck.(triple gen_elt gen_elt gen_elt)
+    (fun (a, b, c) -> Gf256.add (Gf256.add a b) c = Gf256.add a (Gf256.add b c))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"mul associative" ~count:500
+    QCheck.(triple gen_elt gen_elt gen_elt)
+    (fun (a, b, c) -> Gf256.mul (Gf256.mul a b) c = Gf256.mul a (Gf256.mul b c))
+
+let prop_mul_comm =
+  QCheck.Test.make ~name:"mul commutative" ~count:500
+    QCheck.(pair gen_elt gen_elt)
+    (fun (a, b) -> Gf256.mul a b = Gf256.mul b a)
+
+let prop_distributive =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:500
+    QCheck.(triple gen_elt gen_elt gen_elt)
+    (fun (a, b, c) ->
+      Gf256.mul a (Gf256.add b c) = Gf256.add (Gf256.mul a b) (Gf256.mul a c))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"x * inv x = 1" ~count:255 gen_nonzero (fun a ->
+      Gf256.mul a (Gf256.inv a) = 1)
+
+let prop_div_mul =
+  QCheck.Test.make ~name:"(a/b)*b = a" ~count:500
+    QCheck.(pair gen_elt gen_nonzero)
+    (fun (a, b) -> Gf256.mul (Gf256.div a b) b = a)
+
+let prop_pow_exp =
+  QCheck.Test.make ~name:"pow 2 n = exp n" ~count:300 (QCheck.int_bound 254)
+    (fun n -> Gf256.pow 2 n = Gf256.exp n)
+
+let field_units () =
+  Alcotest.(check int) "add self-inverse" 0 (Gf256.add 0xAB 0xAB);
+  Alcotest.(check int) "mul identity" 0xAB (Gf256.mul 0xAB 1);
+  Alcotest.(check int) "mul zero" 0 (Gf256.mul 0xAB 0);
+  Alcotest.(check int) "alpha^0" 1 (Gf256.exp 0);
+  Alcotest.(check int) "alpha^1" 2 (Gf256.exp 1);
+  Alcotest.(check int) "alpha^8 reduces" 0x1D (Gf256.exp 8);
+  Alcotest.(check int) "alpha^255 wraps" 1 (Gf256.exp 255);
+  (match Gf256.div 1 0 with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "division by zero must raise");
+  Alcotest.(check int) "log alpha" 1 (Gf256.log 2)
+
+(* --- polynomials ----------------------------------------------------------- *)
+
+let poly_basics () =
+  Alcotest.(check int) "degree" 2 (Gfpoly.degree [| 1; 0; 3 |]);
+  Alcotest.(check bool) "zero" true (Gfpoly.is_zero [| 0; 0 |]);
+  Alcotest.(check bool) "normalize equal" true
+    (Gfpoly.equal [| 0; 0; 1; 2 |] [| 1; 2 |]);
+  (* (x + 1)(x + 2) = x^2 + 3x + 2 over GF(2^8) *)
+  Alcotest.(check bool) "mul" true
+    (Gfpoly.equal (Gfpoly.mul [| 1; 1 |] [| 1; 2 |]) [| 1; 3; 2 |]);
+  Alcotest.(check int) "eval horner" (Gf256.add (Gf256.mul 3 3) 5)
+    (Gfpoly.eval [| 3; 5 |] 3)
+
+let poly_divmod_inverts_mul () =
+  let a = [| 7; 0; 3; 1 |] and b = [| 1; 5 |] in
+  let q, r = Gfpoly.divmod a b in
+  let back = Gfpoly.add (Gfpoly.mul q b) r in
+  Alcotest.(check bool) "a = q*b + r" true (Gfpoly.equal a back)
+
+let prop_divmod =
+  let gen_poly =
+    QCheck.Gen.(
+      map
+        (fun l -> Array.of_list l)
+        (list_size (int_range 1 8) (int_bound 255)))
+  in
+  let arb = QCheck.make ~print:(Fmt.str "%a" Gfpoly.pp) gen_poly in
+  QCheck.Test.make ~name:"divmod reconstructs" ~count:300 (QCheck.pair arb arb)
+    (fun (a, b) ->
+      QCheck.assume (not (Gfpoly.is_zero b));
+      let q, r = Gfpoly.divmod a b in
+      Gfpoly.equal a (Gfpoly.add (Gfpoly.mul q b) r)
+      && (Gfpoly.is_zero r || Gfpoly.degree r < Gfpoly.degree b))
+
+let generator_roots () =
+  (* The degree-n generator vanishes exactly at alpha^0 .. alpha^(n-1). *)
+  let g = Gfpoly.generator 6 in
+  Alcotest.(check int) "degree" 6 (Gfpoly.degree g);
+  for i = 0 to 5 do
+    Alcotest.(check int)
+      (Printf.sprintf "root alpha^%d" i)
+      0
+      (Gfpoly.eval g (Gf256.exp i))
+  done;
+  Alcotest.(check bool) "alpha^6 is not a root" true
+    (Gfpoly.eval g (Gf256.exp 6) <> 0)
+
+(* --- codec ------------------------------------------------------------------ *)
+
+let encode_is_systematic () =
+  let msg = [| 0x12; 0x34; 0x56 |] in
+  let code = Rs.encode ~ecc_len:4 msg in
+  Alcotest.(check int) "length" 7 (Array.length code);
+  Alcotest.(check bool) "message prefix" true (Array.sub code 0 3 = msg);
+  Alcotest.(check bool) "valid" true (Rs.is_valid ~ecc_len:4 code)
+
+let decode_clean () =
+  let code = Rs.encode ~ecc_len:4 [| 1; 2; 3; 4 |] in
+  match Rs.decode ~ecc_len:4 code with
+  | Ok c -> Alcotest.(check bool) "unchanged" true (c = code)
+  | Error _ -> Alcotest.fail "clean codeword must decode"
+
+let decode_corrects_errors () =
+  let msg = Array.init 10 (fun i -> (i * 37) land 0xFF) in
+  let code = Rs.encode ~ecc_len:8 msg in
+  (* corrupt 4 symbols = ecc/2, the correction bound *)
+  let received = Array.copy code in
+  List.iter
+    (fun (pos, v) -> received.(pos) <- v)
+    [ (0, 0xFF); (3, 0x00); (9, 0xA5); (12, 0x5A) ];
+  match Rs.decode_message ~ecc_len:8 received with
+  | Ok m -> Alcotest.(check bool) "message recovered" true (m = msg)
+  | Error _ -> Alcotest.fail "4 errors within bound must correct"
+
+let decode_rejects_too_many () =
+  let msg = Array.init 10 (fun i -> i) in
+  let code = Rs.encode ~ecc_len:4 msg in
+  let received = Array.copy code in
+  (* corrupt 5 symbols, beyond the ecc/2 = 2 bound *)
+  for i = 0 to 4 do
+    received.(i) <- received.(i) lxor 0xFF
+  done;
+  match Rs.decode ~ecc_len:4 received with
+  | Error `Too_many_errors -> ()
+  | Error `Invalid_length -> Alcotest.fail "wrong error"
+  | Ok c ->
+    (* Miscorrection to a *different* codeword is information-
+       theoretically possible beyond the bound; silently "fixing" back
+       to the original is not. *)
+    Alcotest.(check bool) "must not silently return original" true (c <> code)
+
+let prop_roundtrip_with_errors =
+  let gen =
+    QCheck.Gen.(
+      let* len = int_range 1 20 in
+      let* msg = array_size (return len) (int_bound 255) in
+      let* nerr = int_range 0 3 in
+      let* positions =
+        list_repeat nerr (int_bound (len + 6 - 1))
+      in
+      let* vals = list_repeat nerr (int_range 1 255) in
+      return (msg, List.combine positions vals))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (msg, errs) ->
+        Fmt.str "msg=%a errs=%a"
+          Fmt.(array ~sep:(any ",") int)
+          msg
+          Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") int int))
+          errs)
+      gen
+  in
+  QCheck.Test.make ~name:"corrupt <= 3 symbols, ecc 6 corrects" ~count:300 arb
+    (fun (msg, errs) ->
+      (* deduplicate positions: two errors at one position is fewer errors *)
+      let errs =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) errs
+      in
+      let code = Rs.encode ~ecc_len:6 msg in
+      let received = Array.copy code in
+      List.iter (fun (p, v) -> received.(p) <- received.(p) lxor v) errs;
+      match Rs.decode ~ecc_len:6 received with
+      | Ok c -> c = code
+      | Error _ -> false)
+
+(* RS over GF(2^8) is linear: parity(a xor b) = parity a xor parity b. *)
+let prop_parity_linear =
+  let gen =
+    QCheck.Gen.(
+      let* len = int_range 1 16 in
+      let* a = array_size (return len) (int_bound 255) in
+      let* b = array_size (return len) (int_bound 255) in
+      return (a, b))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (a, b) ->
+        Fmt.str "%a / %a" Fmt.(array ~sep:comma int) a Fmt.(array ~sep:comma int) b)
+      gen
+  in
+  QCheck.Test.make ~name:"parity is GF(2)-linear" ~count:200 arb
+    (fun (a, b) ->
+      let x = Array.map2 ( lxor ) a b in
+      let pa = Rs.parity ~ecc_len:6 a
+      and pb = Rs.parity ~ecc_len:6 b
+      and px = Rs.parity ~ecc_len:6 x in
+      Array.for_all2 ( = ) px (Array.map2 ( lxor ) pa pb))
+
+let prop_syndromes_zero_iff_codeword =
+  QCheck.Test.make ~name:"valid codewords have zero syndromes" ~count:200
+    QCheck.(array_of_size (QCheck.Gen.int_range 1 20) (int_bound 255))
+    (fun msg ->
+      Rs.is_valid ~ecc_len:5 (Rs.encode ~ecc_len:5 msg))
+
+(* --- diversification ---------------------------------------------------------- *)
+
+let diversify_deterministic () =
+  Alcotest.(check int) "stable" (Diversify.value ~width_bytes:4 1)
+    (Diversify.value ~width_bytes:4 1);
+  Alcotest.(check bool) "distinct ordinals differ" true
+    (Diversify.value ~width_bytes:4 1 <> Diversify.value ~width_bytes:4 2)
+
+let diversify_width () =
+  List.iter
+    (fun w ->
+      let v = Diversify.value ~width_bytes:w 123 in
+      Alcotest.(check bool)
+        (Printf.sprintf "fits in %d bytes" w)
+        true
+        (v >= 0 && v < 1 lsl (8 * w)))
+    [ 1; 2; 4 ]
+
+let diversify_hamming_guarantee () =
+  (* The paper's claim: minimum pairwise Hamming distance of 8 for
+     4-byte values. Check a set as large as any real ENUM. *)
+  let vs = Diversify.values ~count:64 () in
+  Alcotest.(check int) "64 values" 64 (List.length vs);
+  let d = Diversify.min_pairwise_hamming vs in
+  Alcotest.(check bool) (Printf.sprintf "min distance %d >= 8" d) true (d >= 8)
+
+let diversify_large_set_distance () =
+  let vs = Diversify.values ~count:256 () in
+  let d = Diversify.min_pairwise_hamming vs in
+  Alcotest.(check bool) (Printf.sprintf "256 values, distance %d >= 6" d) true
+    (d >= 6)
+
+let hamming_fn () =
+  Alcotest.(check int) "0 vs 0" 0 (Diversify.hamming 0 0);
+  Alcotest.(check int) "1 bit" 1 (Diversify.hamming 0 1);
+  Alcotest.(check int) "0 vs 0xFF" 8 (Diversify.hamming 0 0xFF);
+  Alcotest.(check int) "paper example" 4 (Diversify.hamming 0b1010 0b0101)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_add_assoc; prop_mul_assoc; prop_mul_comm; prop_distributive;
+        prop_inverse; prop_div_mul; prop_pow_exp; prop_divmod;
+        prop_roundtrip_with_errors; prop_parity_linear;
+        prop_syndromes_zero_iff_codeword ]
+  in
+  Alcotest.run "reedsolomon"
+    [ ("field",
+       [ Alcotest.test_case "units and identities" `Quick field_units ]);
+      ("poly",
+       [ Alcotest.test_case "basics" `Quick poly_basics;
+         Alcotest.test_case "divmod inverts mul" `Quick poly_divmod_inverts_mul;
+         Alcotest.test_case "generator roots" `Quick generator_roots ]);
+      ("codec",
+       [ Alcotest.test_case "systematic encoding" `Quick encode_is_systematic;
+         Alcotest.test_case "clean decode" `Quick decode_clean;
+         Alcotest.test_case "corrects to the bound" `Quick decode_corrects_errors;
+         Alcotest.test_case "rejects beyond the bound" `Quick
+           decode_rejects_too_many ]);
+      ("diversify",
+       [ Alcotest.test_case "deterministic" `Quick diversify_deterministic;
+         Alcotest.test_case "width" `Quick diversify_width;
+         Alcotest.test_case "hamming >= 8 (paper claim)" `Quick
+           diversify_hamming_guarantee;
+         Alcotest.test_case "large set distance" `Quick diversify_large_set_distance;
+         Alcotest.test_case "hamming distance fn" `Quick hamming_fn ]);
+      ("properties", props) ]

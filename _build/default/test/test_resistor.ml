@@ -1,0 +1,502 @@
+(* Tests for GlitchResistor: each defense pass in isolation (semantics
+   preservation + the protection actually materialising), the compile
+   driver, and a reduced-sweep run of the Table VI evaluation. *)
+
+open Resistor
+
+let builtins =
+  [ ("__trigger_high", fun _ -> 0);
+    ("__trigger_low", fun _ -> 0);
+    ("__halt", fun _ -> 0);
+    ("__flash_commit", fun _ -> 0) ]
+
+let interp ?(entry = "main") m =
+  match Ir.Interp.run ~builtins ~fuel:2_000_000 m ~entry ~args:[] with
+  | Ok out -> out
+  | Error e -> Alcotest.fail ("interp: " ^ e)
+
+let compile config src = fst (Driver.compile_modul config src)
+
+(* A defended program must behave exactly like the undefended one in the
+   absence of glitches. *)
+let same_behaviour ?(globals = []) name config src =
+  let plain = compile Config.none src in
+  let defended = compile config src in
+  let out_plain = interp plain in
+  let out_defended = interp defended in
+  Alcotest.(check (option int)) (name ^ ": return") out_plain.ret out_defended.ret;
+  List.iter
+    (fun g ->
+      Alcotest.(check int)
+        (name ^ ": global " ^ g)
+        (List.assoc g out_plain.globals)
+        (List.assoc g out_defended.globals))
+    globals
+
+let terminating_src =
+  {|
+    enum status { OK, NOPE, MAYBE };
+    volatile unsigned flag = 0;
+    unsigned acc = 0;
+    int classify(int v) {
+      if (v > 10) { return OK; }
+      if (v > 5) { return MAYBE; }
+      return NOPE;
+    }
+    int lucky(void) { return 7; }
+    int main(void) {
+      for (int i = 0; i < 20; i = i + 1) {
+        if (classify(i) == OK) { acc = acc + 2; }
+        if (classify(i) == MAYBE) { acc = acc + 1; }
+      }
+      flag = acc;
+      int x = 0;
+      while (x < 5) { x = x + 1; }
+      if (lucky() == 7) { acc = acc + 100; }
+      return acc;
+    }
+  |}
+
+(* --- config ------------------------------------------------------------- *)
+
+let config_names () =
+  Alcotest.(check string) "none" "None" (Config.name Config.none);
+  Alcotest.(check string) "all" "All" (Config.name (Config.all ()));
+  Alcotest.(check string) "all but delay" "All\\Delay"
+    (Config.name (Config.all_but_delay ()));
+  Alcotest.(check string) "single" "Branches"
+    (Config.name (Config.only ~branches:true ()))
+
+(* --- enum rewriter --------------------------------------------------------- *)
+
+let enum_rewriting () =
+  let src = "enum a { X, Y, Z };\nenum b { P = 1, Q };\nint main(void) { return X; }" in
+  let sema = Minic.Sema.check (Minic.Parser.program src) in
+  let ast', report = Enum_rewriter.rewrite sema in
+  Alcotest.(check (list string)) "skips initialized" [ "b" ] report.skipped;
+  (match report.rewritten with
+  | [ ("a", assignments) ] ->
+    Alcotest.(check int) "three members" 3 (List.length assignments);
+    Alcotest.(check bool) "hamming >= 8" true
+      (Enum_rewriter.min_hamming_distance report >= 8)
+  | _ -> Alcotest.fail "expected exactly enum a rewritten");
+  (* the rewritten program must still check and keep b intact *)
+  let sema' = Minic.Sema.check ast' in
+  Alcotest.(check int) "P unchanged" 1 (List.assoc "P" sema'.enum_constants);
+  Alcotest.(check bool) "X diversified" true
+    (List.assoc "X" sema'.enum_constants <> 0)
+
+let enum_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "enums" (Config.only ~enums:true ())
+    terminating_src
+
+(* --- returns ------------------------------------------------------------------ *)
+
+let returns_instrumentation () =
+  let m = compile (Config.only ~returns:true ()) terminating_src in
+  (* lucky() returns only the constant 7 and is compared against 7 *)
+  let lucky = Option.get (Ir.find_func m "lucky") in
+  let ret_consts =
+    List.filter_map
+      (fun (b : Ir.block) ->
+        match b.term with Ir.Ret (Some (Ir.Const c)) -> Some c | _ -> None)
+      lucky.blocks
+  in
+  Alcotest.(check bool) "return diversified away from 7" true
+    (ret_consts <> [] && not (List.mem 7 ret_consts));
+  (* classify returns enum constants used in == compares: also eligible *)
+  let classify = Option.get (Ir.find_func m "classify") in
+  let classify_consts =
+    List.filter_map
+      (fun (b : Ir.block) ->
+        match b.term with Ir.Ret (Some (Ir.Const c)) -> Some c | _ -> None)
+      classify.blocks
+  in
+  Alcotest.(check bool) "classify instrumented" true
+    (not (List.exists (fun c -> c < 3) classify_consts))
+
+let returns_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "returns" (Config.only ~returns:true ())
+    terminating_src
+
+let returns_skips_unsafe () =
+  (* result stored in a global: not a direct comparison, must skip *)
+  let src =
+    "unsigned sink = 0;\nint f(void) { return 7; }\nint main(void) { sink = f(); return 0; }"
+  in
+  let m = compile (Config.only ~returns:true ()) src in
+  let f = Option.get (Ir.find_func m "f") in
+  let consts =
+    List.filter_map
+      (fun (b : Ir.block) ->
+        match b.term with Ir.Ret (Some (Ir.Const c)) -> Some c | _ -> None)
+      f.blocks
+  in
+  (* the lowering's dead-code block contributes a ret 0; what matters is
+     that 7 survives undiversified *)
+  Alcotest.(check bool) "unchanged" true (List.mem 7 consts);
+  let out = interp m in
+  Alcotest.(check int) "sink still 7" 7 (List.assoc "sink" out.globals)
+
+(* --- integrity ------------------------------------------------------------------ *)
+
+let integrity_src =
+  {|
+    volatile unsigned secret = 5;
+    unsigned out = 0;
+    int main(void) {
+      secret = 42;
+      out = secret + 1;
+      return out;
+    }
+  |}
+
+let integrity_mechanism () =
+  let config = Config.only ~integrity:true ~sensitive:[ "secret" ] () in
+  let m = compile config integrity_src in
+  (* shadow exists and is kept complementary *)
+  Alcotest.(check bool) "shadow global" true
+    (Ir.find_global m (Integrity.shadow_name "secret") <> None);
+  let out = interp m in
+  Alcotest.(check (option int)) "return" (Some 43) out.ret;
+  Alcotest.(check int) "no detections" 0
+    (List.assoc Detect.counter_global out.globals);
+  Alcotest.(check int) "shadow complementary" (lnot 42 land 0xFFFFFFFF)
+    (List.assoc (Integrity.shadow_name "secret") out.globals)
+
+let integrity_detects_corruption () =
+  let config =
+    { (Config.only ~integrity:true ~sensitive:[ "secret" ] ()) with
+      reaction = Config.Record }
+  in
+  let src =
+    "volatile unsigned secret = 5;\nint read_secret(void) { return secret; }\nint main(void) { return read_secret(); }"
+  in
+  let m = compile config src in
+  (* sanity: the instrumented read passes when the shadow is intact *)
+  let out = interp m in
+  Alcotest.(check int) "clean run, no detections" 0
+    (List.assoc Detect.counter_global out.globals);
+  (* a "glitch": corrupt the stored value without touching its shadow
+     (hand-written IR added after the pass ran), then perform an
+     instrumented read *)
+  let b = Ir.Builder.create ~fname:"attack_entry" ~params:[] ~returns_value:true in
+  Ir.Builder.store ~volatile:true b (Ir.Global "secret") (Ir.Const 1234);
+  let r = Option.get (Ir.Builder.call b ~dst:true "read_secret" []) in
+  Ir.Builder.ret b (Some r);
+  m.funcs <- m.funcs @ [ Ir.Builder.func b ];
+  let out = interp ~entry:"attack_entry" m in
+  Alcotest.(check bool) "detection fired" true
+    (List.assoc Detect.counter_global out.globals > 0);
+  (* the corrupted value was still returned: reaction policy decides
+     what happens next, not the check itself *)
+  Alcotest.(check (option int)) "corrupt value observed" (Some 1234) out.ret
+
+let integrity_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "integrity"
+    (Config.only ~integrity:true ~sensitive:[ "flag" ] ())
+    terminating_src
+
+(* --- branches and loops ------------------------------------------------------------ *)
+
+let branches_instrumentation_counts () =
+  let m = compile Config.none terminating_src in
+  let conds = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          match b.term with Ir.Cond_br _ -> incr conds | _ -> ())
+        f.blocks)
+    m.funcs;
+  let m' = compile (Config.only ~branches:true ()) terminating_src in
+  let checks = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          if String.length b.label > 8 && String.sub b.label 0 9 = "gr.branch" then
+            incr checks)
+        f.blocks)
+    m'.funcs;
+  Alcotest.(check bool)
+    (Printf.sprintf "every branch checked (%d conds, %d blocks)" !conds !checks)
+    true
+    (!checks >= !conds)
+
+let branches_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "branches" (Config.only ~branches:true ())
+    terminating_src
+
+let loops_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "loops" (Config.only ~loops:true ())
+    terminating_src
+
+let loops_find_headers () =
+  let m = compile Config.none terminating_src in
+  let main = Option.get (Ir.find_func m "main") in
+  Alcotest.(check bool) "main has loop headers" true
+    (List.length (Loops.loop_headers main) >= 2)
+
+let branch_check_complements () =
+  (* The re-check must use complemented operands: look for XOR with -1
+     in the check blocks. *)
+  let m = compile (Config.only ~branches:true ()) terminating_src in
+  let found = ref false in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          if String.length b.label > 8 && String.sub b.label 0 9 = "gr.branch" then
+            List.iter
+              (fun i ->
+                match i with
+                | Ir.Binop { op = Ir.Xor; rhs = Ir.Const 0xFFFFFFFF; _ } ->
+                  found := true
+                | _ -> ())
+              b.instrs)
+        f.blocks)
+    m.funcs;
+  Alcotest.(check bool) "complemented re-check" true !found
+
+(* --- delay ------------------------------------------------------------------------- *)
+
+let delay_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "delay" (Config.only ~delay:true ())
+    terminating_src
+
+let delay_mechanics () =
+  let m = compile (Config.only ~delay:true ()) terminating_src in
+  Alcotest.(check bool) "seed global" true
+    (Ir.find_global m Delay.seed_global <> None);
+  Alcotest.(check bool) "delay fn" true (Ir.find_func m Delay.delay_fn <> None);
+  Alcotest.(check bool) "init fn" true (Ir.find_func m Delay.init_fn <> None);
+  (* the seed must change across the run (LCG advanced) *)
+  let out = interp m in
+  Alcotest.(check bool) "seed advanced" true
+    (List.assoc Delay.seed_global out.globals <> 0x20210524)
+
+let delay_covers_switch_blocks () =
+  (* the paper: every block ending in a BranchInst or SwitchInst *)
+  let src =
+    "int f(int v) { switch (v) { case 1: return 1; default: return 2; } return 0; }\nint main(void) { return f(1); }"
+  in
+  let m = compile (Config.only ~delay:true ()) src in
+  let f = Option.get (Ir.find_func m "f") in
+  let delayed_switch = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Ir.Switch _ ->
+        if
+          List.exists
+            (function
+              | Ir.Call { callee; _ } -> callee = Delay.delay_fn
+              | _ -> false)
+            b.instrs
+        then delayed_switch := true
+      | _ -> ())
+    f.blocks;
+  Alcotest.(check bool) "switch block delayed" true !delayed_switch;
+  (* and the defended switch still behaves *)
+  same_behaviour "switch+delay" (Config.only ~delay:true ()) src
+
+let delay_opt_in_scope () =
+  let config =
+    { (Config.only ~delay:true ()) with
+      delay_scope = Config.Delay_opt_in [ "classify" ] }
+  in
+  let m = compile config terminating_src in
+  let calls_delay (f : Ir.func) =
+    let found = ref false in
+    Ir.iter_instrs f (fun _ i ->
+        match i with
+        | Ir.Call { callee; _ } when callee = Delay.delay_fn -> found := true
+        | _ -> ());
+    !found
+  in
+  Alcotest.(check bool) "classify delayed" true
+    (calls_delay (Option.get (Ir.find_func m "classify")));
+  Alcotest.(check bool) "main not delayed" false
+    (calls_delay (Option.get (Ir.find_func m "main")))
+
+(* --- cfcss baseline --------------------------------------------------------------- *)
+
+let cfcss_semantics_preserved () =
+  (* signature checking must be invisible to a clean run *)
+  let plain = compile Config.none terminating_src in
+  let signed = compile Config.none terminating_src in
+  let (_ : Cfcss.report) = Cfcss.run Config.Record signed in
+  let out_plain = interp plain in
+  let out_signed = interp signed in
+  Alcotest.(check (option int)) "return" out_plain.ret out_signed.ret;
+  Alcotest.(check int) "no detections" 0
+    (List.assoc Detect.counter_global out_signed.globals)
+
+let cfcss_mechanics () =
+  let m = compile Config.none terminating_src in
+  let report = Cfcss.run Config.Record m in
+  Alcotest.(check bool) "blocks signed" true (report.blocks_signed > 5);
+  Alcotest.(check bool) "checks inserted" true (report.checks_inserted > 3);
+  Alcotest.(check bool) "signature global" true
+    (Ir.find_global m Cfcss.signature_global <> None)
+
+let cfcss_detects_illegal_edge () =
+  (* Jump into the middle of a signed function from outside: the entry
+     check of the target block must fire. Simulate by calling a
+     hand-written entry that leaves a bogus signature in G and then
+     branches... the closest IR-level equivalent is calling a signed
+     function with G set to garbage mid-block; instead corrupt G
+     directly between two blocks via an unsigned helper. *)
+  let m = compile Config.none terminating_src in
+  let (_ : Cfcss.report) = Cfcss.run Config.Record m in
+  (* helper that scribbles on G, standing in for a PC glitch landing in
+     an unexpected block *)
+  let b = Ir.Builder.create ~fname:"attack_entry" ~params:[] ~returns_value:true in
+  Ir.Builder.store ~volatile:true b (Ir.Global Cfcss.signature_global)
+    (Ir.Const 0xBAD);
+  let r = Option.get (Ir.Builder.call b ~dst:true "classify" [ Ir.Const 20 ]) in
+  Ir.Builder.ret b (Some r);
+  m.funcs <- m.funcs @ [ Ir.Builder.func b ];
+  (* classify's entry block signs G itself, so the corruption must be
+     detected at the first *successor* block check only if the entry's
+     signature write is skipped; calling normally re-signs. Therefore
+     corrupt between blocks: interp the module entry that calls classify
+     normally and confirm no detection (legal path)... *)
+  let out = interp ~entry:"attack_entry" m in
+  ignore out.ret;
+  (* The call itself is legal, so detections here are zero -- the
+     illegal-edge case needs sub-block granularity that only shows up on
+     the board under real glitches (exercised by the ablation bench).
+     What we can check statically: every non-entry block with multiple
+     predecessors got a check chain. *)
+  let f = Option.get (Ir.find_func m "main") in
+  let has_chain =
+    List.exists
+      (fun (blk : Ir.block) ->
+        String.length blk.label >= 9 && String.sub blk.label 0 9 = "gr.cfcss.")
+      f.blocks
+  in
+  Alcotest.(check bool) "check chains present" true has_chain
+
+(* --- driver + firmware ---------------------------------------------------------------- *)
+
+let all_firmware_compiles_under_all_configs () =
+  List.iter
+    (fun (label, config) ->
+      List.iter
+        (fun (name, src) ->
+          match Driver.compile config src with
+          | compiled ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s under %s links" name label)
+              true
+              (Array.length compiled.image.words > 0)
+          | exception e ->
+            Alcotest.fail
+              (Printf.sprintf "%s under %s: %s" name label (Printexc.to_string e)))
+        [ ("boot_tick", Firmware.boot_tick);
+          ("guard_loop", Firmware.guard_loop);
+          ("if_success", Firmware.if_success) ])
+    Overhead.configurations
+
+let all_defended_behaviour_matches () =
+  same_behaviour ~globals:[ "flag" ] "all defenses"
+    (Config.all ~sensitive:[ "flag"; "acc" ] ())
+    terminating_src
+
+let boot_fires_trigger_under_every_config () =
+  List.iter
+    (fun (r : Overhead.row) ->
+      Alcotest.(check bool)
+        (r.label ^ " boots")
+        true (r.boot_cycles > 0);
+      Alcotest.(check bool)
+        (r.label ^ " grows text")
+        true
+        (r.label = "None" || r.text_bytes >= 584))
+    (Overhead.all_rows ())
+
+let overhead_ordering () =
+  let rows = Overhead.all_rows () in
+  let find label = List.find (fun (r : Overhead.row) -> r.label = label) rows in
+  let none = find "None" and delay = find "Delay" and all = find "All" in
+  let all_nd = find "All\\Delay" in
+  Alcotest.(check bool) "delay dominates boot time" true
+    (delay.boot_cycles > 20 * none.boot_cycles);
+  Alcotest.(check bool) "delay constant ~ flash commit" true
+    (delay.boot_cycles - none.boot_cycles > Overhead.flash_commit_cycles / 2);
+  Alcotest.(check bool) "all is the largest image" true
+    (List.for_all (fun (r : Overhead.row) -> r.total_bytes <= all.total_bytes) rows);
+  Alcotest.(check bool) "all\\delay cheaper than all" true
+    (all_nd.boot_cycles < all.boot_cycles)
+
+(* --- evaluation (reduced sweep) --------------------------------------------------------- *)
+
+let defended_beats_undefended () =
+  let run config =
+    Evaluate.run ~sweep_step:7 config Evaluate.Worst_case Evaluate.Single
+  in
+  let undefended = run Config.none in
+  let defended = run (Config.all_but_delay ~sensitive:[ "a" ] ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "undefended glitchable (%d successes)" undefended.successes)
+    true (undefended.successes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "defended safer (%d <= %d)" defended.successes
+       undefended.successes)
+    true
+    (defended.successes <= undefended.successes)
+
+let long_attacks_detected () =
+  let o =
+    Evaluate.run ~sweep_step:7
+      (Config.all_but_delay ~sensitive:[ "a" ] ())
+      Evaluate.Worst_case Evaluate.Long
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "detections occur (%d)" o.detections)
+    true (o.detections > 0)
+
+let () =
+  Alcotest.run "resistor"
+    [ ("config", [ Alcotest.test_case "names" `Quick config_names ]);
+      ("enum-rewriter",
+       [ Alcotest.test_case "rewrites uninitialized only" `Quick enum_rewriting;
+         Alcotest.test_case "semantics preserved" `Quick enum_semantics_preserved ]);
+      ("returns",
+       [ Alcotest.test_case "instruments eligible" `Quick returns_instrumentation;
+         Alcotest.test_case "semantics preserved" `Quick returns_semantics_preserved;
+         Alcotest.test_case "skips unsafe uses" `Quick returns_skips_unsafe ]);
+      ("integrity",
+       [ Alcotest.test_case "shadow mechanics" `Quick integrity_mechanism;
+         Alcotest.test_case "detects bypassing writes" `Quick
+           integrity_detects_corruption;
+         Alcotest.test_case "semantics preserved" `Quick
+           integrity_semantics_preserved ]);
+      ("redundancy",
+       [ Alcotest.test_case "branch instrumentation" `Quick
+           branches_instrumentation_counts;
+         Alcotest.test_case "branches semantics" `Quick branches_semantics_preserved;
+         Alcotest.test_case "loops semantics" `Quick loops_semantics_preserved;
+         Alcotest.test_case "loop headers found" `Quick loops_find_headers;
+         Alcotest.test_case "complemented re-checks" `Quick branch_check_complements ]);
+      ("delay",
+       [ Alcotest.test_case "semantics preserved" `Quick delay_semantics_preserved;
+         Alcotest.test_case "mechanics" `Quick delay_mechanics;
+         Alcotest.test_case "switch blocks delayed" `Quick delay_covers_switch_blocks;
+         Alcotest.test_case "opt-in scope" `Quick delay_opt_in_scope ]);
+      ("driver",
+       [ Alcotest.test_case "all firmware x all configs" `Quick
+           all_firmware_compiles_under_all_configs;
+         Alcotest.test_case "all defenses behave" `Quick all_defended_behaviour_matches;
+         Alcotest.test_case "boot rows" `Quick boot_fires_trigger_under_every_config;
+         Alcotest.test_case "overhead ordering" `Quick overhead_ordering ]);
+      ("cfcss",
+       [ Alcotest.test_case "semantics preserved" `Quick cfcss_semantics_preserved;
+         Alcotest.test_case "mechanics" `Quick cfcss_mechanics;
+         Alcotest.test_case "structure" `Quick cfcss_detects_illegal_edge ]);
+      ("evaluation",
+       [ Alcotest.test_case "defended beats undefended" `Slow
+           defended_beats_undefended;
+         Alcotest.test_case "long attacks detected" `Slow long_attacks_detected ]) ]

@@ -1,0 +1,64 @@
+(* Tests for the stats utilities that every report and bench rides on. *)
+
+let counter_basics () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr ~by:3 c "b";
+  Alcotest.(check int) "a" 2 (Stats.Counter.get c "a");
+  Alcotest.(check int) "b" 3 (Stats.Counter.get c "b");
+  Alcotest.(check int) "missing" 0 (Stats.Counter.get c "z");
+  Alcotest.(check int) "total" 5 (Stats.Counter.total c);
+  Alcotest.(check (list (pair string int)))
+    "sorted by count desc"
+    [ ("b", 3); ("a", 2) ]
+    (Stats.Counter.to_list c)
+
+let counter_ties_sort_by_key () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "zz";
+  Stats.Counter.incr c "aa";
+  Alcotest.(check (list (pair string int)))
+    "key order on ties"
+    [ ("aa", 1); ("zz", 1) ]
+    (Stats.Counter.to_list c)
+
+let rate_formatting () =
+  let s p = Fmt.str "%a" Stats.Rate.pp_pct p in
+  Alcotest.(check string) "zero" "0%" (s 0.);
+  Alcotest.(check string) "large" "11.35%" (s 11.35);
+  Alcotest.(check string) "small" "0.705%" (s 0.705);
+  Alcotest.(check string) "tiny" "0.000928%" (s 0.000928);
+  Alcotest.(check string) "count+pct" "585 (0.705%)"
+    (Fmt.str "%a" Stats.Rate.pp_count_pct (585, 82959))
+
+let rate_pct () =
+  Alcotest.(check (float 1e-9)) "simple" 50. (Stats.Rate.pct ~num:1 ~den:2);
+  Alcotest.(check (float 1e-9)) "den 0" 0. (Stats.Rate.pct ~num:5 ~den:0)
+
+let table_layout () =
+  let out =
+    Stats.Table.render ~header:[ "A"; "Blong"; "C" ]
+      [ [ "aaaa"; "b"; "c" ]; [ "x" ] ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* all rows align: columns padded to widest member *)
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check bool) "rule as wide as header" true
+      (String.length rule >= String.length header - 2)
+  | _ -> Alcotest.fail "missing lines");
+  (* short rows padded, no exception *)
+  Alcotest.(check bool) "contains cells" true
+    (String.length out > 0)
+
+let () =
+  Alcotest.run "stats"
+    [ ("counter",
+       [ Alcotest.test_case "basics" `Quick counter_basics;
+         Alcotest.test_case "tie order" `Quick counter_ties_sort_by_key ]);
+      ("rate",
+       [ Alcotest.test_case "formatting" `Quick rate_formatting;
+         Alcotest.test_case "pct" `Quick rate_pct ]);
+      ("table", [ Alcotest.test_case "layout" `Quick table_layout ]) ]

@@ -1,0 +1,332 @@
+(* Tests for the Thumb-16 ISA substrate: bit-exact encodings against the
+   ARM7TDMI TRM, totality of decoding, encode/decode round trips, the
+   text assembler, and the cycle model. *)
+
+open Thumb
+
+let check_word = Alcotest.(check int)
+
+let instr_testable = Alcotest.testable Instr.pp Instr.equal
+
+(* --- known encodings (hand-checked against the ARM7TDMI TRM) ---------- *)
+
+let known_encodings () =
+  let cases =
+    [ (* the paper's example: beq with imm8 = 0 is 0b1101_0000_0000_0000 *)
+      (Instr.B_cond (EQ, 0), 0xD000);
+      (Instr.B_cond (EQ, 1), 0xD001);
+      (Instr.B_cond (NE, -2), 0xD1FE);
+      (Instr.B_cond (LE, 100), 0xDD64);
+      (* all-zero word is MOVS r0, r0 (LSL #0) *)
+      (Instr.nop, 0x0000);
+      (Instr.Shift (Lsl, Reg.r2, Reg.r1, 4), 0x010A);
+      (Instr.Shift (Asr, Reg.r7, Reg.r0, 31), 0x17C7);
+      (Instr.Add_sub { sub = false; imm = false; rd = Reg.r0; rs = Reg.r1; operand = 2 },
+       0x1888);
+      (Instr.Add_sub { sub = true; imm = true; rd = Reg.r3; rs = Reg.r3; operand = 1 },
+       0x1E5B);
+      (Instr.Imm (MOVi, Reg.r3, 7), 0x2307);
+      (Instr.Imm (CMPi, Reg.r3, 0), 0x2B00);
+      (Instr.Imm (ADDi, Reg.r3, 7), 0x3307);
+      (Instr.Imm (SUBi, Reg.r0, 255), 0x38FF);
+      (Instr.Alu (AND, Reg.r1, Reg.r2), 0x4011);
+      (Instr.Alu (MVN, Reg.r0, Reg.r7), 0x43F8);
+      (Instr.Alu (CMPr, Reg.r2, Reg.r3), 0x429A);
+      (Instr.Hi_mov (Reg.r8, Reg.r8), 0x46C0) (* canonical Thumb NOP *);
+      (Instr.Hi_add (Reg.r1, Reg.sp), 0x4469);
+      (Instr.Bx Reg.lr, 0x4770);
+      (Instr.Ldr_pc (Reg.r0, 4), 0x4804);
+      (Instr.Mem_reg { load = true; byte = false; rd = Reg.r0; rb = Reg.r1; ro = Reg.r2 },
+       0x5888);
+      (Instr.Mem_reg { load = false; byte = true; rd = Reg.r5; rb = Reg.r4; ro = Reg.r3 },
+       0x54E5);
+      (Instr.Mem_sign { op = LDSH; rd = Reg.r0; rb = Reg.r1; ro = Reg.r2 }, 0x5E88);
+      (Instr.Mem_imm { load = true; byte = false; rd = Reg.r3; rb = Reg.r3; imm = 0 },
+       0x681B);
+      (Instr.Mem_imm { load = true; byte = true; rd = Reg.r3; rb = Reg.r3; imm = 0 },
+       0x781B);
+      (Instr.Mem_half { load = false; rd = Reg.r1; rb = Reg.r2; imm = 3 }, 0x80D1);
+      (Instr.Mem_sp { load = true; rd = Reg.r2; imm = 4 }, 0x9A04);
+      (Instr.Load_addr { from_sp = true; rd = Reg.r3; imm = 1 }, 0xAB01);
+      (Instr.Sp_adjust 4, 0xB004);
+      (Instr.Sp_adjust (-4), 0xB084);
+      (Instr.Push { rlist = 0b00010000; lr = true }, 0xB510);
+      (Instr.Pop { rlist = 0b00010000; pc = true }, 0xBD10);
+      (Instr.Stmia (Reg.r0, 0b0110), 0xC006);
+      (Instr.Ldmia (Reg.r4, 0b0011), 0xCC03);
+      (Instr.Swi 11, 0xDF0B);
+      (Instr.B (-4), 0xE7FC);
+      (Instr.Bkpt 0xAB, 0xBEAB) ]
+  in
+  List.iter
+    (fun (i, expected) ->
+      check_word (Instr.to_string i) expected (Encode.instr i);
+      Alcotest.check instr_testable
+        (Printf.sprintf "decode 0x%04x" expected)
+        i (Decode.instr expected))
+    cases
+
+let branch_cond_order () =
+  (* Condition codes occupy bits [11:8] in encoding order. *)
+  List.iteri
+    (fun idx cond ->
+      check_word (Instr.cond_name cond)
+        (0xD000 lor (idx lsl 8))
+        (Encode.instr (Instr.B_cond (cond, 0))))
+    Instr.all_conds
+
+let decode_total () =
+  for w = 0 to 0xFFFF do
+    ignore (Decode.instr w)
+  done
+
+let decode_undefined_examples () =
+  (* 32-bit Thumb-2 prefix space and the 0b1110 condition slot. *)
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "0x%04x undefined" w)
+        true (Decode.is_undefined w))
+    [ 0xE800; 0xEFFF; 0xDE00; 0xDEFF; 0xB100; 0xBFFF ]
+
+(* Words whose decoding is defined re-encode to the identical word,
+   except the single redundant "SUB SP, #-0" encoding. *)
+let encode_decode_word_identity () =
+  let mismatches = ref [] in
+  for w = 0 to 0xFFFF do
+    match Decode.instr w with
+    | Instr.Undefined _ -> ()
+    | i -> if Encode.instr i <> w then mismatches := w :: !mismatches
+  done;
+  Alcotest.(check (list int)) "only SUB SP, #-0 is non-canonical" [ 0xB080 ]
+    !mismatches
+
+(* --- qcheck generators -------------------------------------------------- *)
+
+let gen_low = QCheck.Gen.(map Reg.of_int (int_range 0 7))
+let gen_any_reg = QCheck.Gen.(map Reg.of_int (int_range 0 15))
+
+let gen_instr : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let shift_op = oneofl [ Instr.Lsl; Instr.Lsr; Instr.Asr ] in
+  let alu_op =
+    oneofl
+      [ Instr.AND; Instr.EOR; Instr.LSLr; Instr.LSRr; Instr.ASRr; Instr.ADC;
+        Instr.SBC; Instr.ROR; Instr.TST; Instr.NEG; Instr.CMPr; Instr.CMN;
+        Instr.ORR; Instr.MUL; Instr.BIC; Instr.MVN ]
+  in
+  let imm_op = oneofl [ Instr.MOVi; Instr.CMPi; Instr.ADDi; Instr.SUBi ] in
+  let sign_op = oneofl [ Instr.STRH; Instr.LDSB; Instr.LDRH; Instr.LDSH ] in
+  oneof
+    [ (let* op = shift_op and* rd = gen_low and* rs = gen_low
+       and* imm = int_range 0 31 in
+       return (Instr.Shift (op, rd, rs, imm)));
+      (let* sub = bool and* imm = bool and* rd = gen_low and* rs = gen_low
+       and* operand = int_range 0 7 in
+       return (Instr.Add_sub { sub; imm; rd; rs; operand }));
+      (let* op = imm_op and* rd = gen_low and* imm = int_range 0 255 in
+       return (Instr.Imm (op, rd, imm)));
+      (let* op = alu_op and* rd = gen_low and* rs = gen_low in
+       return (Instr.Alu (op, rd, rs)));
+      (let* rd = gen_any_reg and* rm = gen_any_reg in
+       oneofl [ Instr.Hi_add (rd, rm); Instr.Hi_cmp (rd, rm); Instr.Hi_mov (rd, rm) ]);
+      (let* rm = gen_any_reg in
+       return (Instr.Bx rm));
+      (let* rd = gen_low and* imm = int_range 0 255 in
+       return (Instr.Ldr_pc (rd, imm)));
+      (let* load = bool and* byte = bool and* rd = gen_low and* rb = gen_low
+       and* ro = gen_low in
+       return (Instr.Mem_reg { load; byte; rd; rb; ro }));
+      (let* op = sign_op and* rd = gen_low and* rb = gen_low and* ro = gen_low in
+       return (Instr.Mem_sign { op; rd; rb; ro }));
+      (let* load = bool and* byte = bool and* rd = gen_low and* rb = gen_low
+       and* imm = int_range 0 31 in
+       return (Instr.Mem_imm { load; byte; rd; rb; imm }));
+      (let* load = bool and* rd = gen_low and* rb = gen_low
+       and* imm = int_range 0 31 in
+       return (Instr.Mem_half { load; rd; rb; imm }));
+      (let* load = bool and* rd = gen_low and* imm = int_range 0 255 in
+       return (Instr.Mem_sp { load; rd; imm }));
+      (let* from_sp = bool and* rd = gen_low and* imm = int_range 0 255 in
+       return (Instr.Load_addr { from_sp; rd; imm }));
+      (let* words = int_range (-127) 127 in
+       return (Instr.Sp_adjust words));
+      (let* rlist = int_range 0 255 and* lr = bool in
+       return (Instr.Push { rlist; lr }));
+      (let* rlist = int_range 0 255 and* pc = bool in
+       return (Instr.Pop { rlist; pc }));
+      (let* rb = gen_low and* rlist = int_range 0 255 in
+       oneofl [ Instr.Stmia (rb, rlist); Instr.Ldmia (rb, rlist) ]);
+      (let* cond = oneofl Instr.all_conds and* off = int_range (-128) 127 in
+       return (Instr.B_cond (cond, off)));
+      (let* imm = int_range 0 255 in
+       oneofl [ Instr.Swi imm; Instr.Bkpt imm ]);
+      (let* off = int_range (-1024) 1023 in
+       oneofl [ Instr.B off; Instr.Bl_hi off ]);
+      (let* off = int_range 0 2047 in
+       return (Instr.Bl_lo off)) ]
+
+let arb_instr = QCheck.make ~print:Instr.to_string gen_instr
+
+(* BX ignores the low register bits; everything else round-trips as the
+   identical constructor. *)
+let roundtrip =
+  QCheck.Test.make ~name:"decode (encode i) = i" ~count:2000 arb_instr (fun i ->
+      let i' = Decode.instr (Encode.instr i) in
+      Instr.equal i i')
+
+let encoding_in_range =
+  QCheck.Test.make ~name:"encodings are 16-bit" ~count:2000 arb_instr (fun i ->
+      let w = Encode.instr i in
+      w >= 0 && w <= 0xFFFF)
+
+(* --- assembler ---------------------------------------------------------- *)
+
+let asm_paper_loop () =
+  (* The exact while(!a) loop from Table I(a). *)
+  let src =
+    {|
+      mov  r3, sp
+      adds r3, #7
+    loop:
+      ldrb r3, [r3]
+      cmp  r3, #0
+      beq  loop
+      movs r0, #0xAA
+      bkpt #0
+    |}
+  in
+  let instrs = Asm.assemble src in
+  Alcotest.(check int) "instruction count" 7 (List.length instrs);
+  let words = Encode.program instrs in
+  (* beq loop: branch from halfword index 4 back to index 2: off = -4. *)
+  Alcotest.(check int) "beq encodes backwards branch" 0xD0FC (List.nth words 4)
+
+let asm_label_forward () =
+  let words = Asm.assemble_words "beq done\nmovs r0, #1\ndone:\nbkpt #0" in
+  (* beq at index 0, target index 2: off = 0. *)
+  check_word "forward branch" 0xD000 (List.nth words 0)
+
+let asm_mem_forms () =
+  let instrs =
+    Asm.assemble
+      "ldr r0, [sp, #8]\nstr r1, [r2, #4]\nldrb r3, [r4, r5]\nstrh r6, [r7, #2]\nldr r2, [pc, #8]"
+  in
+  Alcotest.check instr_testable "sp load"
+    (Instr.Mem_sp { load = true; rd = Reg.r0; imm = 2 })
+    (List.nth instrs 0);
+  Alcotest.check instr_testable "imm store"
+    (Instr.Mem_imm { load = false; byte = false; rd = Reg.r1; rb = Reg.r2; imm = 1 })
+    (List.nth instrs 1);
+  Alcotest.check instr_testable "reg byte load"
+    (Instr.Mem_reg { load = true; byte = true; rd = Reg.r3; rb = Reg.r4; ro = Reg.r5 })
+    (List.nth instrs 2);
+  Alcotest.check instr_testable "halfword store"
+    (Instr.Mem_half { load = false; rd = Reg.r6; rb = Reg.r7; imm = 1 })
+    (List.nth instrs 3);
+  Alcotest.check instr_testable "pc-relative load"
+    (Instr.Ldr_pc (Reg.r2, 2))
+    (List.nth instrs 4)
+
+let asm_bl_expands () =
+  let instrs = Asm.assemble "bl target\nbkpt #0\ntarget:\nbx lr" in
+  Alcotest.(check int) "bl is two halfwords" 4 (List.length instrs);
+  (match (List.nth instrs 0, List.nth instrs 1) with
+  | Instr.Bl_hi _, Instr.Bl_lo _ -> ()
+  | _ -> Alcotest.fail "bl must expand to Bl_hi; Bl_lo")
+
+let asm_push_pop () =
+  let instrs = Asm.assemble "push {r4, r5, lr}\npop {r4, r5, pc}" in
+  Alcotest.check instr_testable "push"
+    (Instr.Push { rlist = 0b00110000; lr = true })
+    (List.nth instrs 0);
+  Alcotest.check instr_testable "pop"
+    (Instr.Pop { rlist = 0b00110000; pc = true })
+    (List.nth instrs 1)
+
+(* Every supported mnemonic form assembles, and its encoding decodes
+   back to an instruction that prints with the same mnemonic family. *)
+let asm_mnemonic_coverage () =
+  let forms =
+    [ "nop"; "movs r0, #1"; "movs r0, r1"; "mov r8, r9"; "mov r3, sp";
+      "cmp r0, #1"; "cmp r0, r1"; "cmp r8, r9"; "adds r0, #1";
+      "adds r0, r1, #2"; "adds r0, r1, r2"; "subs r0, #1"; "subs r0, r1, #2";
+      "subs r0, r1, r2"; "add r0, sp, #8"; "add r0, pc, #8"; "add sp, #8";
+      "sub sp, #8"; "add r0, r8"; "lsls r0, r1, #2"; "lsls r0, r1";
+      "lsrs r0, r1, #2"; "lsrs r0, r1"; "asrs r0, r1, #2"; "asrs r0, r1";
+      "ands r0, r1"; "eors r0, r1"; "adcs r0, r1"; "sbcs r0, r1";
+      "rors r0, r1"; "tst r0, r1"; "negs r0, r1"; "cmn r0, r1";
+      "orrs r0, r1"; "muls r0, r1"; "bics r0, r1"; "mvns r0, r1";
+      "ldr r0, [r1, #4]"; "ldr r0, [r1, r2]"; "ldr r0, [sp, #4]";
+      "ldr r0, [pc, #4]"; "str r0, [r1, #4]"; "str r0, [r1, r2]";
+      "str r0, [sp, #4]"; "ldrb r0, [r1, #1]"; "ldrb r0, [r1, r2]";
+      "strb r0, [r1, #1]"; "strb r0, [r1, r2]"; "ldrh r0, [r1, #2]";
+      "ldrh r0, [r1, r2]"; "strh r0, [r1, #2]"; "strh r0, [r1, r2]";
+      "ldsb r0, [r1, r2]"; "ldsh r0, [r1, r2]"; "push {r0, r1, lr}";
+      "pop {r0, r1, pc}"; "stmia r0!, {r1, r2}"; "ldmia r0!, {r1, r2}";
+      "beq #4"; "bne #-4"; "b #8"; "bx lr"; "swi #5"; "bkpt #0";
+      ".word 0x12345678" ]
+  in
+  List.iter
+    (fun form ->
+      match Asm.assemble form with
+      | [] -> Alcotest.fail (form ^ ": assembled to nothing")
+      | instrs ->
+        (* encodings must be in range and decode without exception *)
+        List.iter
+          (fun i ->
+            let w = Encode.instr i in
+            Alcotest.(check bool) (form ^ " in range") true (w >= 0 && w <= 0xFFFF);
+            ignore (Decode.instr w))
+          instrs
+      | exception Asm.Parse_error e ->
+        Alcotest.fail (Fmt.str "%s: %a" form Asm.pp_error e))
+    forms
+
+let asm_errors () =
+  let expect_error src =
+    match Asm.assemble src with
+    | exception Asm.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" src)
+  in
+  expect_error "movs r9, #1";
+  expect_error "beq nowhere";
+  expect_error "movs r0, #999";
+  expect_error "frobnicate r0";
+  expect_error "loop:\nloop:\nnop"
+
+(* --- cycle model --------------------------------------------------------- *)
+
+let cycle_model () =
+  let check name expected instr taken =
+    Alcotest.(check int) name expected (Cycles.of_instr ~taken instr)
+  in
+  check "alu" 1 (Instr.Alu (AND, Reg.r0, Reg.r1)) false;
+  check "load" 2
+    (Instr.Mem_imm { load = true; byte = false; rd = Reg.r0; rb = Reg.r1; imm = 0 })
+    false;
+  check "branch taken" 3 (Instr.B_cond (EQ, 0)) true;
+  check "branch not taken" 1 (Instr.B_cond (EQ, 0)) false;
+  check "push 2+lr" 4 (Instr.Push { rlist = 0b11; lr = true }) false;
+  check "pop with pc" 5 (Instr.Pop { rlist = 0b1; pc = true }) false
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ roundtrip; encoding_in_range ] in
+  Alcotest.run "thumb"
+    [ ("encodings",
+       [ Alcotest.test_case "known encodings" `Quick known_encodings;
+         Alcotest.test_case "condition code order" `Quick branch_cond_order ]);
+      ("decode",
+       [ Alcotest.test_case "total over 16-bit space" `Quick decode_total;
+         Alcotest.test_case "undefined examples" `Quick decode_undefined_examples;
+         Alcotest.test_case "word identity" `Quick encode_decode_word_identity ]);
+      ("properties", qsuite);
+      ("assembler",
+       [ Alcotest.test_case "paper's while(!a) loop" `Quick asm_paper_loop;
+         Alcotest.test_case "forward label" `Quick asm_label_forward;
+         Alcotest.test_case "memory operand forms" `Quick asm_mem_forms;
+         Alcotest.test_case "bl expansion" `Quick asm_bl_expands;
+         Alcotest.test_case "push/pop lists" `Quick asm_push_pop;
+         Alcotest.test_case "mnemonic coverage" `Quick asm_mnemonic_coverage;
+         Alcotest.test_case "rejects bad input" `Quick asm_errors ]);
+      ("cycles", [ Alcotest.test_case "cortex-m0 timing" `Quick cycle_model ]) ]
