@@ -5,6 +5,12 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig2         -- one experiment
      dune exec bench/main.exe -- table6 --quick
+     dune exec bench/main.exe -- fig2 --jobs 4
+
+   --jobs N fans the campaign sweeps out over N domains (default: the
+   machine's recommended domain count; results are bit-identical at any
+   N). Sweep experiments also emit a machine-readable "PERF ..." line
+   for the bench trajectory.
 
    Expected paper values are printed next to measured ones; see
    EXPERIMENTS.md for the discussion of each comparison. *)
@@ -16,60 +22,74 @@ let section title =
 
 let paper_note fmt = Fmt.pr ("  [paper] " ^^ fmt ^^ "@.")
 
+let pool_jobs = function Some p -> Runtime.Pool.jobs p | None -> 1
+
+let emit_perf perf =
+  Fmt.pr "@.%a@.%s@." Stats.Perf.pp perf (Stats.Perf.machine_line perf)
+
 (* --- Figure 2: glitching effects in emulation ----------------------------- *)
 
-let fig2 () =
+let fig2 ?pool () =
   section "Figure 2 - bit-flip effects on ARM Thumb conditional branches";
   let cases = Glitch_emu.Testcase.all_conditional_branches in
   let run name config =
     Fmt.pr "@.--- %s ---@." name;
-    let results = Glitch_emu.Campaign.run_all config cases in
+    let results = Glitch_emu.Campaign.run_all ?pool config cases in
     print_string (Glitch_emu.Report.outcome_table results);
     Fmt.pr "@.Success rate by number of flipped bits:@.";
     print_string (Glitch_emu.Report.success_by_weight_table results);
     Fmt.pr "%s@." (Glitch_emu.Report.summary_line results);
     Glitch_emu.Report.mean_success_rate results
   in
-  let and_rate =
-    run "(a) AND model (1 -> 0 flips)"
-      (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And)
+  (* 4 models x 14 branches + 2 models x 3 non-branch cases, 2^16 masks
+     each — the per-sweep item count behind the PERF line *)
+  let sweeps = (4 * List.length cases) + (2 * List.length Glitch_emu.Testcase.non_branch_cases) in
+  let (), perf =
+    Stats.Perf.time ~label:"fig2" ~jobs:(pool_jobs pool) ~items:(sweeps * 65536)
+      (fun () ->
+        let and_rate =
+          run "(a) AND model (1 -> 0 flips)"
+            (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And)
+        in
+        let or_rate =
+          run "(b) OR model (0 -> 1 flips)"
+            (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Or)
+        in
+        let and0_rate =
+          run "(c) AND model, 0x0000 decoded as invalid"
+            { (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And) with
+              zero_is_invalid = true }
+        in
+        let xor_rate =
+          run "(supplement) XOR model (bidirectional flips)"
+            (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Xor)
+        in
+        Fmt.pr
+          "@.Summary: AND %.1f%%  OR %.1f%%  AND(0 invalid) %.1f%%  XOR %.1f%%@."
+          and_rate or_rate and0_rate xor_rate;
+        Fmt.pr "@.Supplement: skip rates for non-branch instructions (the \"skip@.";
+        Fmt.pr "every defensive instruction\" limit case):@.";
+        Stats.Table.print ~header:[ "Instr"; "AND skip %"; "OR skip %" ]
+          (List.map
+             (fun (case : Glitch_emu.Testcase.t) ->
+               let rate flip =
+                 Glitch_emu.Campaign.category_percent
+                   (Glitch_emu.Campaign.run_case ?pool
+                      (Glitch_emu.Campaign.default_config flip)
+                      case)
+                   Glitch_emu.Campaign.Success
+               in
+               [ case.name; Fmt.str "%.1f" (rate Glitch_emu.Fault_model.And);
+                 Fmt.str "%.1f" (rate Glitch_emu.Fault_model.Or) ])
+             Glitch_emu.Testcase.non_branch_cases))
   in
-  let or_rate =
-    run "(b) OR model (0 -> 1 flips)"
-      (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Or)
-  in
-  let and0_rate =
-    run "(c) AND model, 0x0000 decoded as invalid"
-      { (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And) with
-        zero_is_invalid = true }
-  in
-  let xor_rate =
-    run "(supplement) XOR model (bidirectional flips)"
-      (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Xor)
-  in
-  Fmt.pr "@.Summary: AND %.1f%%  OR %.1f%%  AND(0 invalid) %.1f%%  XOR %.1f%%@."
-    and_rate or_rate and0_rate xor_rate;
-  Fmt.pr "@.Supplement: skip rates for non-branch instructions (the \"skip@.";
-  Fmt.pr "every defensive instruction\" limit case):@.";
-  Stats.Table.print ~header:[ "Instr"; "AND skip %"; "OR skip %" ]
-    (List.map
-       (fun (case : Glitch_emu.Testcase.t) ->
-         let rate flip =
-           Glitch_emu.Campaign.category_percent
-             (Glitch_emu.Campaign.run_case
-                (Glitch_emu.Campaign.default_config flip)
-                case)
-             Glitch_emu.Campaign.Success
-         in
-         [ case.name; Fmt.str "%.1f" (rate Glitch_emu.Fault_model.And);
-           Fmt.str "%.1f" (rate Glitch_emu.Fault_model.Or) ])
-       Glitch_emu.Testcase.non_branch_cases);
+  emit_perf perf;
   paper_note "branches skipped >60%% when flipping to 0, <30%% when flipping to 1;";
   paper_note "making 0x0000 invalid left the success rate 'effectively unchanged'."
 
 (* --- Cross-ISA fault tolerance (extension) --------------------------------- *)
 
-let fig2x () =
+let fig2x ?pool () =
   section "Cross-ISA encoding fault tolerance: Thumb-16 vs RV32I (extension)";
   Fmt.pr
     "The paper hypothesises that ISA changes (e.g. an invalid all-zero@.";
@@ -80,7 +100,7 @@ let fig2x () =
   Fmt.pr "construction, weights above 2 sampled at 600 masks each).@.@.";
   let thumb_rates flip =
     let results =
-      Glitch_emu.Campaign.run_all
+      Glitch_emu.Campaign.run_all ?pool
         (Glitch_emu.Campaign.default_config flip)
         Glitch_emu.Testcase.all_conditional_branches
     in
@@ -139,11 +159,11 @@ let instruction_listing guard =
        "  (LDR cont.)"; "CMP R2, R3"; "B<cc> .loop"; "  (branch cont.)";
        "  (branch cont.)" |]
 
-let table1 () =
+let table1 ?pool () =
   section "Table I - successful single glitches per clock cycle";
   List.iter
     (fun guard ->
-      let t = Hw.Attack.run_table1 guard in
+      let t = Hw.Attack.run_table1 ?pool guard in
       let listing = instruction_listing guard in
       Fmt.pr "@.--- %s (comparator r%d) ---@."
         (Hw.Attack.guard_name guard)
@@ -179,12 +199,12 @@ let table1 () =
 
 (* --- Table II: multi-glitch ------------------------------------------------- *)
 
-let table2 () =
+let table2 ?pool () =
   section "Table II - partial vs full multi-glitch (two back-to-back loops)";
   let rows =
     List.map
       (fun guard ->
-        let t = Hw.Attack.run_table2 guard in
+        let t = Hw.Attack.run_table2 ?pool guard in
         let p = Array.fold_left ( + ) 0 t.partial in
         let f = Array.fold_left ( + ) 0 t.full in
         (guard, t, p, f))
@@ -212,10 +232,12 @@ let table2 () =
 
 (* --- Table III: long glitches ------------------------------------------------ *)
 
-let table3 () =
+let table3 ?pool () =
   section "Table III - long glitches (10-20 contiguous cycles)";
   let results =
-    List.map (fun guard -> (guard, Hw.Attack.run_table3 guard)) Hw.Attack.all_guards
+    List.map
+      (fun guard -> (guard, Hw.Attack.run_table3 ?pool guard))
+      Hw.Attack.all_guards
   in
   Stats.Table.print
     ~header:[ "Cycles"; "while(!a)"; "while(a)"; "while(a!=0xD3B9AEC6)" ]
@@ -310,18 +332,21 @@ let table45 () =
 
 (* --- Table VI: defended firmware under attack ------------------------------------ *)
 
-let table6 ~quick () =
+let table6 ?pool ~quick () =
   section "Table VI - glitches and detections against defended firmware";
   let sweep_step = if quick then 4 else 1 in
   if quick then
     Fmt.pr "(quick mode: every 4th parameter point; counts scale by ~1/16)@.";
   let scenarios = Resistor.Evaluate.[ Worst_case; Best_case ] in
   let attacks = Resistor.Evaluate.[ Single; Long; Windowed ] in
+  let total_attempts = ref 0 in
   let configs =
     [ ("All", Resistor.Config.all ~sensitive:[ "a" ] ());
       ("All\\Delay", Resistor.Config.all_but_delay ~sensitive:[ "a" ] ());
       ("None (reference)", Resistor.Config.none) ]
   in
+  let (), perf =
+    Stats.Perf.time ~label:"table6" ~jobs:(pool_jobs pool) ~items:0 (fun () ->
   List.iter
     (fun scenario ->
       Fmt.pr "@.--- %s ---@." (Resistor.Evaluate.scenario_name scenario);
@@ -334,8 +359,9 @@ let table6 ~quick () =
              List.map
                (fun (label, config) ->
                  let o =
-                   Resistor.Evaluate.run ~sweep_step config scenario attack
+                   Resistor.Evaluate.run ?pool ~sweep_step config scenario attack
                  in
+                 total_attempts := !total_attempts + o.attempts;
                  [ Resistor.Evaluate.attack_name attack; label;
                    string_of_int o.attempts; string_of_int o.successes;
                    Fmt.str "%a" Stats.Rate.pp_pct
@@ -345,14 +371,16 @@ let table6 ~quick () =
                      (Resistor.Evaluate.detection_rate o) ])
                configs)
            attacks))
-    scenarios;
+    scenarios)
+  in
+  emit_perf { perf with Stats.Perf.items = !total_attempts };
   paper_note "while(!a): single 0.00928%%/0.00371%% success, 98-100%% detected;";
   paper_note "long 0.263%%/0.267%% success with 79.2%%/71.2%% detection;";
   paper_note "if(a==SUCCESS): best attack 0.00557%% (All) / 0.0449%% (All\\Delay)."
 
 (* --- Ablation: which defense stops what ------------------------------------------- *)
 
-let ablation ~quick () =
+let ablation ?pool ~quick () =
   section "Ablation - per-defense efficacy against while(!a) (extension)";
   let sweep_step = if quick then 4 else 2 in
   Fmt.pr "(every %dth parameter point; single + windowed-10 attacks)@." sweep_step;
@@ -382,10 +410,12 @@ let ablation ~quick () =
     (List.map
        (fun (label, image) ->
          let single =
-           Resistor.Evaluate.run_image ~sweep_step image Resistor.Evaluate.Single
+           Resistor.Evaluate.run_image ?pool ~sweep_step image
+             Resistor.Evaluate.Single
          in
          let windowed =
-           Resistor.Evaluate.run_image ~sweep_step image Resistor.Evaluate.Windowed
+           Resistor.Evaluate.run_image ?pool ~sweep_step image
+             Resistor.Evaluate.Windowed
          in
          [ label;
            Fmt.str "%d (%a)" single.successes Stats.Rate.pp_pct
@@ -492,32 +522,53 @@ let micro () =
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig2|table1|table2|table3|tuner|table4|table5|table6|table7|micro] [--quick]"
+    "usage: main.exe [all|fig2|table1|table2|table3|tuner|table4|table5|table6|table7|micro] [--quick] [--jobs N]"
+
+(* Pull "--jobs N" out of the raw argument list. *)
+let rec extract_jobs = function
+  | [] -> (None, [])
+  | "--jobs" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some jobs when jobs >= 1 -> (Some jobs, snd (extract_jobs rest))
+    | Some _ | None ->
+      prerr_endline "--jobs expects a positive integer";
+      exit 2)
+  | [ "--jobs" ] ->
+    prerr_endline "--jobs expects a positive integer";
+    exit 2
+  | a :: rest ->
+    let jobs, args = extract_jobs rest in
+    (jobs, a :: args)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
+  let jobs, args = extract_jobs args in
+  let jobs = Option.value jobs ~default:(Runtime.Pool.default_jobs ()) in
   let args = List.filter (fun a -> a <> "--quick" && a <> "--") args in
+  (* jobs = 1 keeps every experiment on the original sequential path *)
+  let pool = if jobs > 1 then Some (Runtime.Pool.create ~jobs ()) else None in
   let experiments =
-    [ ("fig2", fig2); ("fig2x", fig2x); ("table1", table1); ("table2", table2);
-      ("table3", table3); ("tuner", tuner); ("table4", table45);
-      ("table5", table45); ("table6", table6 ~quick); ("table7", table7);
-      ("ablation", ablation ~quick); ("micro", micro) ]
+    [ ("fig2", fig2 ?pool); ("fig2x", fig2x ?pool); ("table1", table1 ?pool);
+      ("table2", table2 ?pool); ("table3", table3 ?pool); ("tuner", tuner);
+      ("table4", table45); ("table5", table45);
+      ("table6", table6 ?pool ~quick); ("table7", table7);
+      ("ablation", ablation ?pool ~quick); ("micro", micro) ]
   in
   let run_all () =
-    fig2 ();
-    fig2x ();
-    table1 ();
-    table2 ();
-    table3 ();
+    fig2 ?pool ();
+    fig2x ?pool ();
+    table1 ?pool ();
+    table2 ?pool ();
+    table3 ?pool ();
     tuner ();
     table45 ();
-    table6 ~quick ();
+    table6 ?pool ~quick ();
     table7 ();
-    ablation ~quick ();
+    ablation ?pool ~quick ();
     micro ()
   in
-  match args with
+  (match args with
   | [] | [ "all" ] -> run_all ()
   | names ->
     List.iter
@@ -525,4 +576,5 @@ let () =
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None -> usage ())
-      names
+      names);
+  Option.iter Runtime.Pool.shutdown pool

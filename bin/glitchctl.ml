@@ -62,6 +62,21 @@ let config_arg =
 
 let with_sensitive config sensitive = { config with Resistor.Config.sensitive }
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Runtime.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for campaign sweeps (default: the recommended \
+           domain count). Results are bit-identical at any job count; 1 \
+           takes the sequential code path.")
+
+(* jobs = 1 must not spawn domains: it is the original sequential path *)
+let with_jobs jobs f =
+  if jobs > 1 then Runtime.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+  else f None
+
 (* --- asm ------------------------------------------------------------------- *)
 
 let asm_cmd =
@@ -153,7 +168,7 @@ let emulate_cmd =
       & opt (enum [ ("thumb", `Thumb); ("riscv", `Riscv) ]) `Thumb
       & info [ "isa" ] ~docv:"ISA" ~doc:"thumb (exhaustive) or riscv (sampled).")
   in
-  let run branch model isa =
+  let run branch model isa jobs =
     match isa with
     | `Thumb -> (
       match
@@ -167,9 +182,10 @@ let emulate_cmd =
       | Some cond ->
         let case = Glitch_emu.Testcase.conditional_branch cond in
         let result =
-          Glitch_emu.Campaign.run_case
-            (Glitch_emu.Campaign.default_config model)
-            case
+          with_jobs jobs (fun pool ->
+              Glitch_emu.Campaign.run_case ?pool
+                (Glitch_emu.Campaign.default_config model)
+                case)
         in
         Fmt.pr "%s under %s over all 65,536 masks:@." case.name
           (Glitch_emu.Fault_model.name model);
@@ -207,7 +223,7 @@ let emulate_cmd =
   Cmd.v
     (Cmd.info "emulate"
        ~doc:"Exhaustive bit-flip campaign against one conditional branch.")
-    Term.(const run $ branch $ model $ isa)
+    Term.(const run $ branch $ model $ isa $ jobs_arg)
 
 (* --- compile -------------------------------------------------------------------- *)
 
@@ -276,68 +292,40 @@ let attack_cmd =
       & info [ "attack" ] ~docv:"A")
   in
   let step = Arg.(value & opt int 1 & info [ "step" ] ~docv:"N") in
-  let run file config sensitive attack step =
+  let run file config sensitive attack step jobs =
     let config = with_sensitive config sensitive in
     let source = read_file file in
     (* reuse the Table VI machinery on arbitrary firmware: it only needs
        a trigger, the attack-marker global, and the detection counter *)
     let compiled = Resistor.Driver.compile config source in
-    let board = Hw.Board.create (Hw.Board.Image compiled.image) in
-    if not (Hw.Board.run_until_trigger board) then begin
-      Fmt.epr "firmware never raised the trigger (call __trigger_high())@.";
-      1
-    end
-    else begin
-      let snap = Hw.Board.snapshot board in
-      let budget = Hw.Board.cycles board + 4000 in
-      let attempts = ref 0 and successes = ref 0 and detections = ref 0 in
-      let windows =
-        match attack with
-        | Resistor.Evaluate.Single -> List.init 11 (fun c -> (c, 1))
-        | Resistor.Evaluate.Long -> List.init 10 (fun i -> (0, 10 * (i + 1)))
-        | Resistor.Evaluate.Windowed -> List.init 11 (fun s -> (s, 10))
-      in
-      List.iter
-        (fun (ext_offset, repeat) ->
-          let w = ref (-49) in
-          while !w <= 49 do
-            let o = ref (-49) in
-            while !o <= 49 do
-              incr attempts;
-              let (_ : Hw.Glitcher.observation) =
-                Hw.Glitcher.run ~max_cycles:budget ~from:snap board
-                  [ Hw.Glitcher.with_repeat
-                      (Hw.Glitcher.single ~width:!w ~offset:!o ~ext_offset)
-                      repeat ]
-              in
-              (match
-                 Hw.Board.read_global board Resistor.Firmware.attack_marker_global
-               with
-              | Some v when v = Resistor.Firmware.attack_marker_value ->
-                incr successes
-              | Some _ | None ->
-                if Resistor.Detect.detections (Hw.Board.read_global board) > 0
-                then incr detections);
-              o := !o + step
-            done;
-            w := !w + step
-          done)
-        windows;
+    match
+      with_jobs jobs (fun pool ->
+          let o, perf =
+            Stats.Perf.time ~label:"attack" ~jobs ~items:0 (fun () ->
+                Resistor.Evaluate.run_image ?pool ~sweep_step:step
+                  compiled.image attack)
+          in
+          ({ perf with Stats.Perf.items = o.Resistor.Evaluate.attempts }, o))
+    with
+    | perf, o ->
       Fmt.pr "%s vs %s: %d attempts, %d successes (%a), %d detections@."
         (Resistor.Evaluate.attack_name attack)
         (Resistor.Config.name config)
-        !attempts !successes Stats.Rate.pp_pct
-        (Stats.Rate.pct ~num:!successes ~den:!attempts)
-        !detections;
+        o.attempts o.successes Stats.Rate.pp_pct
+        (Resistor.Evaluate.success_rate o)
+        o.detections;
+      Fmt.pr "%s@." (Stats.Perf.machine_line perf);
       0
-    end
+    | exception Invalid_argument _ ->
+      Fmt.epr "firmware never raised the trigger (call __trigger_high())@.";
+      1
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:
          "Sweep the glitch-parameter plane against a firmware (it must call \
           __trigger_high() and set attack_success = 170 on compromise).")
-    Term.(const run $ file $ config_arg $ sensitive_arg $ attack $ step)
+    Term.(const run $ file $ config_arg $ sensitive_arg $ attack $ step $ jobs_arg)
 
 (* --- tune ------------------------------------------------------------------------- *)
 

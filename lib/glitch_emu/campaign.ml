@@ -53,13 +53,22 @@ let sram_base = 0x20000000
 let sram_size = 0x400
 let stack_top = sram_base + sram_size - 16
 
-type rig = { mem : Memory.t; image : bytes }
+type rig = { mem : Memory.t; cpu : Cpu.t; image : bytes }
 
 let make_rig case =
   let mem = Memory.create () in
   Memory.map mem ~addr:flash_base ~size:flash_size;
   Memory.map mem ~addr:sram_base ~size:sram_size;
-  { mem; image = Thumb.Encode.to_bytes case.Testcase.instrs }
+  { mem;
+    cpu = Cpu.create ~sp:stack_top ~pc:flash_base ();
+    image = Thumb.Encode.to_bytes case.Testcase.instrs }
+
+(* Every possible halfword, pre-decoded once. Campaigns decode the same
+   65,536 encodings hundreds of times each per sweep; sharing one
+   immutable table removes that allocation from the hot loop (and, under
+   domains, the minor-GC pressure it causes). Built at module
+   initialisation so worker domains only ever read it. *)
+let decode_table = Array.init 0x10000 Thumb.Decode.instr
 
 (* Execute until stop, optionally treating a fetched 0x0000 as an
    invalid instruction (Figure 2(c)'s modified ISA). *)
@@ -71,7 +80,7 @@ let run_to_stop ~zero_is_invalid ~max_steps mem cpu =
       | Error (Memory.Unmapped a | Memory.Unaligned a) -> Exec.Bad_fetch a
       | Ok 0 when zero_is_invalid -> Exec.Invalid_instruction 0
       | Ok w -> (
-        match Exec.execute mem cpu (Thumb.Decode.instr w) with
+        match Exec.execute mem cpu decode_table.(w) with
         | Exec.Running -> go (remaining - 1)
         | Exec.Stopped s -> s)
   in
@@ -96,34 +105,92 @@ let run_mask config rig (case : Testcase.t) ~mask =
    with
   | Ok () -> ()
   | Error _ -> assert false);
-  let cpu = Cpu.create ~sp:stack_top ~pc:flash_base () in
+  Cpu.reset ~sp:stack_top ~pc:flash_base rig.cpu;
   let stop =
     run_to_stop ~zero_is_invalid:config.zero_is_invalid
-      ~max_steps:config.max_steps rig.mem cpu
+      ~max_steps:config.max_steps rig.mem rig.cpu
   in
-  classify cpu stop
+  classify rig.cpu stop
 
 let run_one config case ~mask = run_mask config (make_rig case) case ~mask
 
 let width = 16
+let ncat = List.length categories
 
-let run_case config (case : Testcase.t) =
+type tally = { by_weight : counts array; totals : counts }
+
+let make_tally () =
+  { by_weight = Array.init (width + 1) (fun _ -> Array.make ncat 0);
+    totals = Array.make ncat 0 }
+
+let record config rig case t ~mask =
+  let flipped = Fault_model.flipped_bits config.flip ~width ~mask in
+  let cat = run_mask config rig case ~mask in
+  let idx = category_index cat in
+  t.by_weight.(flipped).(idx) <- t.by_weight.(flipped).(idx) + 1;
+  if flipped > 0 then t.totals.(idx) <- t.totals.(idx) + 1
+
+(* Counts are merged with integer addition — commutative and
+   associative — so the merged result is bit-identical whatever the
+   domain count or chunk schedule. *)
+let merge_into dst (src : tally) =
+  Array.iteri
+    (fun w row -> Array.iteri (fun i n -> row.(i) <- row.(i) + n) src.by_weight.(w))
+    dst.by_weight;
+  Array.iteri (fun i n -> dst.totals.(i) <- dst.totals.(i) + n) src.totals
+
+(* The original single-domain path: one rig, masks in weight order. *)
+let run_case_seq config (case : Testcase.t) =
   let rig = make_rig case in
-  let by_weight =
-    Array.init (width + 1) (fun _ -> Array.make (List.length categories) 0)
+  let t = make_tally () in
+  Bitmask.iter_all ~width (fun ~weight:_ ~mask -> record config rig case t ~mask);
+  { case; config; by_weight = t.by_weight; totals = t.totals }
+
+(* The parallel path: the 2^16 mask space is cut into contiguous
+   slices; each worker domain drains slices into a private rig and
+   tally, and per-worker tallies are summed. Classification depends
+   only on (config, case, mask), so the merged counts equal the
+   sequential ones exactly. *)
+let run_case_in pool config (case : Testcase.t) =
+  let q =
+    Runtime.Chunk.queue ~lo:0 ~hi:(1 lsl width) ~jobs:(Runtime.Pool.jobs pool) ()
   in
-  let totals = Array.make (List.length categories) 0 in
-  Bitmask.iter_all ~width (fun ~weight:_ ~mask ->
-      let flipped = Fault_model.flipped_bits config.flip ~width ~mask in
-      let cat = run_mask config rig case ~mask in
-      let idx = category_index cat in
-      by_weight.(flipped).(idx) <- by_weight.(flipped).(idx) + 1;
-      if flipped > 0 then totals.(idx) <- totals.(idx) + 1);
-  { case; config; by_weight; totals }
+  let parts =
+    Runtime.Pool.map_workers pool (fun _wid ->
+        let rig = make_rig case in
+        let t = make_tally () in
+        let rec drain () =
+          match Runtime.Chunk.take q with
+          | None -> ()
+          | Some (lo, hi) ->
+            for mask = lo to hi - 1 do
+              record config rig case t ~mask
+            done;
+            drain ()
+        in
+        drain ();
+        t)
+  in
+  let t = make_tally () in
+  List.iter (merge_into t) parts;
+  { case; config; by_weight = t.by_weight; totals = t.totals }
 
-let run_all config cases = List.map (run_case config) cases
+let run_case ?pool ?(jobs = 1) config case =
+  match pool with
+  | Some pool when Runtime.Pool.jobs pool > 1 -> run_case_in pool config case
+  | Some _ -> run_case_seq config case
+  | None ->
+    if jobs <= 1 then run_case_seq config case
+    else Runtime.Pool.with_pool ~jobs (fun pool -> run_case_in pool config case)
 
-let success_rate_by_weight result =
+let run_all ?pool ?jobs config cases =
+  List.map (run_case ?pool ?jobs config) cases
+
+let categories_by_mask config (case : Testcase.t) =
+  let rig = make_rig case in
+  Array.init (1 lsl width) (fun mask -> run_mask config rig case ~mask)
+
+let success_rate_by_weight (result : result) =
   List.init (width + 1) (fun flipped ->
       let row = result.by_weight.(flipped) in
       let den = Array.fold_left ( + ) 0 row in
@@ -132,7 +199,7 @@ let success_rate_by_weight result =
   |> List.filter (fun (flipped, _) ->
          Array.fold_left ( + ) 0 result.by_weight.(flipped) > 0)
 
-let category_percent result cat =
+let category_percent (result : result) cat =
   let num = result.totals.(category_index cat) in
   let den = Array.fold_left ( + ) 0 result.totals in
   Stats.Rate.pct ~num ~den

@@ -46,10 +46,24 @@ type result = {
 val run_one : config -> Testcase.t -> mask:int -> category
 (** Run a single perturbed execution (a fresh machine every call). *)
 
-val run_case : config -> Testcase.t -> result
-(** Run all [2^16] masks against the case's target instruction. *)
+val run_case : ?pool:Runtime.Pool.t -> ?jobs:int -> config -> Testcase.t -> result
+(** Run all [2^16] masks against the case's target instruction.
 
-val run_all : config -> Testcase.t list -> result list
+    With [pool] (or [jobs > 1], which spins up a transient pool) the
+    mask space is split into contiguous chunks drained by worker
+    domains, each against a private rig whose memory map and CPU are
+    reused across masks. Per-domain counts are merged with plain
+    integer addition — commutative — so [by_weight] and [totals] are
+    bit-identical to the sequential sweep for every domain count. The
+    default ([jobs = 1], no pool) takes the original single-domain code
+    path. *)
+
+val run_all : ?pool:Runtime.Pool.t -> ?jobs:int -> config -> Testcase.t list -> result list
+
+val categories_by_mask : config -> Testcase.t -> category array
+(** The raw sweep behind {!run_case}: entry [mask] is that mask's
+    classification, computed with a single reused rig. [2^16]
+    entries. *)
 
 val success_rate_by_weight : result -> (int * float) list
 (** [(flipped_bits, percent)] for each weight with at least one mask. *)

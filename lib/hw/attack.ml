@@ -215,30 +215,49 @@ type table1 = {
   attempts_per_cycle : int;
 }
 
-let run_table1 ?config guard =
-  let board = Board.create (Board.Asm (single_loop_program guard)) in
+(* Every sweep below restores the board to power-on state before each
+   attempt, so a cycle's statistics depend only on (program, cycle,
+   fault config) — never on which board object ran it or in what order.
+   The parallel paths exploit this: each work item gets a private board
+   and the per-item results are reassembled by index, bit-identical to
+   the sequential sweep. *)
+let map_cycles ?pool ~make_board f =
+  match pool with
+  | Some pool when Runtime.Pool.jobs pool > 1 ->
+    Runtime.Pool.map_array pool
+      (fun cycle -> f (make_board ()) cycle)
+      (Array.init loop_cycles Fun.id)
+  | Some _ | None ->
+    let board = make_board () in
+    Array.init loop_cycles (f board)
+
+let run_table1 ?pool ?config guard =
   let cmp_reg = comparator guard in
+  let run_cycle board cycle =
+    let successes = ref 0 in
+    let values : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let attempts =
+      full_parameter_sweep ?config board
+        ~make_schedule:(fun ~width ~offset ->
+          [ Glitcher.single ~width ~offset ~ext_offset:cycle ])
+        ~classify:(fun board obs ->
+          if escaped board obs then begin
+            incr successes;
+            let v = Board.reg board cmp_reg in
+            Hashtbl.replace values v
+              (1 + Option.value ~default:0 (Hashtbl.find_opt values v))
+          end)
+    in
+    ignore attempts;
+    { successes = !successes;
+      values =
+        Hashtbl.fold (fun v c acc -> (v, c) :: acc) values []
+        |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1) }
+  in
   let per_cycle =
-    Array.init loop_cycles (fun cycle ->
-        let successes = ref 0 in
-        let values : (int, int) Hashtbl.t = Hashtbl.create 16 in
-        let attempts =
-          full_parameter_sweep ?config board
-            ~make_schedule:(fun ~width ~offset ->
-              [ Glitcher.single ~width ~offset ~ext_offset:cycle ])
-            ~classify:(fun board obs ->
-              if escaped board obs then begin
-                incr successes;
-                let v = Board.reg board cmp_reg in
-                Hashtbl.replace values v
-                  (1 + Option.value ~default:0 (Hashtbl.find_opt values v))
-              end)
-        in
-        ignore attempts;
-        { successes = !successes;
-          values =
-            Hashtbl.fold (fun v c acc -> (v, c) :: acc) values []
-            |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1) })
+    map_cycles ?pool
+      ~make_board:(fun () -> Board.create (Board.Asm (single_loop_program guard)))
+      run_cycle
   in
   { guard; per_cycle; attempts_per_cycle = 99 * 99 }
 
@@ -251,11 +270,9 @@ type table2 = {
   attempts2 : int;
 }
 
-let run_table2 ?config guard =
-  let board = Board.create (Board.Asm (double_loop_program guard)) in
-  let partial = Array.make loop_cycles 0 in
-  let full = Array.make loop_cycles 0 in
-  for cycle = 0 to loop_cycles - 1 do
+let run_table2 ?pool ?config guard =
+  let run_cycle board cycle =
+    let partial = ref 0 and full = ref 0 in
     let (_ : int) =
       full_parameter_sweep ?config ~max_cycles:500 board
         ~make_schedule:(fun ~width ~offset ->
@@ -263,28 +280,46 @@ let run_table2 ?config guard =
             { (Glitcher.single ~width ~offset ~ext_offset:cycle) with
               trigger_index = 1 } ])
         ~classify:(fun board obs ->
-          if escaped board obs then full.(cycle) <- full.(cycle) + 1
-          else if Board.reg board 4 = 1 then
-            partial.(cycle) <- partial.(cycle) + 1)
+          if escaped board obs then incr full
+          else if Board.reg board 4 = 1 then incr partial)
     in
-    ()
-  done;
-  { guard2 = guard; partial; full; attempts2 = loop_cycles * 99 * 99 }
+    (!partial, !full)
+  in
+  let per_cycle =
+    map_cycles ?pool
+      ~make_board:(fun () -> Board.create (Board.Asm (double_loop_program guard)))
+      run_cycle
+  in
+  { guard2 = guard;
+    partial = Array.map fst per_cycle;
+    full = Array.map snd per_cycle;
+    attempts2 = loop_cycles * 99 * 99 }
 
 (* --- Table III ---------------------------------------------------------------- *)
 
-let run_table3 ?config guard =
-  let board = Board.create (Board.Asm (long_glitch_program guard)) in
-  List.map
-    (fun last_cycle ->
-      let successes = ref 0 in
-      let (_ : int) =
-        full_parameter_sweep ?config ~max_cycles:800 board
-          ~make_schedule:(fun ~width ~offset ->
-            [ Glitcher.with_repeat
-                (Glitcher.single ~width ~offset ~ext_offset:0)
-                (last_cycle + 1) ])
-          ~classify:(fun board obs -> if escaped board obs then incr successes)
-      in
-      (last_cycle, !successes))
-    [ 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 ]
+let run_table3 ?pool ?config guard =
+  let run_window board last_cycle =
+    let successes = ref 0 in
+    let (_ : int) =
+      full_parameter_sweep ?config ~max_cycles:800 board
+        ~make_schedule:(fun ~width ~offset ->
+          [ Glitcher.with_repeat
+              (Glitcher.single ~width ~offset ~ext_offset:0)
+              (last_cycle + 1) ])
+        ~classify:(fun board obs -> if escaped board obs then incr successes)
+    in
+    (last_cycle, !successes)
+  in
+  let windows = [| 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 |] in
+  let rows =
+    match pool with
+    | Some pool when Runtime.Pool.jobs pool > 1 ->
+      Runtime.Pool.map_array pool
+        (fun last_cycle ->
+          run_window (Board.create (Board.Asm (long_glitch_program guard))) last_cycle)
+        windows
+    | Some _ | None ->
+      let board = Board.create (Board.Asm (long_glitch_program guard)) in
+      Array.map (run_window board) windows
+  in
+  Array.to_list rows

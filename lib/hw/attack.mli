@@ -47,7 +47,12 @@ type table1 = {
   attempts_per_cycle : int;  (** 9,801 *)
 }
 
-val run_table1 : ?config:Susceptibility.config -> guard -> table1
+val run_table1 :
+  ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard -> table1
+(** With [pool], the 8 per-cycle sweeps run on worker domains, each
+    against a private board; every attempt restores power-on state, so
+    the table is bit-identical to the sequential run. Likewise for
+    {!run_table2} and {!run_table3}. *)
 
 type table2 = {
   guard2 : guard;
@@ -56,10 +61,12 @@ type table2 = {
   attempts2 : int;
 }
 
-val run_table2 : ?config:Susceptibility.config -> guard -> table2
+val run_table2 :
+  ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard -> table2
 
 val run_table3 :
-  ?config:Susceptibility.config -> guard -> (int * int) list
+  ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard ->
+  (int * int) list
 (** [(last_cycle, successes)] for glitches covering cycles 0-10 through
     0-20, 9,801 attempts each. *)
 

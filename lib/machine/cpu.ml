@@ -14,6 +14,15 @@ let create ?(sp = 0) ?(pc = 0) () =
   regs.(15) <- mask32 pc;
   { regs; n = false; z = false; c = false; v = false }
 
+let reset ?(sp = 0) ?(pc = 0) t =
+  Array.fill t.regs 0 16 0;
+  t.regs.(13) <- mask32 sp;
+  t.regs.(15) <- mask32 pc;
+  t.n <- false;
+  t.z <- false;
+  t.c <- false;
+  t.v <- false
+
 let get t r =
   let i = Thumb.Reg.to_int r in
   if i = 15 then mask32 (t.regs.(15) + 4) else t.regs.(i)

@@ -29,44 +29,94 @@ let windows = function
   | Long -> List.init 10 (fun i -> (0, 10 * (i + 1)))
   | Windowed -> List.init 11 (fun s -> (s, 10))
 
-let run_image ?fault_config ?(sweep_step = 1) image attack =
+(* Boot the firmware to its trigger and snapshot: the pre-attack state
+   every attempt rewinds to. Deterministic, so each worker domain can
+   rebuild an identical board from the shared image. *)
+let boot_board image =
   let board = Hw.Board.create (Hw.Board.Image image) in
   if not (Hw.Board.run_until_trigger ~max_cycles:2_000_000 board) then
     invalid_arg "Evaluate.run: firmware never raised its trigger";
   let snap = Hw.Board.snapshot board in
-  let boot_cycles = Hw.Board.cycles board in
   (* enough budget after the trigger for the defended loop plus the
      spin-on-detection reaction to settle *)
-  let max_cycles = boot_cycles + 4_000 in
-  let attempts = ref 0 and successes = ref 0 and detections = ref 0 in
-  List.iter
-    (fun (ext_offset, repeat) ->
-      let width = ref (-49) in
-      while !width <= 49 do
-        let offset = ref (-49) in
-        while !offset <= 49 do
-          incr attempts;
-          let schedule =
-            [ Hw.Glitcher.with_repeat
-                (Hw.Glitcher.single ~width:!width ~offset:!offset ~ext_offset)
-                repeat ]
-          in
-          let (_ : Hw.Glitcher.observation) =
-            Hw.Glitcher.run ?config:fault_config ~max_cycles ~from:snap board
-              schedule
-          in
-          let marker = Hw.Board.read_global board Firmware.attack_marker_global in
-          let succeeded = marker = Some Firmware.attack_marker_value in
-          if succeeded then incr successes
-          else if Detect.detections (Hw.Board.read_global board) > 0 then
-            incr detections;
-          offset := !offset + sweep_step
-        done;
-        width := !width + sweep_step
-      done)
-    (windows attack);
-  { attempts = !attempts; successes = !successes; detections = !detections }
+  let max_cycles = Hw.Board.cycles board + 4_000 in
+  (board, snap, max_cycles)
 
-let run ?fault_config ?sweep_step (config : Config.t) scenario attack =
+(* One row of the sweep: all offsets at a fixed (window, width). The
+   attempt outcome depends only on the snapshot and the schedule, so
+   rows can run on any domain in any order. *)
+let run_row ?fault_config ~sweep_step (board, snap, max_cycles) (ext_offset, repeat, width)
+    =
+  let attempts = ref 0 and successes = ref 0 and detections = ref 0 in
+  let offset = ref (-49) in
+  while !offset <= 49 do
+    incr attempts;
+    let schedule =
+      [ Hw.Glitcher.with_repeat
+          (Hw.Glitcher.single ~width ~offset:!offset ~ext_offset)
+          repeat ]
+    in
+    let (_ : Hw.Glitcher.observation) =
+      Hw.Glitcher.run ?config:fault_config ~max_cycles ~from:snap board schedule
+    in
+    let marker = Hw.Board.read_global board Firmware.attack_marker_global in
+    let succeeded = marker = Some Firmware.attack_marker_value in
+    if succeeded then incr successes
+    else if Detect.detections (Hw.Board.read_global board) > 0 then
+      incr detections;
+    offset := !offset + sweep_step
+  done;
+  (!attempts, !successes, !detections)
+
+let rows_of attack ~sweep_step =
+  List.concat_map
+    (fun (ext_offset, repeat) ->
+      let rec widths w acc =
+        if w > 49 then List.rev acc
+        else widths (w + sweep_step) ((ext_offset, repeat, w) :: acc)
+      in
+      widths (-49) [])
+    (windows attack)
+
+let run_image ?pool ?fault_config ?(sweep_step = 1) image attack =
+  let rows = rows_of attack ~sweep_step in
+  let parts =
+    match pool with
+    | Some pool when Runtime.Pool.jobs pool > 1 ->
+      (* per-worker board: rows are claimed from a shared queue and the
+         (attempts, successes, detections) triples summed — an
+         order-independent reduction, so counts match the sequential
+         sweep exactly *)
+      let items = Array.of_list rows in
+      let q =
+        Runtime.Chunk.queue ~size:1 ~lo:0 ~hi:(Array.length items)
+          ~jobs:(Runtime.Pool.jobs pool) ()
+      in
+      Runtime.Pool.map_workers pool (fun _wid ->
+          let rig = boot_board image in
+          let acc = ref (0, 0, 0) in
+          let rec drain () =
+            match Runtime.Chunk.take q with
+            | None -> ()
+            | Some (i, _) ->
+              let a, s, d = run_row ?fault_config ~sweep_step rig items.(i) in
+              let a0, s0, d0 = !acc in
+              acc := (a0 + a, s0 + s, d0 + d);
+              drain ()
+          in
+          drain ();
+          !acc)
+    | Some _ | None ->
+      let rig = boot_board image in
+      List.map (run_row ?fault_config ~sweep_step rig) rows
+  in
+  let attempts, successes, detections =
+    List.fold_left
+      (fun (a0, s0, d0) (a, s, d) -> (a0 + a, s0 + s, d0 + d))
+      (0, 0, 0) parts
+  in
+  { attempts; successes; detections }
+
+let run ?pool ?fault_config ?sweep_step (config : Config.t) scenario attack =
   let compiled = Driver.compile config (scenario_source scenario) in
-  run_image ?fault_config ?sweep_step compiled.image attack
+  run_image ?pool ?fault_config ?sweep_step compiled.image attack

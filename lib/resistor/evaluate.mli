@@ -38,6 +38,7 @@ val detection_rate : outcome -> float
 (** detections / (detections + successes), the paper's formula. *)
 
 val run :
+  ?pool:Runtime.Pool.t ->
   ?fault_config:Hw.Susceptibility.config ->
   ?sweep_step:int ->
   Config.t ->
@@ -46,9 +47,15 @@ val run :
   outcome
 (** [sweep_step] strides the (width, offset) plane (default 1 = the full
     9,801-point sweep; benches may use 1, quick tests a larger step —
-    attempt counts scale accordingly). *)
+    attempt counts scale accordingly).
+
+    With [pool], sweep rows (one width at one attack window) are drained
+    by worker domains, each attacking its own booted-and-snapshotted
+    board; every attempt rewinds to the snapshot, so the summed counts
+    are bit-identical to the sequential sweep. *)
 
 val run_image :
+  ?pool:Runtime.Pool.t ->
   ?fault_config:Hw.Susceptibility.config ->
   ?sweep_step:int ->
   Lower.Layout.image ->

@@ -1,0 +1,153 @@
+type job = { f : int -> unit; generation : int }
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable running : int;  (* spawned workers still inside the current job *)
+  mutable in_region : bool;
+  mutable stopping : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let record_failure t e bt =
+  Mutex.lock t.mutex;
+  if t.failure = None then t.failure <- Some (e, bt);
+  Mutex.unlock t.mutex
+
+(* Each spawned worker sleeps until a fresh generation is published,
+   runs its share, then reports in. Exceptions are captured so a
+   crashing worker can never leave the region's barrier hanging. *)
+let worker_loop t wid =
+  let last_generation = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if t.stopping then None
+      else
+        match t.job with
+        | Some j when j.generation > !last_generation -> Some j
+        | Some _ | None ->
+          Condition.wait t.work_ready t.mutex;
+          await ()
+    in
+    match await () with
+    | None -> Mutex.unlock t.mutex
+    | Some j ->
+      Mutex.unlock t.mutex;
+      last_generation := j.generation;
+      (try j.f wid
+       with e -> record_failure t e (Printexc.get_raw_backtrace ()));
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  let t =
+    { jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      running = 0;
+      in_region = false;
+      stopping = false;
+      failure = None;
+      domains = [] }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let jobs t = t.jobs
+
+let run t f =
+  if t.jobs = 1 then begin
+    if t.in_region then invalid_arg "Pool.run: nested parallel region";
+    t.in_region <- true;
+    Fun.protect ~finally:(fun () -> t.in_region <- false) (fun () -> f 0)
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    if t.in_region then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: nested parallel region"
+    end;
+    t.in_region <- true;
+    t.failure <- None;
+    t.generation <- t.generation + 1;
+    t.job <- Some { f; generation = t.generation };
+    t.running <- t.jobs - 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (try f 0 with e -> record_failure t e (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mutex;
+    while t.running > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    t.in_region <- false;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let map_workers t f =
+  let results = Array.make t.jobs None in
+  run t (fun wid -> results.(wid) <- Some (f wid));
+  Array.to_list results
+  |> List.map (function
+       | Some r -> r
+       | None -> assert false (* every worker id runs exactly once *))
+
+let map_array t f input =
+  let n = Array.length input in
+  if t.jobs = 1 || n <= 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let q = Chunk.queue ~size:1 ~lo:0 ~hi:n ~jobs:t.jobs () in
+    run t (fun _wid ->
+        let rec drain () =
+          match Chunk.take q with
+          | None -> ()
+          | Some (lo, _) ->
+            results.(lo) <- Some (f input.(lo));
+            drain ()
+        in
+        drain ());
+    Array.map
+      (function Some r -> r | None -> assert false (* queue covers 0..n-1 *))
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  let domains = t.domains in
+  t.domains <- [];
+  List.iter Domain.join domains
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

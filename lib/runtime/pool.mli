@@ -1,0 +1,47 @@
+(** A persistent pool of worker domains for campaign sweeps.
+
+    The pool owns [jobs - 1] domains that sleep between parallel
+    regions; the calling domain participates as worker 0, so [jobs]
+    workers execute every region. Campaigns combine a pool with a
+    {!Chunk.queue}: each worker drains slices into a private
+    accumulator, and the per-worker accumulators are merged with a
+    commutative reduction — making results independent of the domain
+    count and of scheduling.
+
+    A [jobs = 1] pool spawns no domains and runs everything in the
+    caller, so the sequential code path is untouched. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], the [--jobs] default. *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!default_jobs}; values below 1 are clamped
+    to 1. *)
+
+val jobs : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f wid] once for each worker id
+    [0 .. jobs - 1], concurrently, and returns when all are done. The
+    calling domain runs [f 0]. If any worker raises, one of the
+    exceptions is re-raised here after every worker has finished.
+    Regions cannot be nested: calling [run] from inside [f] raises
+    [Invalid_argument]. *)
+
+val map_workers : t -> (int -> 'a) -> 'a list
+(** Like {!run} but collects each worker's result, ordered by worker
+    id. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]: items are claimed one at a time from a shared
+    queue, so uneven item costs balance across workers. Result slots
+    match input order. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool is unusable
+    afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run the callback, and [shutdown] (also on exceptions). *)

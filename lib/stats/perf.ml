@@ -1,0 +1,19 @@
+type t = { label : string; jobs : int; items : int; elapsed_s : float }
+
+let time ~label ~jobs ~items f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (v, { label; jobs; items; elapsed_s })
+
+let throughput t =
+  if t.elapsed_s <= 0. then 0. else float_of_int t.items /. t.elapsed_s
+
+let machine_line t =
+  Printf.sprintf "PERF experiment=%s jobs=%d items=%d seconds=%.3f rate=%.1f"
+    t.label t.jobs t.items t.elapsed_s (throughput t)
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d items in %.2fs (%.0f items/s, %d job%s)" t.label t.items
+    t.elapsed_s (throughput t) t.jobs
+    (if t.jobs = 1 then "" else "s")

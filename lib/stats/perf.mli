@@ -1,0 +1,28 @@
+(** Wall-clock timing and throughput counters for campaign sweeps.
+
+    Each parallel campaign wraps its hot loop in {!time} and emits the
+    result both human-readably ({!pp}) and as a single machine-readable
+    [PERF] line ({!machine_line}) that the bench trajectory greps for,
+    e.g.:
+
+    {v PERF experiment=fig2 jobs=4 items=4456448 seconds=3.271 rate=1362411.5 v} *)
+
+type t = {
+  label : string;  (** experiment name; keep it shell-token safe *)
+  jobs : int;  (** worker domains used *)
+  items : int;  (** work units processed (masks, attempts, ...) *)
+  elapsed_s : float;  (** wall-clock seconds *)
+}
+
+val time : label:string -> jobs:int -> items:int -> (unit -> 'a) -> 'a * t
+(** Run the thunk and measure its wall-clock time (monotonic across
+    domains, unlike [Sys.time] which sums CPU time). *)
+
+val throughput : t -> float
+(** Items per second; 0 for a degenerate zero-length interval. *)
+
+val machine_line : t -> string
+(** One [PERF key=value ...] line, no trailing newline. *)
+
+val pp : t Fmt.t
+(** Human-readable summary, e.g. ["fig2: 4456448 items in 3.27s (1362411 items/s, 4 jobs)"]. *)

@@ -198,10 +198,129 @@ let counts_are_conserved () =
   in
   Alcotest.(check int) "all 65536 masks classified" 65536 sum
 
+(* --- golden Figure 2 numbers --------------------------------------------- *)
+
+(* Pinned category totals for BEQ under each Figure 2 configuration,
+   in category order Success; Bad_read; Bad_fetch; Invalid_instruction;
+   Failed; No_effect (totals exclude the weight-0 identity mask, so each
+   row sums to 65535). Any change to the decoder, the fault models or
+   the campaign loop that shifts these numbers must be deliberate. *)
+let golden_configs =
+  [ ("and", Campaign.default_config Fault_model.And,
+     [| 40960; 16384; 0; 0; 0; 8191 |]);
+    ("or", Campaign.default_config Fault_model.Or,
+     [| 30776; 0; 23328; 2048; 9272; 111 |]);
+    ("xor", Campaign.default_config Fault_model.Xor,
+     [| 29131; 24768; 4758; 5120; 1473; 285 |]);
+    ("and zero-invalid",
+     { (Campaign.default_config Fault_model.And) with zero_is_invalid = true },
+     [| 32768; 16384; 0; 8192; 0; 8191 |]) ]
+
+let golden_category_totals () =
+  List.iter
+    (fun (name, config, expect) ->
+      let r = Campaign.run_case config beq_case in
+      Alcotest.(check (array int)) name expect r.totals)
+    golden_configs
+
+let golden_and_success_by_weight () =
+  (* The AND success column of Figure 2(a): one count per flipped-bit
+     weight 0..16. *)
+  let r = Campaign.run_case (Campaign.default_config Fault_model.And) beq_case in
+  let succ =
+    Array.map
+      (fun row -> row.(Campaign.category_index Campaign.Success))
+      r.by_weight
+  in
+  Alcotest.(check (array int)) "success by weight"
+    [| 0; 2; 28; 183; 741; 2080; 4290; 6721; 8151; 7722; 5720; 3289; 1443;
+       468; 106; 15; 1 |]
+    succ
+
+(* --- sequential = parallel ----------------------------------------------- *)
+
+let check_same_result name (seq : Campaign.result) (par : Campaign.result) =
+  Alcotest.(check (array (array int)))
+    (name ^ " by_weight") seq.by_weight par.by_weight;
+  Alcotest.(check (array int)) (name ^ " totals") seq.totals par.totals
+
+let parallel_matches_sequential () =
+  (* Every Figure 2 configuration on BEQ, plus two more branch cases on
+     the AND model: running the sweep on 2 or 4 domains must reproduce
+     the single-domain tallies bit for bit. *)
+  let workloads =
+    List.map (fun (n, c, _) -> (n, c, beq_case)) golden_configs
+    @ [ ("and", Campaign.default_config Fault_model.And,
+         Testcase.conditional_branch Thumb.Instr.NE);
+        ("and", Campaign.default_config Fault_model.And,
+         Testcase.conditional_branch Thumb.Instr.LT) ]
+  in
+  Runtime.Pool.with_pool ~jobs:2 (fun pool2 ->
+      Runtime.Pool.with_pool ~jobs:4 (fun pool4 ->
+          List.iter
+            (fun (cname, config, (case : Testcase.t)) ->
+              let name = cname ^ "/" ^ case.name in
+              let seq = Campaign.run_case config case in
+              check_same_result (name ^ " jobs=2") seq
+                (Campaign.run_case ~pool:pool2 config case);
+              check_same_result (name ^ " jobs=4") seq
+                (Campaign.run_case ~pool:pool4 config case))
+            workloads))
+
+(* --- campaign properties -------------------------------------------------- *)
+
+let prop_run_one_matches_sweep =
+  (* A single run_one agrees with the corresponding entry of the full
+     65,536-mask sweep, for every Figure 2 configuration. The sweeps are
+     built lazily, once per configuration. *)
+  let sweeps =
+    List.map
+      (fun (_, config, _) ->
+        (config, lazy (Campaign.categories_by_mask config beq_case)))
+      golden_configs
+    |> Array.of_list
+  in
+  QCheck.Test.make ~name:"run_one agrees with the full sweep" ~count:200
+    QCheck.(pair (int_bound (Array.length sweeps - 1)) (int_bound 0xFFFF))
+    (fun (i, mask) ->
+      let config, sweep = sweeps.(i) in
+      Campaign.run_one config beq_case ~mask = (Lazy.force sweep).(mask))
+
+let prop_flipped_bits_match_apply =
+  (* flipped_bits reports the number of bit positions a mask can change:
+     under XOR apply flips exactly those bits of any word; under AND/OR
+     it flips a subset of them (only already-set / already-clear bits
+     actually change). *)
+  QCheck.Test.make ~name:"flipped_bits is consistent with apply" ~count:500
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (mask, word) ->
+      List.for_all
+        (fun flip ->
+          let changed = word lxor Fault_model.apply flip ~mask word in
+          let reported = Fault_model.flipped_bits flip ~width:16 ~mask in
+          match flip with
+          | Fault_model.Xor ->
+            changed = mask && Bitmask.popcount changed = reported
+          | Fault_model.And ->
+            (* AND clears bits where the mask has zeros *)
+            changed land mask = 0
+            && changed land word = changed
+            && Bitmask.popcount changed <= reported
+          | Fault_model.Or ->
+            (* OR sets bits where the mask has ones *)
+            changed lor mask = mask
+            && changed land word = 0
+            && Bitmask.popcount changed <= reported)
+        Fault_model.all)
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
       [ prop_weight_enumeration; prop_classification_deterministic ]
+  in
+  let campaign_props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_run_one_matches_sweep; prop_flipped_bits_match_apply ]
   in
   Alcotest.run "glitch_emu"
     [ ("bitmask",
@@ -230,4 +349,12 @@ let () =
          Alcotest.test_case "far branch bad-fetches" `Quick far_branch_is_bad_fetch ]);
       ("figure2",
        [ Alcotest.test_case "AND beats OR (paper headline)" `Slow and_beats_or_on_beq;
-         Alcotest.test_case "mask accounting" `Slow counts_are_conserved ]) ]
+         Alcotest.test_case "mask accounting" `Slow counts_are_conserved ]);
+      ("figure2-golden",
+       [ Alcotest.test_case "category totals" `Slow golden_category_totals;
+         Alcotest.test_case "AND success by weight" `Slow
+           golden_and_success_by_weight ]);
+      ("parallel",
+       [ Alcotest.test_case "sequential = parallel" `Slow
+           parallel_matches_sequential ]);
+      ("campaign-properties", campaign_props) ]

@@ -1,0 +1,200 @@
+(* Tests for the work-distribution runtime: contiguous chunk queues and
+   the persistent domain pool that the parallel campaigns are built
+   on. *)
+
+(* --- chunk splitting ------------------------------------------------------ *)
+
+let split_covers_range () =
+  List.iter
+    (fun (lo, hi, pieces) ->
+      let name = Printf.sprintf "[%d,%d)/%d" lo hi pieces in
+      let slices = Runtime.Chunk.split ~lo ~hi ~pieces in
+      (* slices are non-empty, in order, and tile the range exactly *)
+      let stop =
+        List.fold_left
+          (fun expect (a, b) ->
+            Alcotest.(check int) (name ^ " contiguous") expect a;
+            Alcotest.(check bool) (name ^ " non-empty") true (b > a);
+            b)
+          lo slices
+      in
+      Alcotest.(check int) (name ^ " reaches hi") hi stop;
+      Alcotest.(check bool)
+        (name ^ " at most pieces")
+        true
+        (List.length slices <= pieces);
+      (* balanced: sizes differ by at most one *)
+      let sizes = List.map (fun (a, b) -> b - a) slices in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun s' ->
+              Alcotest.(check bool) (name ^ " balanced") true (abs (s - s') <= 1))
+            sizes)
+        sizes)
+    [ (0, 65536, 4); (0, 10, 3); (0, 10, 4); (5, 6, 4); (7, 100, 1);
+      (3, 20, 17); (0, 5, 8) ]
+
+let split_empty_range () =
+  Alcotest.(check (list (pair int int)))
+    "empty range" []
+    (Runtime.Chunk.split ~lo:5 ~hi:5 ~pieces:4)
+
+let prop_split_tiles_range =
+  QCheck.Test.make ~name:"split tiles the range exactly" ~count:200
+    QCheck.(triple (int_range 0 100) (int_range 0 1000) (int_range 1 64))
+    (fun (lo, len, pieces) ->
+      let hi = lo + len in
+      let slices = Runtime.Chunk.split ~lo ~hi ~pieces in
+      let contiguous =
+        List.fold_left
+          (fun expect (a, b) ->
+            match expect with
+            | Some e when a = e && b > a -> Some b
+            | _ -> None)
+          (Some lo) slices
+      in
+      contiguous = Some hi && List.length slices <= pieces)
+
+(* --- chunk queue ---------------------------------------------------------- *)
+
+let queue_drains_exactly_once () =
+  let lo = 3 and hi = 100 in
+  let q = Runtime.Chunk.queue ~size:7 ~lo ~hi ~jobs:4 () in
+  let seen = Array.make hi 0 in
+  let rec drain () =
+    match Runtime.Chunk.take q with
+    | None -> ()
+    | Some (a, b) ->
+      Alcotest.(check bool) "slice within range" true (lo <= a && a < b && b <= hi);
+      for i = a to b - 1 do
+        seen.(i) <- seen.(i) + 1
+      done;
+      drain ()
+  in
+  drain ();
+  for i = lo to hi - 1 do
+    Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 seen.(i)
+  done;
+  Alcotest.(check (option (pair int int)))
+    "stays exhausted" None (Runtime.Chunk.take q)
+
+let queue_rejects_bad_size () =
+  Alcotest.check_raises "size 0"
+    (Invalid_argument "Chunk.queue: non-positive slice size")
+    (fun () -> ignore (Runtime.Chunk.queue ~size:0 ~lo:0 ~hi:10 ~jobs:2 ()))
+
+let concurrent_drain_partitions_range () =
+  (* Four domains race on one queue; together they must claim every
+     index exactly once. *)
+  let lo = 0 and hi = 10_000 in
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      let q = Runtime.Chunk.queue ~size:13 ~lo ~hi ~jobs:4 () in
+      let parts =
+        Runtime.Pool.map_workers pool (fun _wid ->
+            let mine = ref [] in
+            let rec drain () =
+              match Runtime.Chunk.take q with
+              | None -> ()
+              | Some (a, b) ->
+                for i = a to b - 1 do
+                  mine := i :: !mine
+                done;
+                drain ()
+            in
+            drain ();
+            !mine)
+      in
+      let all = List.concat parts |> List.sort compare in
+      Alcotest.(check (list int)) "every index exactly once"
+        (List.init (hi - lo) (fun i -> lo + i))
+        all)
+
+(* --- pool ----------------------------------------------------------------- *)
+
+let jobs_are_clamped () =
+  Runtime.Pool.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "clamped to 1" 1 (Runtime.Pool.jobs pool));
+  Runtime.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "kept at 3" 3 (Runtime.Pool.jobs pool))
+
+let run_reaches_every_worker () =
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      let hit = Array.make 4 (Atomic.make 0) in
+      Array.iteri (fun i _ -> hit.(i) <- Atomic.make 0) hit;
+      Runtime.Pool.run pool (fun wid -> Atomic.incr hit.(wid));
+      Array.iteri
+        (fun wid a ->
+          Alcotest.(check int) (Printf.sprintf "worker %d ran once" wid) 1
+            (Atomic.get a))
+        hit)
+
+let map_workers_ordered () =
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "ids in order" [ 0; 1; 2; 3 ]
+        (Runtime.Pool.map_workers pool (fun wid -> wid)))
+
+let map_array_matches_sequential () =
+  let input = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expect = Array.map f input in
+  Runtime.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (array int)) "jobs=3" expect
+        (Runtime.Pool.map_array pool f input));
+  Runtime.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (array int)) "jobs=1" expect
+        (Runtime.Pool.map_array pool f input))
+
+let pool_survives_reuse () =
+  Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+      for round = 1 to 5 do
+        let total = Atomic.make 0 in
+        Runtime.Pool.run pool (fun wid -> ignore (Atomic.fetch_and_add total (wid + 1)));
+        Alcotest.(check int) (Printf.sprintf "round %d" round) 3 (Atomic.get total)
+      done)
+
+let worker_exception_propagates () =
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "re-raised in caller" (Failure "boom") (fun () ->
+          Runtime.Pool.run pool (fun wid ->
+              if wid = 2 then failwith "boom"));
+      (* the pool is still usable after a failed region *)
+      let n = Atomic.make 0 in
+      Runtime.Pool.run pool (fun _ -> Atomic.incr n);
+      Alcotest.(check int) "pool survives the failure" 4 (Atomic.get n))
+
+let nested_run_rejected () =
+  Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+      let nested = ref None in
+      Runtime.Pool.run pool (fun wid ->
+          if wid = 0 then
+            match Runtime.Pool.run pool (fun _ -> ()) with
+            | () -> nested := Some false
+            | exception Invalid_argument _ -> nested := Some true);
+      Alcotest.(check (option bool)) "nested run raises" (Some true) !nested)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_split_tiles_range ] in
+  Alcotest.run "runtime"
+    [ ("chunk",
+       [ Alcotest.test_case "split covers ranges" `Quick split_covers_range;
+         Alcotest.test_case "split of empty range" `Quick split_empty_range;
+         Alcotest.test_case "queue drains exactly once" `Quick
+           queue_drains_exactly_once;
+         Alcotest.test_case "queue rejects bad size" `Quick
+           queue_rejects_bad_size ]);
+      ("chunk-properties", props);
+      ("pool",
+       [ Alcotest.test_case "jobs clamped" `Quick jobs_are_clamped;
+         Alcotest.test_case "run reaches every worker" `Quick
+           run_reaches_every_worker;
+         Alcotest.test_case "map_workers ordered" `Quick map_workers_ordered;
+         Alcotest.test_case "map_array matches Array.map" `Quick
+           map_array_matches_sequential;
+         Alcotest.test_case "pool reusable across regions" `Quick
+           pool_survives_reuse;
+         Alcotest.test_case "worker exception propagates" `Quick
+           worker_exception_propagates;
+         Alcotest.test_case "nested regions rejected" `Quick nested_run_rejected;
+         Alcotest.test_case "concurrent drain partitions range" `Quick
+           concurrent_drain_partitions_range ]) ]
