@@ -24,17 +24,44 @@ let paper_note fmt = Fmt.pr ("  [paper] " ^^ fmt ^^ "@.")
 
 let pool_jobs = function Some p -> Runtime.Pool.jobs p | None -> 1
 
+(* Every PERF record emitted during the run, newest last; dumped as a
+   machine-readable BENCH_<n>.json at exit for the bench trajectory. *)
+let perf_log : Stats.Perf.t list ref = ref []
+
 let emit_perf perf =
+  perf_log := !perf_log @ [ perf ];
   Fmt.pr "@.%a@.%s@." Stats.Perf.pp perf (Stats.Perf.machine_line perf)
+
+let write_perf_json path =
+  match !perf_log with
+  | [] -> ()
+  | records ->
+    let oc = open_out path in
+    output_string oc "[\n";
+    List.iteri
+      (fun i r ->
+        if i > 0 then output_string oc ",\n";
+        output_string oc ("  " ^ Stats.Perf.to_json r))
+      records;
+    output_string oc "\n]\n";
+    close_out oc;
+    Fmt.pr "@.Wrote %s (%d record%s)@." path (List.length records)
+      (if List.length records = 1 then "" else "s")
 
 (* --- Figure 2: glitching effects in emulation ----------------------------- *)
 
 let fig2 ?pool () =
   section "Figure 2 - bit-flip effects on ARM Thumb conditional branches";
   let cases = Glitch_emu.Testcase.all_conditional_branches in
+  let executed = ref 0 and memoized = ref 0 in
+  let tally_stats (r : Glitch_emu.Campaign.result) =
+    executed := !executed + r.stats.executed;
+    memoized := !memoized + r.stats.memoized
+  in
   let run name config =
     Fmt.pr "@.--- %s ---@." name;
     let results = Glitch_emu.Campaign.run_all ?pool config cases in
+    List.iter tally_stats results;
     print_string (Glitch_emu.Report.outcome_table results);
     Fmt.pr "@.Success rate by number of flipped bits:@.";
     print_string (Glitch_emu.Report.success_by_weight_table results);
@@ -73,17 +100,20 @@ let fig2 ?pool () =
           (List.map
              (fun (case : Glitch_emu.Testcase.t) ->
                let rate flip =
-                 Glitch_emu.Campaign.category_percent
-                   (Glitch_emu.Campaign.run_case ?pool
-                      (Glitch_emu.Campaign.default_config flip)
-                      case)
+                 let r =
+                   Glitch_emu.Campaign.run_case ?pool
+                     (Glitch_emu.Campaign.default_config flip)
+                     case
+                 in
+                 tally_stats r;
+                 Glitch_emu.Campaign.category_percent r
                    Glitch_emu.Campaign.Success
                in
                [ case.name; Fmt.str "%.1f" (rate Glitch_emu.Fault_model.And);
                  Fmt.str "%.1f" (rate Glitch_emu.Fault_model.Or) ])
              Glitch_emu.Testcase.non_branch_cases))
   in
-  emit_perf perf;
+  emit_perf (Stats.Perf.with_memo ~executed:!executed ~memoized:!memoized perf);
   paper_note "branches skipped >60%% when flipping to 0, <30%% when flipping to 1;";
   paper_note "making 0x0000 invalid left the success rate 'effectively unchanged'."
 
@@ -373,7 +403,8 @@ let table6 ?pool ~quick () =
            attacks))
     scenarios)
   in
-  emit_perf { perf with Stats.Perf.items = !total_attempts };
+  emit_perf
+    { perf with Stats.Perf.items = !total_attempts; executed = !total_attempts };
   paper_note "while(!a): single 0.00928%%/0.00371%% success, 98-100%% detected;";
   paper_note "long 0.263%%/0.267%% success with 79.2%%/71.2%% detection;";
   paper_note "if(a==SUCCESS): best attack 0.00557%% (All) / 0.0449%% (All\\Delay)."
@@ -577,4 +608,5 @@ let () =
         | Some f -> f ()
         | None -> usage ())
       names);
+  write_perf_json "BENCH_2.json";
   Option.iter Runtime.Pool.shutdown pool

@@ -109,7 +109,7 @@ let disasm_cmd =
       (fun s ->
         match int_of_string_opt ("0x" ^ s) with
         | Some w when w >= 0 && w <= 0xFFFF ->
-          Fmt.pr "%04x  %a@." w Thumb.Instr.pp (Thumb.Decode.instr w)
+          Fmt.pr "%04x  %a@." w Thumb.Instr.pp (Thumb.Decode.of_word w)
         | Some _ | None ->
           Fmt.epr "not a 16-bit hex word: %S@." s;
           code := 1)
@@ -305,7 +305,8 @@ let attack_cmd =
                 Resistor.Evaluate.run_image ?pool ~sweep_step:step
                   compiled.image attack)
           in
-          ({ perf with Stats.Perf.items = o.Resistor.Evaluate.attempts }, o))
+          (let n = o.Resistor.Evaluate.attempts in
+           ({ perf with Stats.Perf.items = n; executed = n }, o)))
     with
     | perf, o ->
       Fmt.pr "%s vs %s: %d attempts, %d successes (%a), %d detections@."

@@ -27,6 +27,15 @@ let category_index = function
   | Failed -> 4
   | No_effect -> 5
 
+let category_of_index = function
+  | 0 -> Success
+  | 1 -> Bad_read
+  | 2 -> Bad_fetch
+  | 3 -> Invalid_instruction
+  | 4 -> Failed
+  | 5 -> No_effect
+  | _ -> invalid_arg "Campaign.category_of_index"
+
 type config = {
   flip : Fault_model.flip;
   zero_is_invalid : bool;
@@ -37,11 +46,14 @@ let default_config flip = { flip; zero_is_invalid = false; max_steps = 200 }
 
 type counts = int array
 
+type sweep_stats = { executed : int; memoized : int }
+
 type result = {
   case : Testcase.t;
   config : config;
   by_weight : counts array;
   totals : counts;
+  stats : sweep_stats;
 }
 
 (* A small dedicated address space: snippets are a handful of
@@ -53,34 +65,48 @@ let sram_base = 0x20000000
 let sram_size = 0x400
 let stack_top = sram_base + sram_size - 16
 
-type rig = { mem : Memory.t; cpu : Cpu.t; image : bytes }
+(* [pristine] is the address space right after loading the unperturbed
+   image: resetting between masks is two [Bytes.blit]s (flash including
+   the target halfword, plus zeroed SRAM) via [Memory.restore], instead
+   of [Memory.clear] + a per-byte [load_bytes]. The blit also undoes
+   any stray flash writes a glitched run may have performed, so the
+   fast reset is exactly as thorough as the old one. *)
+type rig = {
+  mem : Memory.t;
+  cpu : Cpu.t;
+  image : bytes;
+  target : int;  (* unperturbed target halfword *)
+  target_addr : int;  (* its flash address *)
+  pristine : Memory.snapshot;
+}
 
-let make_rig case =
+let make_rig (case : Testcase.t) =
   let mem = Memory.create () in
   Memory.map mem ~addr:flash_base ~size:flash_size;
   Memory.map mem ~addr:sram_base ~size:sram_size;
+  let image = Thumb.Encode.to_bytes case.Testcase.instrs in
+  Memory.load_bytes mem ~addr:flash_base image;
   { mem;
     cpu = Cpu.create ~sp:stack_top ~pc:flash_base ();
-    image = Thumb.Encode.to_bytes case.Testcase.instrs }
-
-(* Every possible halfword, pre-decoded once. Campaigns decode the same
-   65,536 encodings hundreds of times each per sweep; sharing one
-   immutable table removes that allocation from the hot loop (and, under
-   domains, the minor-GC pressure it causes). Built at module
-   initialisation so worker domains only ever read it. *)
-let decode_table = Array.init 0x10000 Thumb.Decode.instr
+    image;
+    target = Testcase.target_word case;
+    target_addr = flash_base + (2 * case.target_index);
+    pristine = Memory.snapshot mem }
 
 (* Execute until stop, optionally treating a fetched 0x0000 as an
-   invalid instruction (Figure 2(c)'s modified ISA). *)
+   invalid instruction (Figure 2(c)'s modified ISA). Fetches go through
+   the unboxed memory path and the shared pre-decoded instruction
+   table, so a well-behaved run allocates nothing. *)
 let run_to_stop ~zero_is_invalid ~max_steps mem cpu =
   let rec go remaining =
     if remaining = 0 then Exec.Step_limit
     else
-      match Memory.read_u16 mem (Cpu.pc cpu) with
-      | Error (Memory.Unmapped a | Memory.Unaligned a) -> Exec.Bad_fetch a
-      | Ok 0 when zero_is_invalid -> Exec.Invalid_instruction 0
-      | Ok w -> (
-        match Exec.execute mem cpu decode_table.(w) with
+      match Memory.read_u16_exn mem (Cpu.pc cpu) with
+      | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+        Exec.Bad_fetch a
+      | 0 when zero_is_invalid -> Exec.Invalid_instruction 0
+      | w -> (
+        match Exec.execute mem cpu Thumb.Decode.table.(w) with
         | Exec.Running -> go (remaining - 1)
         | Exec.Stopped s -> s)
   in
@@ -96,13 +122,31 @@ let classify cpu (stop : Exec.stop) : category =
   | Exec.Invalid_instruction _ -> Invalid_instruction
   | Exec.Swi_trap _ | Exec.Step_limit -> Failed
 
+(* The fast kernel: one perturbed word against a reused rig. The
+   outcome is a pure function of (config, case, word) — the rig is
+   restored to the same pristine state every time — which is what makes
+   the per-word memo below sound. *)
+let run_word config rig ~word =
+  Memory.restore rig.mem rig.pristine;
+  (match Memory.write_u16 rig.mem rig.target_addr word with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  Cpu.reset ~sp:stack_top ~pc:flash_base rig.cpu;
+  let stop =
+    run_to_stop ~zero_is_invalid:config.zero_is_invalid
+      ~max_steps:config.max_steps rig.mem rig.cpu
+  in
+  classify rig.cpu stop
+
+(* The reference kernel: the original reset protocol (clear everything,
+   reload the image, perturb), no memo, a fresh machine per call. Kept
+   deliberately independent of the sweep fast path so differential
+   tests can pin one against the other. *)
 let run_mask config rig (case : Testcase.t) ~mask =
   Memory.clear rig.mem;
   Memory.load_bytes rig.mem ~addr:flash_base rig.image;
   let word = Fault_model.apply config.flip ~mask (Testcase.target_word case) in
-  (match
-     Memory.write_u16 rig.mem (flash_base + (2 * case.target_index)) word
-   with
+  (match Memory.write_u16 rig.mem rig.target_addr word with
   | Ok () -> ()
   | Error _ -> assert false);
   Cpu.reset ~sp:stack_top ~pc:flash_base rig.cpu;
@@ -123,10 +167,38 @@ let make_tally () =
   { by_weight = Array.init (width + 1) (fun _ -> Array.make ncat 0);
     totals = Array.make ncat 0 }
 
-let record config rig case t ~mask =
+(* Per-worker memo and work counters. [memo.(word)] is the category
+   index already established for a perturbed word, or -1. The And/Or
+   fault models are many-to-one (e.g. AND can only produce subsets of
+   the target's set bits), so a 65,536-mask sweep visits only a few
+   hundred to a few thousand distinct words — every revisit is a table
+   lookup instead of an emulation. *)
+type memo = {
+  table : int array;
+  mutable executed : int;
+  mutable memoized : int;
+}
+
+let make_memo () =
+  { table = Array.make 0x10000 (-1); executed = 0; memoized = 0 }
+
+let classify_word config rig memo ~word =
+  let c = memo.table.(word) in
+  if c >= 0 then begin
+    memo.memoized <- memo.memoized + 1;
+    c
+  end
+  else begin
+    let c = category_index (run_word config rig ~word) in
+    memo.table.(word) <- c;
+    memo.executed <- memo.executed + 1;
+    c
+  end
+
+let record config rig memo t ~mask =
   let flipped = Fault_model.flipped_bits config.flip ~width ~mask in
-  let cat = run_mask config rig case ~mask in
-  let idx = category_index cat in
+  let word = Fault_model.apply config.flip ~mask rig.target in
+  let idx = classify_word config rig memo ~word in
   t.by_weight.(flipped).(idx) <- t.by_weight.(flipped).(idx) + 1;
   if flipped > 0 then t.totals.(idx) <- t.totals.(idx) + 1
 
@@ -139,18 +211,22 @@ let merge_into dst (src : tally) =
     dst.by_weight;
   Array.iteri (fun i n -> dst.totals.(i) <- dst.totals.(i) + n) src.totals
 
-(* The original single-domain path: one rig, masks in weight order. *)
+(* The single-domain path: one rig, one memo, masks in weight order. *)
 let run_case_seq config (case : Testcase.t) =
   let rig = make_rig case in
+  let memo = make_memo () in
   let t = make_tally () in
-  Bitmask.iter_all ~width (fun ~weight:_ ~mask -> record config rig case t ~mask);
-  { case; config; by_weight = t.by_weight; totals = t.totals }
+  Bitmask.iter_all ~width (fun ~weight:_ ~mask -> record config rig memo t ~mask);
+  { case; config; by_weight = t.by_weight; totals = t.totals;
+    stats = { executed = memo.executed; memoized = memo.memoized } }
 
 (* The parallel path: the 2^16 mask space is cut into contiguous
-   slices; each worker domain drains slices into a private rig and
-   tally, and per-worker tallies are summed. Classification depends
+   slices; each worker domain drains slices into a private rig, memo
+   and tally, and per-worker tallies are summed. Classification depends
    only on (config, case, mask), so the merged counts equal the
-   sequential ones exactly. *)
+   sequential ones exactly; the memos are worker-private, so a word
+   seen by several workers is executed once per worker (reflected in
+   the summed stats). *)
 let run_case_in pool config (case : Testcase.t) =
   let q =
     Runtime.Chunk.queue ~lo:0 ~hi:(1 lsl width) ~jobs:(Runtime.Pool.jobs pool) ()
@@ -158,22 +234,30 @@ let run_case_in pool config (case : Testcase.t) =
   let parts =
     Runtime.Pool.map_workers pool (fun _wid ->
         let rig = make_rig case in
+        let memo = make_memo () in
         let t = make_tally () in
         let rec drain () =
           match Runtime.Chunk.take q with
           | None -> ()
           | Some (lo, hi) ->
             for mask = lo to hi - 1 do
-              record config rig case t ~mask
+              record config rig memo t ~mask
             done;
             drain ()
         in
         drain ();
-        t)
+        (t, memo.executed, memo.memoized))
   in
   let t = make_tally () in
-  List.iter (merge_into t) parts;
-  { case; config; by_weight = t.by_weight; totals = t.totals }
+  let executed = ref 0 and memoized = ref 0 in
+  List.iter
+    (fun (part, e, m) ->
+      merge_into t part;
+      executed := !executed + e;
+      memoized := !memoized + m)
+    parts;
+  { case; config; by_weight = t.by_weight; totals = t.totals;
+    stats = { executed = !executed; memoized = !memoized } }
 
 let run_case ?pool ?(jobs = 1) config case =
   match pool with
@@ -186,9 +270,28 @@ let run_case ?pool ?(jobs = 1) config case =
 let run_all ?pool ?jobs config cases =
   List.map (run_case ?pool ?jobs config) cases
 
-let categories_by_mask config (case : Testcase.t) =
+type sweep = {
+  categories : category array;
+  by_word : category option array;
+  sweep_stats : sweep_stats;
+}
+
+let sweep config (case : Testcase.t) =
   let rig = make_rig case in
-  Array.init (1 lsl width) (fun mask -> run_mask config rig case ~mask)
+  let memo = make_memo () in
+  let categories =
+    Array.init (1 lsl width) (fun mask ->
+        let word = Fault_model.apply config.flip ~mask rig.target in
+        category_of_index (classify_word config rig memo ~word))
+  in
+  { categories;
+    by_word =
+      Array.map
+        (fun c -> if c < 0 then None else Some (category_of_index c))
+        memo.table;
+    sweep_stats = { executed = memo.executed; memoized = memo.memoized } }
+
+let categories_by_mask config case = (sweep config case).categories
 
 let success_rate_by_weight (result : result) =
   List.init (width + 1) (fun flipped ->

@@ -2,7 +2,14 @@
     paper's RQ1 harness. For every possible mask of every weight, the
     target instruction is perturbed in flash and the snippet is executed
     to completion; the outcome is classified with the same taxonomy as
-    Figure 2. *)
+    Figure 2.
+
+    The sweep kernel exploits the fact that classification is a pure
+    function of the {e perturbed word} (the rig is restored to an
+    identical pristine state before every run): the And/Or fault models
+    map 65,536 masks onto far fewer distinct words, so each distinct
+    word is executed once and every other mask replays the memoized
+    category. {!sweep_stats} reports how much work that saved. *)
 
 (** Outcome classification, matching Figure 2's legend. *)
 type category =
@@ -33,6 +40,14 @@ type counts = int array
 
 val category_index : category -> int
 
+type sweep_stats = {
+  executed : int;  (** perturbed words actually emulated *)
+  memoized : int;  (** masks served from the per-word outcome memo *)
+}
+(** [executed + memoized] equals the number of masks processed. In a
+    parallel sweep the memo is worker-private, so [executed] may count
+    the same word once per worker that encountered it. *)
+
 type result = {
   case : Testcase.t;
   config : config;
@@ -41,10 +56,14 @@ type result = {
           [Fault_model.flipped_bits]. Entry 0 is the unmodified
           instruction. *)
   totals : counts;
+  stats : sweep_stats;
 }
 
 val run_one : config -> Testcase.t -> mask:int -> category
-(** Run a single perturbed execution (a fresh machine every call). *)
+(** Run a single perturbed execution on a fresh machine, via the
+    original reference reset protocol (clear, reload, perturb) with no
+    memoization. This is the oracle that differential tests pin the
+    memoized sweep kernel against. *)
 
 val run_case : ?pool:Runtime.Pool.t -> ?jobs:int -> config -> Testcase.t -> result
 (** Run all [2^16] masks against the case's target instruction.
@@ -55,15 +74,27 @@ val run_case : ?pool:Runtime.Pool.t -> ?jobs:int -> config -> Testcase.t -> resu
     reused across masks. Per-domain counts are merged with plain
     integer addition — commutative — so [by_weight] and [totals] are
     bit-identical to the sequential sweep for every domain count. The
-    default ([jobs = 1], no pool) takes the original single-domain code
-    path. *)
+    default ([jobs = 1], no pool) takes the single-domain code path. *)
 
 val run_all : ?pool:Runtime.Pool.t -> ?jobs:int -> config -> Testcase.t list -> result list
 
+type sweep = {
+  categories : category array;
+      (** entry [mask] is that mask's classification; [2^16] entries *)
+  by_word : category option array;
+      (** the memo: entry [word] is the category established for that
+          perturbed word, or [None] if no mask produced it; [2^16]
+          entries *)
+  sweep_stats : sweep_stats;
+}
+
+val sweep : config -> Testcase.t -> sweep
+(** The raw memoized sweep behind {!run_case}, computed with a single
+    reused rig, with the per-word memo exposed so tests can check it
+    against {!categories_by_mask} and {!run_one}. *)
+
 val categories_by_mask : config -> Testcase.t -> category array
-(** The raw sweep behind {!run_case}: entry [mask] is that mask's
-    classification, computed with a single reused rig. [2^16]
-    entries. *)
+(** [(sweep config case).categories]. *)
 
 val success_rate_by_weight : result -> (int * float) list
 (** [(flipped_bits, percent)] for each weight with at least one mask. *)

@@ -136,7 +136,7 @@ let peek t =
   match Machine.Memory.read_u16 t.mem (pc t) with
   | Error (Machine.Memory.Unmapped a | Machine.Memory.Unaligned a) ->
     Error (Machine.Exec.Bad_fetch a)
-  | Ok w -> Ok (Thumb.Decode.instr w)
+  | Ok w -> Ok (Thumb.Decode.of_word w)
 
 let load_destination (i : Thumb.Instr.t) : Thumb.Reg.t option =
   match i with
@@ -181,7 +181,7 @@ let step ?(applied = Normal) t =
       Machine.Cpu.set_pc t.cpu (pc t + 2);
       finish_step t ~duration:1 Machine.Exec.Running
     | Fetch_word w ->
-      let result, duration = execute_counted t (Thumb.Decode.instr w) in
+      let result, duration = execute_counted t (Thumb.Decode.of_word w) in
       finish_step t ~duration result
     | Load_value v ->
       let result, duration = execute_counted t instr in

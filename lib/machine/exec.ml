@@ -20,6 +20,14 @@ let stop_equal (a : stop) (b : stop) = a = b
 
 type step_result = Running | Stopped of stop
 
+(* The hot path must not allocate: a stop is the rare case, so it
+   travels as an exception and is caught once at the top of [execute].
+   Memory faults arrive as [Memory.Fault] and are reclassified at the
+   access site (loads become [Bad_read], stores [Bad_write]), exactly
+   like the old [Result] protocol but without boxing an [Ok] per
+   access. *)
+exception Stop_exn of stop
+
 let mask32 v = v land 0xFFFFFFFF
 let bit31 v = v land 0x80000000 <> 0
 
@@ -31,42 +39,23 @@ let set_nz (cpu : Cpu.t) result =
   cpu.n <- bit31 result;
   cpu.z <- result = 0
 
-(* result, carry-out, overflow of a + b + carry_in over 32 bits *)
-let add_with_carry a b carry_in =
+(* result of a + b + carry_in over 32 bits, with NZCV updated in place
+   (no intermediate tuple, so arithmetic instructions stay on the minor-
+   heap-free path). *)
+let add_with_carry (cpu : Cpu.t) a b carry_in =
   let wide = a + b + if carry_in then 1 else 0 in
   let result = mask32 wide in
-  let carry = wide > 0xFFFFFFFF in
+  cpu.c <- wide > 0xFFFFFFFF;
   (* signed overflow: operands same sign, result different sign *)
-  let overflow = bit31 (lnot (a lxor b) land (a lxor result)) in
-  (result, carry, overflow)
+  cpu.v <- bit31 (lnot (a lxor b) land (a lxor result));
+  cpu.n <- bit31 result;
+  cpu.z <- result = 0;
+  result
 
-let adds (cpu : Cpu.t) a b =
-  let r, c, v = add_with_carry a b false in
-  set_nz cpu r;
-  cpu.c <- c;
-  cpu.v <- v;
-  r
-
-let subs (cpu : Cpu.t) a b =
-  let r, c, v = add_with_carry a (mask32 (lnot b)) true in
-  set_nz cpu r;
-  cpu.c <- c;
-  cpu.v <- v;
-  r
-
-let adcs (cpu : Cpu.t) a b =
-  let r, c, v = add_with_carry a b cpu.c in
-  set_nz cpu r;
-  cpu.c <- c;
-  cpu.v <- v;
-  r
-
-let sbcs (cpu : Cpu.t) a b =
-  let r, c, v = add_with_carry a (mask32 (lnot b)) cpu.c in
-  set_nz cpu r;
-  cpu.c <- c;
-  cpu.v <- v;
-  r
+let adds cpu a b = add_with_carry cpu a b false
+let subs cpu a b = add_with_carry cpu a (mask32 (lnot b)) true
+let adcs (cpu : Cpu.t) a b = add_with_carry cpu a b cpu.c
+let sbcs (cpu : Cpu.t) a b = add_with_carry cpu a (mask32 (lnot b)) cpu.c
 
 (* Immediate-amount shifts (format 1): amount 0 encodes special cases. *)
 let shift_imm (cpu : Cpu.t) op value amount =
@@ -150,208 +139,294 @@ let shift_reg (cpu : Cpu.t) op value amount =
 let sign_extend_8 v = if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
 let sign_extend_16 v = if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
 
-let rlist_regs rlist =
-  List.filter (fun i -> rlist land (1 lsl i) <> 0) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+let load_w mem addr =
+  match Memory.read_u32_exn mem addr with
+  | v -> v
+  | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+    raise (Stop_exn (Bad_read a))
+
+let load_h mem addr =
+  match Memory.read_u16_exn mem addr with
+  | v -> v
+  | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+    raise (Stop_exn (Bad_read a))
+
+let load_b mem addr =
+  match Memory.read_u8_exn mem addr with
+  | v -> v
+  | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+    raise (Stop_exn (Bad_read a))
+
+let store_w mem addr v =
+  match Memory.write_u32_exn mem addr v with
+  | () -> ()
+  | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+    raise (Stop_exn (Bad_write a))
+
+let store_h mem addr v =
+  match Memory.write_u16_exn mem addr v with
+  | () -> ()
+  | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+    raise (Stop_exn (Bad_write a))
+
+let store_b mem addr v =
+  match Memory.write_u8_exn mem addr v with
+  | () -> ()
+  | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+    raise (Stop_exn (Bad_write a))
+
+(* Registers r0..r7 present in an 8-bit register list, lowest first,
+   precomputed for all 256 lists so PUSH/POP/STMIA/LDMIA never build a
+   list at execution time. *)
+let rlist_table =
+  Array.init 256 (fun rlist ->
+      List.filter (fun i -> rlist land (1 lsl i) <> 0) [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let rlist_count =
+  Array.init 256 (fun rlist -> List.length rlist_table.(rlist))
 
 (* Execution --------------------------------------------------------------- *)
 
-let execute mem (cpu : Cpu.t) (i : Instr.t) : step_result =
+(* Each arm is responsible for the PC: fall-through arms end with
+   [next2], branch arms call [Cpu.set_pc] themselves (it masks to 32
+   bits and clears bit 0, as the old [next] ref protocol did). *)
+let next2 (cpu : Cpu.t) pc =
+  Cpu.set_pc cpu (pc + 2);
+  Running
+
+let execute_exn mem (cpu : Cpu.t) (i : Instr.t) : step_result =
   let pc = Cpu.pc cpu in
-  let next = ref (pc + 2) in
-  let get r = Cpu.get cpu r in
-  let set r v = Cpu.set cpu r v in
-  let outcome = ref Running in
-  let stop s = outcome := Stopped s in
-  let load width addr k =
-    let result =
-      match width with
-      | `W -> Memory.read_u32 mem addr
-      | `H -> Memory.read_u16 mem addr
-      | `B -> Memory.read_u8 mem addr
-    in
-    match result with
-    | Ok v -> k v
-    | Error (Memory.Unmapped a | Memory.Unaligned a) -> stop (Bad_read a)
-  in
-  let store width addr v =
-    let result =
-      match width with
-      | `W -> Memory.write_u32 mem addr v
-      | `H -> Memory.write_u16 mem addr v
-      | `B -> Memory.write_u8 mem addr v
-    in
-    match result with
-    | Ok () -> ()
-    | Error (Memory.Unmapped a | Memory.Unaligned a) -> stop (Bad_write a)
-  in
-  (match i with
+  match i with
   | Shift (op, rd, rs, imm) ->
-    let r = shift_imm cpu op (get rs) imm in
+    let r = shift_imm cpu op (Cpu.get cpu rs) imm in
     set_nz cpu r;
-    set rd r
+    Cpu.set cpu rd r;
+    next2 cpu pc
   | Add_sub { sub; imm; rd; rs; operand } ->
-    let b = if imm then operand else get (Reg.of_int operand) in
-    let r = if sub then subs cpu (get rs) b else adds cpu (get rs) b in
-    set rd r
+    let b = if imm then operand else Cpu.get cpu (Reg.of_int operand) in
+    let a = Cpu.get cpu rs in
+    Cpu.set cpu rd (if sub then subs cpu a b else adds cpu a b);
+    next2 cpu pc
   | Imm (MOVi, rd, imm) ->
     set_nz cpu imm;
-    set rd imm
-  | Imm (CMPi, rd, imm) -> ignore (subs cpu (get rd) imm)
-  | Imm (ADDi, rd, imm) -> set rd (adds cpu (get rd) imm)
-  | Imm (SUBi, rd, imm) -> set rd (subs cpu (get rd) imm)
-  | Alu (op, rd, rs) -> (
-    let a = get rd and b = get rs in
-    match op with
+    Cpu.set cpu rd imm;
+    next2 cpu pc
+  | Imm (CMPi, rd, imm) ->
+    ignore (subs cpu (Cpu.get cpu rd) imm);
+    next2 cpu pc
+  | Imm (ADDi, rd, imm) ->
+    Cpu.set cpu rd (adds cpu (Cpu.get cpu rd) imm);
+    next2 cpu pc
+  | Imm (SUBi, rd, imm) ->
+    Cpu.set cpu rd (subs cpu (Cpu.get cpu rd) imm);
+    next2 cpu pc
+  | Alu (op, rd, rs) ->
+    let a = Cpu.get cpu rd and b = Cpu.get cpu rs in
+    (match op with
     | AND ->
       let r = a land b in
       set_nz cpu r;
-      set rd r
+      Cpu.set cpu rd r
     | EOR ->
       let r = a lxor b in
       set_nz cpu r;
-      set rd r
+      Cpu.set cpu rd r
     | ORR ->
       let r = a lor b in
       set_nz cpu r;
-      set rd r
+      Cpu.set cpu rd r
     | BIC ->
       let r = a land lnot b land 0xFFFFFFFF in
       set_nz cpu r;
-      set rd r
+      Cpu.set cpu rd r
     | MVN ->
       let r = mask32 (lnot b) in
       set_nz cpu r;
-      set rd r
+      Cpu.set cpu rd r
     | TST -> set_nz cpu (a land b)
-    | NEG -> set rd (subs cpu 0 b)
+    | NEG -> Cpu.set cpu rd (subs cpu 0 b)
     | CMPr -> ignore (subs cpu a b)
     | CMN -> ignore (adds cpu a b)
-    | ADC -> set rd (adcs cpu a b)
-    | SBC -> set rd (sbcs cpu a b)
+    | ADC -> Cpu.set cpu rd (adcs cpu a b)
+    | SBC -> Cpu.set cpu rd (sbcs cpu a b)
     | MUL ->
       let r = mask32 (a * b) in
       set_nz cpu r;
-      set rd r
+      Cpu.set cpu rd r
     | LSLr | LSRr | ASRr | ROR ->
       let r = shift_reg cpu op a b in
       set_nz cpu r;
-      set rd r)
+      Cpu.set cpu rd r);
+    next2 cpu pc
   | Hi_add (rd, rm) ->
-    let r = mask32 (get rd + get rm) in
-    if Reg.equal rd Reg.pc then next := r land lnot 1 else set rd r
-  | Hi_cmp (rd, rm) -> ignore (subs cpu (get rd) (get rm))
+    let r = mask32 (Cpu.get cpu rd + Cpu.get cpu rm) in
+    if Reg.equal rd Reg.pc then begin
+      Cpu.set_pc cpu r;
+      Running
+    end
+    else begin
+      Cpu.set cpu rd r;
+      next2 cpu pc
+    end
+  | Hi_cmp (rd, rm) ->
+    ignore (subs cpu (Cpu.get cpu rd) (Cpu.get cpu rm));
+    next2 cpu pc
   | Hi_mov (rd, rm) ->
-    let r = get rm in
-    if Reg.equal rd Reg.pc then next := r land lnot 1 else set rd r
+    let r = Cpu.get cpu rm in
+    if Reg.equal rd Reg.pc then begin
+      Cpu.set_pc cpu r;
+      Running
+    end
+    else begin
+      Cpu.set cpu rd r;
+      next2 cpu pc
+    end
   | Bx rm ->
-    let target = get rm in
+    let target = Cpu.get cpu rm in
     if target land 1 = 0 then
       (* Leaving Thumb state is an error on a Cortex-M-class core. *)
-      stop (Invalid_instruction (target land 0xFFFF))
-    else next := target land lnot 1
+      Stopped (Invalid_instruction (target land 0xFFFF))
+    else begin
+      Cpu.set_pc cpu target;
+      Running
+    end
   | Ldr_pc (rd, imm) ->
     let addr = ((pc + 4) land lnot 3) + (imm * 4) in
-    load `W addr (fun v -> set rd v)
+    Cpu.set cpu rd (load_w mem addr);
+    next2 cpu pc
   | Mem_reg { load = l; byte; rd; rb; ro } ->
-    let addr = mask32 (get rb + get ro) in
-    let width = if byte then `B else `W in
-    if l then load width addr (fun v -> set rd v)
-    else store width addr (get rd)
-  | Mem_sign { op; rd; rb; ro } -> (
-    let addr = mask32 (get rb + get ro) in
-    match op with
-    | STRH -> store `H addr (get rd)
-    | LDRH -> load `H addr (fun v -> set rd v)
-    | LDSB -> load `B addr (fun v -> set rd (sign_extend_8 v))
-    | LDSH -> load `H addr (fun v -> set rd (sign_extend_16 v)))
+    let addr = mask32 (Cpu.get cpu rb + Cpu.get cpu ro) in
+    (if l then
+       Cpu.set cpu rd (if byte then load_b mem addr else load_w mem addr)
+     else if byte then store_b mem addr (Cpu.get cpu rd)
+     else store_w mem addr (Cpu.get cpu rd));
+    next2 cpu pc
+  | Mem_sign { op; rd; rb; ro } ->
+    let addr = mask32 (Cpu.get cpu rb + Cpu.get cpu ro) in
+    (match op with
+    | STRH -> store_h mem addr (Cpu.get cpu rd)
+    | LDRH -> Cpu.set cpu rd (load_h mem addr)
+    | LDSB -> Cpu.set cpu rd (sign_extend_8 (load_b mem addr))
+    | LDSH -> Cpu.set cpu rd (sign_extend_16 (load_h mem addr)));
+    next2 cpu pc
   | Mem_imm { load = l; byte; rd; rb; imm } ->
-    let addr = mask32 (get rb + if byte then imm else imm * 4) in
-    let width = if byte then `B else `W in
-    if l then load width addr (fun v -> set rd v)
-    else store width addr (get rd)
+    let addr = mask32 (Cpu.get cpu rb + if byte then imm else imm * 4) in
+    (if l then
+       Cpu.set cpu rd (if byte then load_b mem addr else load_w mem addr)
+     else if byte then store_b mem addr (Cpu.get cpu rd)
+     else store_w mem addr (Cpu.get cpu rd));
+    next2 cpu pc
   | Mem_half { load = l; rd; rb; imm } ->
-    let addr = mask32 (get rb + (imm * 2)) in
-    if l then load `H addr (fun v -> set rd v) else store `H addr (get rd)
+    let addr = mask32 (Cpu.get cpu rb + (imm * 2)) in
+    (if l then Cpu.set cpu rd (load_h mem addr)
+     else store_h mem addr (Cpu.get cpu rd));
+    next2 cpu pc
   | Mem_sp { load = l; rd; imm } ->
-    let addr = mask32 (get Reg.sp + (imm * 4)) in
-    if l then load `W addr (fun v -> set rd v) else store `W addr (get rd)
+    let addr = mask32 (Cpu.get cpu Reg.sp + (imm * 4)) in
+    (if l then Cpu.set cpu rd (load_w mem addr)
+     else store_w mem addr (Cpu.get cpu rd));
+    next2 cpu pc
   | Load_addr { from_sp; rd; imm } ->
-    let base = if from_sp then get Reg.sp else (pc + 4) land lnot 3 in
-    set rd (mask32 (base + (imm * 4)))
-  | Sp_adjust words -> set Reg.sp (mask32 (get Reg.sp + (words * 4)))
+    let base = if from_sp then Cpu.get cpu Reg.sp else (pc + 4) land lnot 3 in
+    Cpu.set cpu rd (mask32 (base + (imm * 4)));
+    next2 cpu pc
+  | Sp_adjust words ->
+    Cpu.set cpu Reg.sp (mask32 (Cpu.get cpu Reg.sp + (words * 4)));
+    next2 cpu pc
   | Push { rlist; lr } ->
-    let regs = rlist_regs rlist @ if lr then [ 14 ] else [] in
-    let count = List.length regs in
-    let base = mask32 (get Reg.sp - (4 * count)) in
-    List.iteri
-      (fun idx r ->
-        if !outcome = Running then
-          store `W (base + (4 * idx)) (get (Reg.of_int r)))
-      regs;
-    if !outcome = Running then set Reg.sp base
+    let rlist = rlist land 0xFF in
+    let count = rlist_count.(rlist) + if lr then 1 else 0 in
+    let base = mask32 (Cpu.get cpu Reg.sp - (4 * count)) in
+    let rec go addr = function
+      | [] -> addr
+      | r :: rest ->
+        store_w mem addr (Cpu.get cpu (Reg.of_int r));
+        go (addr + 4) rest
+    in
+    let addr = go base rlist_table.(rlist) in
+    if lr then store_w mem addr (Cpu.get cpu Reg.lr);
+    Cpu.set cpu Reg.sp base;
+    next2 cpu pc
   | Pop { rlist; pc = load_pc } ->
-    let regs = rlist_regs rlist in
-    let base = get Reg.sp in
-    List.iteri
-      (fun idx r ->
-        if !outcome = Running then
-          load `W (base + (4 * idx)) (fun v -> set (Reg.of_int r) v))
-      regs;
-    let count = List.length regs in
-    if !outcome = Running && load_pc then
-      load `W (base + (4 * count)) (fun v -> next := v land lnot 1);
-    if !outcome = Running then
-      set Reg.sp (mask32 (base + (4 * (count + if load_pc then 1 else 0))))
+    let rlist = rlist land 0xFF in
+    let base = Cpu.get cpu Reg.sp in
+    let rec go addr = function
+      | [] -> addr
+      | r :: rest ->
+        Cpu.set cpu (Reg.of_int r) (load_w mem addr);
+        go (addr + 4) rest
+    in
+    let addr = go base rlist_table.(rlist) in
+    if load_pc then begin
+      let target = load_w mem addr in
+      Cpu.set cpu Reg.sp (mask32 (addr + 4));
+      Cpu.set_pc cpu target;
+      Running
+    end
+    else begin
+      Cpu.set cpu Reg.sp (mask32 addr);
+      next2 cpu pc
+    end
   | Stmia (rb, rlist) ->
-    let base = ref (get rb) in
-    List.iter
-      (fun r ->
-        if !outcome = Running then begin
-          store `W !base (get (Reg.of_int r));
-          base := mask32 (!base + 4)
-        end)
-      (rlist_regs rlist);
-    if !outcome = Running then set rb !base
+    let rec go addr = function
+      | [] -> addr
+      | r :: rest ->
+        store_w mem addr (Cpu.get cpu (Reg.of_int r));
+        go (mask32 (addr + 4)) rest
+    in
+    let final = go (Cpu.get cpu rb) rlist_table.(rlist land 0xFF) in
+    Cpu.set cpu rb final;
+    next2 cpu pc
   | Ldmia (rb, rlist) ->
-    let base = ref (get rb) in
-    List.iter
-      (fun r ->
-        if !outcome = Running then
-          load `W !base (fun v ->
-              set (Reg.of_int r) v;
-              base := mask32 (!base + 4)))
-      (rlist_regs rlist);
-    if !outcome = Running then set rb !base
+    let rec go addr = function
+      | [] -> addr
+      | r :: rest ->
+        Cpu.set cpu (Reg.of_int r) (load_w mem addr);
+        go (mask32 (addr + 4)) rest
+    in
+    let final = go (Cpu.get cpu rb) rlist_table.(rlist land 0xFF) in
+    Cpu.set cpu rb final;
+    next2 cpu pc
   | B_cond (cond, off) ->
-    if Cpu.condition_holds cpu cond then next := pc + 4 + (off * 2)
-  | Swi imm -> stop (Swi_trap imm)
-  | B off -> next := pc + 4 + (off * 2)
-  | Bl_hi off -> Cpu.set cpu Reg.lr (mask32 (pc + 4 + (off lsl 12)))
+    if Cpu.condition_holds cpu cond then begin
+      Cpu.set_pc cpu (pc + 4 + (off * 2));
+      Running
+    end
+    else next2 cpu pc
+  | Swi imm -> Stopped (Swi_trap imm)
+  | B off ->
+    Cpu.set_pc cpu (pc + 4 + (off * 2));
+    Running
+  | Bl_hi off ->
+    Cpu.set cpu Reg.lr (mask32 (pc + 4 + (off lsl 12)));
+    next2 cpu pc
   | Bl_lo off ->
     let target = mask32 (Cpu.get cpu Reg.lr + (off lsl 1)) in
     Cpu.set cpu Reg.lr ((pc + 2) lor 1);
-    next := target land lnot 1
-  | Bkpt imm -> stop (Breakpoint imm)
-  | Undefined w -> stop (Invalid_instruction w));
-  match !outcome with
-  | Running ->
-    Cpu.set_pc cpu !next;
+    Cpu.set_pc cpu target;
     Running
-  | Stopped _ as s -> s
+  | Bkpt imm -> Stopped (Breakpoint imm)
+  | Undefined w -> Stopped (Invalid_instruction w)
+
+let execute mem cpu i =
+  match execute_exn mem cpu i with
+  | r -> r
+  | exception Stop_exn s -> Stopped s
+
+let fetch_and_execute mem cpu pc =
+  match Memory.read_u16_exn mem pc with
+  | w -> execute mem cpu Decode.table.(w)
+  | exception Memory.Fault (Memory.Unmapped a | Memory.Unaligned a) ->
+    Stopped (Bad_fetch a)
 
 let step ?fetch mem cpu =
   let pc = Cpu.pc cpu in
-  let word =
-    match fetch with
-    | Some f -> (
-      match f pc with
-      | Some w -> Ok w
-      | None -> Memory.read_u16 mem pc)
-    | None -> Memory.read_u16 mem pc
-  in
-  match word with
-  | Error (Memory.Unmapped a | Memory.Unaligned a) -> Stopped (Bad_fetch a)
-  | Ok w -> execute mem cpu (Decode.instr w)
+  match fetch with
+  | None -> fetch_and_execute mem cpu pc
+  | Some f -> (
+    match f pc with
+    | Some w -> execute mem cpu (Decode.of_word w)
+    | None -> fetch_and_execute mem cpu pc)
 
 let run ?fetch ?(max_steps = 10_000) mem cpu =
   let rec go remaining =

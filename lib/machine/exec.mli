@@ -27,9 +27,10 @@ val execute : Memory.t -> Cpu.t -> Thumb.Instr.t -> step_result
     instructions without writing them back to flash. *)
 
 val step : ?fetch:(int -> int option) -> Memory.t -> Cpu.t -> step_result
-(** Fetch the halfword at [Cpu.pc], decode, {!execute}. [fetch] may
-    override the memory image for a given address (used for transient
-    fetch-stage corruption); returning [None] falls back to memory. *)
+(** Fetch the halfword at [Cpu.pc], decode via the shared pre-decoded
+    [Thumb.Decode.table], {!execute}. [fetch] may override the memory
+    image for a given address (used for transient fetch-stage
+    corruption); returning [None] falls back to memory. *)
 
 val run : ?fetch:(int -> int option) -> ?max_steps:int ->
   Memory.t -> Cpu.t -> stop

@@ -1,5 +1,7 @@
 type fault = Unmapped of int | Unaligned of int
 
+exception Fault of fault
+
 let pp_fault ppf = function
   | Unmapped a -> Fmt.pf ppf "unmapped access at 0x%08x" a
   | Unaligned a -> Fmt.pf ppf "unaligned access at 0x%08x" a
@@ -8,9 +10,27 @@ type region =
   | Ram of { base : int; data : Bytes.t }
   | Device of { base : int; size : int; read : int -> int; write : int -> int -> unit }
 
-type t = { mutable regions : region list }
+(* [cache_lo, cache_hi) is the span of the most recently hit RAM region,
+   backed by [cache_data] (address [a] lives at offset [a - cache_lo]).
+   An empty cache is encoded as [cache_hi = 0], which no address
+   satisfies. Devices are never cached: their handlers must run on every
+   access. With the cache warm, an aligned halfword or word access is a
+   bounds check plus one [Bytes] primitive — no list walk, no per-byte
+   recursion, no allocation. *)
+type t = {
+  mutable regions : region list;
+  mutable cache_lo : int;
+  mutable cache_hi : int;
+  mutable cache_data : Bytes.t;
+}
 
-let create () = { regions = [] }
+let create () =
+  { regions = []; cache_lo = 0; cache_hi = 0; cache_data = Bytes.empty }
+
+let invalidate_cache t =
+  t.cache_lo <- 0;
+  t.cache_hi <- 0;
+  t.cache_data <- Bytes.empty
 
 let region_span = function
   | Ram { base; data } -> (base, base + Bytes.length data)
@@ -31,18 +51,29 @@ let check_new t ~addr ~size =
 
 let map t ~addr ~size =
   check_new t ~addr ~size;
-  t.regions <- Ram { base = addr; data = Bytes.make size '\000' } :: t.regions
+  t.regions <- Ram { base = addr; data = Bytes.make size '\000' } :: t.regions;
+  invalidate_cache t
 
 let add_device t ~addr ~size ~read ~write =
   check_new t ~addr ~size;
-  t.regions <- Device { base = addr; size; read; write } :: t.regions
+  t.regions <- Device { base = addr; size; read; write } :: t.regions;
+  invalidate_cache t
 
 let find t addr =
-  List.find_opt
-    (fun r ->
-      let lo, hi = region_span r in
-      addr >= lo && addr < hi)
-    t.regions
+  let r =
+    List.find_opt
+      (fun r ->
+        let lo, hi = region_span r in
+        addr >= lo && addr < hi)
+      t.regions
+  in
+  (match r with
+  | Some (Ram { base; data }) ->
+    t.cache_lo <- base;
+    t.cache_hi <- base + Bytes.length data;
+    t.cache_data <- data
+  | Some (Device _) | None -> ());
+  r
 
 let is_mapped t addr = find t addr <> None
 
@@ -53,63 +84,112 @@ let clear t =
       | Device _ -> ())
     t.regions
 
+(* Slow paths: region-list search, one byte at a time, so accesses that
+   straddle region boundaries or touch devices behave exactly like the
+   original per-byte protocol (including which address a fault names). *)
+
 let byte_read t addr =
   match find t addr with
-  | Some (Ram { base; data }) -> Ok (Bytes.get_uint8 data (addr - base))
-  | Some (Device { base; read; _ }) -> Ok (read (addr - base) land 0xFF)
-  | None -> Error (Unmapped addr)
+  | Some (Ram { base; data }) -> Bytes.get_uint8 data (addr - base)
+  | Some (Device { base; read; _ }) -> read (addr - base) land 0xFF
+  | None -> raise (Fault (Unmapped addr))
 
 let byte_write t addr v =
   match find t addr with
-  | Some (Ram { base; data }) ->
-    Bytes.set_uint8 data (addr - base) (v land 0xFF);
-    Ok ()
-  | Some (Device { base; write; _ }) ->
-    write (addr - base) (v land 0xFF);
-    Ok ()
-  | None -> Error (Unmapped addr)
+  | Some (Ram { base; data }) -> Bytes.set_uint8 data (addr - base) (v land 0xFF)
+  | Some (Device { base; write; _ }) -> write (addr - base) (v land 0xFF)
+  | None -> raise (Fault (Unmapped addr))
 
-let read_u8 = byte_read
-let write_u8 = byte_write
+(* Unboxed accessors: check the cache, fall back to the slow path. *)
 
-let rec read_le t addr n =
-  if n = 0 then Ok 0
-  else
-    match byte_read t addr with
-    | Error _ as e -> e
-    | Ok b -> (
-      match read_le t (addr + 1) (n - 1) with
-      | Error _ as e -> e
-      | Ok rest -> Ok (b lor (rest lsl 8)))
+let read_u8_exn t addr =
+  if addr >= t.cache_lo && addr < t.cache_hi then
+    Bytes.get_uint8 t.cache_data (addr - t.cache_lo)
+  else byte_read t addr
 
-let rec write_le t addr v n =
-  if n = 0 then Ok ()
-  else
-    match byte_write t addr (v land 0xFF) with
-    | Error _ as e -> e
-    | Ok () -> write_le t (addr + 1) (v lsr 8) (n - 1)
+let write_u8_exn t addr v =
+  if addr >= t.cache_lo && addr < t.cache_hi then
+    Bytes.set_uint8 t.cache_data (addr - t.cache_lo) (v land 0xFF)
+  else byte_write t addr v
+
+let read_u16_exn t addr =
+  if addr land 1 <> 0 then raise (Fault (Unaligned addr))
+  else if addr >= t.cache_lo && addr + 2 <= t.cache_hi then
+    Bytes.get_uint16_le t.cache_data (addr - t.cache_lo)
+  else begin
+    let b0 = byte_read t addr in
+    let b1 = byte_read t (addr + 1) in
+    b0 lor (b1 lsl 8)
+  end
+
+let write_u16_exn t addr v =
+  if addr land 1 <> 0 then raise (Fault (Unaligned addr))
+  else if addr >= t.cache_lo && addr + 2 <= t.cache_hi then
+    Bytes.set_uint16_le t.cache_data (addr - t.cache_lo) (v land 0xFFFF)
+  else begin
+    byte_write t addr v;
+    byte_write t (addr + 1) (v lsr 8)
+  end
+
+let read_u32_exn t addr =
+  if addr land 3 <> 0 then raise (Fault (Unaligned addr))
+  else if addr >= t.cache_lo && addr + 4 <= t.cache_hi then
+    Int32.to_int (Bytes.get_int32_le t.cache_data (addr - t.cache_lo))
+    land 0xFFFFFFFF
+  else begin
+    let b0 = byte_read t addr in
+    let b1 = byte_read t (addr + 1) in
+    let b2 = byte_read t (addr + 2) in
+    let b3 = byte_read t (addr + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
+
+let write_u32_exn t addr v =
+  if addr land 3 <> 0 then raise (Fault (Unaligned addr))
+  else if addr >= t.cache_lo && addr + 4 <= t.cache_hi then
+    Bytes.set_int32_le t.cache_data (addr - t.cache_lo) (Int32.of_int v)
+  else begin
+    byte_write t addr v;
+    byte_write t (addr + 1) (v lsr 8);
+    byte_write t (addr + 2) (v lsr 16);
+    byte_write t (addr + 3) (v lsr 24)
+  end
+
+(* Result-typed API, kept for callers outside the hot loop. *)
+
+let read_u8 t addr =
+  match read_u8_exn t addr with v -> Ok v | exception Fault f -> Error f
 
 let read_u16 t addr =
-  if addr land 1 <> 0 then Error (Unaligned addr) else read_le t addr 2
+  match read_u16_exn t addr with v -> Ok v | exception Fault f -> Error f
 
 let read_u32 t addr =
-  if addr land 3 <> 0 then Error (Unaligned addr) else read_le t addr 4
+  match read_u32_exn t addr with v -> Ok v | exception Fault f -> Error f
+
+let write_u8 t addr v =
+  match write_u8_exn t addr v with () -> Ok () | exception Fault f -> Error f
 
 let write_u16 t addr v =
-  if addr land 1 <> 0 then Error (Unaligned addr) else write_le t addr v 2
+  match write_u16_exn t addr v with () -> Ok () | exception Fault f -> Error f
 
 let write_u32 t addr v =
-  if addr land 3 <> 0 then Error (Unaligned addr) else write_le t addr v 4
+  match write_u32_exn t addr v with () -> Ok () | exception Fault f -> Error f
 
 let load_bytes t ~addr b =
-  Bytes.iteri
-    (fun i c ->
-      match byte_write t (addr + i) (Char.code c) with
-      | Ok () -> ()
-      | Error _ ->
-        invalid_arg
-          (Printf.sprintf "Memory.load_bytes: 0x%08x is not mapped" (addr + i)))
-    b
+  let len = Bytes.length b in
+  match find t addr with
+  | Some (Ram { base; data }) when addr + len <= base + Bytes.length data ->
+    Bytes.blit b 0 data (addr - base) len
+  | _ ->
+    (* Straddles regions or touches a device: byte-by-byte. *)
+    Bytes.iteri
+      (fun i c ->
+        match byte_write t (addr + i) (Char.code c) with
+        | () -> ()
+        | exception Fault _ ->
+          invalid_arg
+            (Printf.sprintf "Memory.load_bytes: 0x%08x is not mapped" (addr + i)))
+      b
 
 type snapshot = (int * Bytes.t) list
 

@@ -12,6 +12,9 @@ type fault =
   | Unmapped of int  (** address with no RAM/ROM/device mapping *)
   | Unaligned of int  (** naturally misaligned halfword/word access *)
 
+exception Fault of fault
+(** Raised by the [_exn] accessors instead of returning [Error]. *)
+
 val pp_fault : fault Fmt.t
 
 val create : unit -> t
@@ -49,6 +52,23 @@ val write_u8 : t -> int -> int -> (unit, fault) result
 val write_u16 : t -> int -> int -> (unit, fault) result
 val write_u32 : t -> int -> int -> (unit, fault) result
 
+(** {2 Unboxed accessors}
+
+    Same semantics as the [result] API (alignment checks, device
+    dispatch, fault addresses), but faults are raised as {!Fault}
+    instead of boxed in [Error], and aligned accesses inside the
+    last-hit RAM region go through a single [Bytes] primitive. The
+    executor's fetch/execute loop uses these so a well-behaved guest
+    allocates nothing per step. *)
+
+val read_u8_exn : t -> int -> int
+val read_u16_exn : t -> int -> int
+val read_u32_exn : t -> int -> int
+val write_u8_exn : t -> int -> int -> unit
+val write_u16_exn : t -> int -> int -> unit
+val write_u32_exn : t -> int -> int -> unit
+
 val load_bytes : t -> addr:int -> bytes -> unit
-(** Bulk store for program loading. @raise Invalid_argument if any byte
-    falls outside RAM mappings. *)
+(** Bulk store for program loading; a single [Bytes.blit] when the
+    range falls inside one RAM region. @raise Invalid_argument if any
+    byte falls outside RAM mappings. *)

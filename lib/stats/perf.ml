@@ -1,19 +1,47 @@
-type t = { label : string; jobs : int; items : int; elapsed_s : float }
+type t = {
+  label : string;
+  jobs : int;
+  items : int;
+  elapsed_s : float;
+  executed : int;
+  memoized : int;
+}
 
 let time ~label ~jobs ~items f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  (v, { label; jobs; items; elapsed_s })
+  (v, { label; jobs; items; elapsed_s; executed = items; memoized = 0 })
+
+let with_memo ~executed ~memoized t = { t with executed; memoized }
 
 let throughput t =
   if t.elapsed_s <= 0. then 0. else float_of_int t.items /. t.elapsed_s
 
+let hit_rate t =
+  let total = t.executed + t.memoized in
+  if total = 0 then 0. else float_of_int t.memoized /. float_of_int total
+
 let machine_line t =
-  Printf.sprintf "PERF experiment=%s jobs=%d items=%d seconds=%.3f rate=%.1f"
-    t.label t.jobs t.items t.elapsed_s (throughput t)
+  Printf.sprintf
+    "PERF experiment=%s jobs=%d items=%d seconds=%.3f rate=%.1f executed=%d \
+     memoized=%d hit_rate=%.4f"
+    t.label t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
+    (hit_rate t)
+
+let to_json t =
+  Printf.sprintf
+    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f}|}
+    (String.escaped t.label)
+    t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
+    (hit_rate t)
 
 let pp ppf t =
-  Fmt.pf ppf "%s: %d items in %.2fs (%.0f items/s, %d job%s)" t.label t.items
+  Fmt.pf ppf "%s: %d items in %.2fs (%.0f items/s, %d job%s" t.label t.items
     t.elapsed_s (throughput t) t.jobs
-    (if t.jobs = 1 then "" else "s")
+    (if t.jobs = 1 then "" else "s");
+  if t.memoized > 0 then
+    Fmt.pf ppf ", %d executed / %d memoized = %.1f%% memo hits" t.executed
+      t.memoized
+      (100. *. hit_rate t);
+  Fmt.pf ppf ")"

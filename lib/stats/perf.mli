@@ -5,24 +5,43 @@
     [PERF] line ({!machine_line}) that the bench trajectory greps for,
     e.g.:
 
-    {v PERF experiment=fig2 jobs=4 items=4456448 seconds=3.271 rate=1362411.5 v} *)
+    {v PERF experiment=fig2 jobs=4 items=4456448 seconds=3.271 rate=1362411.5 executed=51240 memoized=4405208 hit_rate=0.9885 v}
+
+    Sweeps backed by the per-word outcome memo additionally record how
+    many items were actually emulated versus replayed from the memo
+    ({!with_memo}); {!to_json} serialises a record for the
+    [BENCH_*.json] artifacts. *)
 
 type t = {
   label : string;  (** experiment name; keep it shell-token safe *)
   jobs : int;  (** worker domains used *)
   items : int;  (** work units processed (masks, attempts, ...) *)
   elapsed_s : float;  (** wall-clock seconds *)
+  executed : int;  (** items that did real work (default: [items]) *)
+  memoized : int;  (** items served from a memo (default: 0) *)
 }
 
 val time : label:string -> jobs:int -> items:int -> (unit -> 'a) -> 'a * t
 (** Run the thunk and measure its wall-clock time (monotonic across
-    domains, unlike [Sys.time] which sums CPU time). *)
+    domains, unlike [Sys.time] which sums CPU time). The returned record
+    assumes every item was executed; adjust with {!with_memo}. *)
+
+val with_memo : executed:int -> memoized:int -> t -> t
+(** Attach memoization counters after the fact. *)
 
 val throughput : t -> float
 (** Items per second; 0 for a degenerate zero-length interval. *)
 
+val hit_rate : t -> float
+(** [memoized / (executed + memoized)] in [0, 1]; 0 when no items. *)
+
 val machine_line : t -> string
 (** One [PERF key=value ...] line, no trailing newline. *)
 
+val to_json : t -> string
+(** One JSON object (no trailing newline), suitable for assembling into
+    a [BENCH_*.json] array. *)
+
 val pp : t Fmt.t
-(** Human-readable summary, e.g. ["fig2: 4456448 items in 3.27s (1362411 items/s, 4 jobs)"]. *)
+(** Human-readable summary, e.g.
+    ["fig2: 4456448 items in 3.27s (1362411 items/s, 4 jobs)"]. *)

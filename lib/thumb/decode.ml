@@ -121,6 +121,15 @@ let instr w : Instr.t =
     | _ -> assert false)
   | _ -> assert false
 
+(* Every possible halfword, pre-decoded once at module initialisation.
+   Campaigns and the board simulator decode the same 65,536 encodings
+   millions of times; sharing one immutable table removes that work (and
+   its allocation) from every fetch/execute loop. Eager initialisation —
+   rather than lazy — keeps the table safe to read from any domain. *)
+let table = Array.init 0x10000 instr
+
+let of_word w = table.(w)
+
 let is_undefined w =
   match instr w with
   | Instr.Undefined _ -> true

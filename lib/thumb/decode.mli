@@ -13,3 +13,13 @@ val instr : int -> Instr.t
 
 val is_undefined : int -> bool
 (** [is_undefined w] is true iff [instr w] is [Undefined _]. *)
+
+val table : Instr.t array
+(** All 65,536 halfwords pre-decoded at module initialisation:
+    [table.(w) = instr w]. Immutable after construction, so worker
+    domains can index it concurrently. *)
+
+val of_word : int -> Instr.t
+(** [of_word w] is [table.(w)] — the allocation-free decode used by
+    fetch/execute hot loops.
+    @raise Invalid_argument if [w] is outside [0, 0xFFFF]. *)

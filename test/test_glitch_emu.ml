@@ -223,19 +223,83 @@ let golden_category_totals () =
       Alcotest.(check (array int)) name expect r.totals)
     golden_configs
 
-let golden_and_success_by_weight () =
-  (* The AND success column of Figure 2(a): one count per flipped-bit
-     weight 0..16. *)
-  let r = Campaign.run_case (Campaign.default_config Fault_model.And) beq_case in
-  let succ =
-    Array.map
-      (fun row -> row.(Campaign.category_index Campaign.Success))
-      r.by_weight
+let golden_success_by_weight () =
+  (* The success column of Figure 2 for BEQ under all four
+     configurations: one count per flipped-bit weight 0..16. *)
+  let expect =
+    [ ("and",
+       [| 0; 2; 28; 183; 741; 2080; 4290; 6721; 8151; 7722; 5720; 3289; 1443;
+          468; 106; 15; 1 |]);
+      ("or",
+       [| 0; 4; 50; 290; 1035; 2541; 4543; 6105; 6271; 4954; 3001; 1379; 471;
+          114; 17; 1; 0 |]);
+      ("xor",
+       [| 0; 6; 51; 221; 656; 1501; 2792; 4283; 5377; 5381; 4329; 2703; 1274;
+          438; 103; 15; 1 |]);
+      ("and zero-invalid",
+       [| 0; 2; 28; 182; 728; 2002; 4004; 6006; 6864; 6006; 4004; 2002; 728;
+          182; 28; 2; 0 |]) ]
   in
-  Alcotest.(check (array int)) "success by weight"
-    [| 0; 2; 28; 183; 741; 2080; 4290; 6721; 8151; 7722; 5720; 3289; 1443;
-       468; 106; 15; 1 |]
-    succ
+  List.iter2
+    (fun (name, config, _) (ename, expected) ->
+      assert (name = ename);
+      let r = Campaign.run_case config beq_case in
+      let succ =
+        Array.map
+          (fun row -> row.(Campaign.category_index Campaign.Success))
+          r.by_weight
+      in
+      Alcotest.(check (array int)) (name ^ " success by weight") expected succ)
+    golden_configs expect
+
+(* Category totals summed over all 14 conditional-branch cases, one row
+   per Figure 2 flip model. Together with the per-case BEQ rows above,
+   this locks the whole Figure 2 surface: any change to the decoder,
+   executor, fault models, rig reset, or memo that shifts a single
+   classification anywhere breaks one of these arrays. Values were
+   produced by the pre-memoization reference implementation. *)
+let golden_aggregate_branch_totals () =
+  let expect =
+    [ ("and", [| 623616; 229376; 0; 1024; 0; 63474 |]);
+      ("or", [| 232280; 0; 425824; 38912; 218904; 1570 |]);
+      ("xor", [| 407837; 346760; 66603; 71674; 20615; 4001 |]);
+      ("and zero-invalid", [| 583680; 229376; 0; 40960; 0; 63474 |]) ]
+  in
+  List.iter2
+    (fun (name, config, _) (ename, expected) ->
+      assert (name = ename);
+      let agg = Array.make (List.length Campaign.categories) 0 in
+      List.iter
+        (fun case ->
+          let r = Campaign.run_case config case in
+          Array.iteri (fun i n -> agg.(i) <- agg.(i) + n) r.totals)
+        Testcase.all_conditional_branches;
+      Alcotest.(check (array int)) (name ^ " aggregate totals") expected agg)
+    golden_configs expect
+
+let golden_non_branch_totals () =
+  (* The supplement's non-branch cases under the two unidirectional
+     models, pinned per case. *)
+  let expect =
+    [ (Fault_model.And, "STRB", [| 46592; 18432; 0; 0; 0; 511 |]);
+      (Fault_model.And, "LDRB", [| 42496; 18432; 0; 0; 0; 4607 |]);
+      (Fault_model.And, "ADDS", [| 49664; 0; 0; 0; 0; 15871 |]);
+      (Fault_model.Or, "STRB", [| 23296; 25600; 16384; 0; 0; 255 |]);
+      (Fault_model.Or, "LDRB", [| 7936; 24576; 32768; 0; 0; 255 |]);
+      (Fault_model.Or, "ADDS", [| 24576; 20480; 8192; 6144; 0; 6143 |]) ]
+  in
+  List.iter
+    (fun (flip, cname, expected) ->
+      let case =
+        List.find
+          (fun (c : Testcase.t) -> c.name = cname)
+          Testcase.non_branch_cases
+      in
+      let r = Campaign.run_case (Campaign.default_config flip) case in
+      Alcotest.(check (array int))
+        (Fault_model.name flip ^ " " ^ cname)
+        expected r.totals)
+    expect
 
 (* --- sequential = parallel ----------------------------------------------- *)
 
@@ -269,22 +333,100 @@ let parallel_matches_sequential () =
 
 (* --- campaign properties -------------------------------------------------- *)
 
-let prop_run_one_matches_sweep =
-  (* A single run_one agrees with the corresponding entry of the full
-     65,536-mask sweep, for every Figure 2 configuration. The sweeps are
-     built lazily, once per configuration. *)
-  let sweeps =
-    List.map
-      (fun (_, config, _) ->
-        (config, lazy (Campaign.categories_by_mask config beq_case)))
-      golden_configs
-    |> Array.of_list
-  in
-  QCheck.Test.make ~name:"run_one agrees with the full sweep" ~count:200
-    QCheck.(pair (int_bound (Array.length sweeps - 1)) (int_bound 0xFFFF))
-    (fun (i, mask) ->
-      let config, sweep = sweeps.(i) in
-      Campaign.run_one config beq_case ~mask = (Lazy.force sweep).(mask))
+(* The differential harness: [Campaign.run_one] is the original
+   reference kernel (fresh machine, clear + reload reset, no memo),
+   while [Campaign.sweep] is the memoized fast kernel on a reused rig
+   with blit-based resets. Sampling random (case, model, mask) triples
+   pins the two code paths against each other. *)
+
+let diff_cases =
+  [| beq_case;
+     Testcase.conditional_branch Thumb.Instr.NE;
+     Testcase.conditional_branch Thumb.Instr.LT;
+     Testcase.store_case;
+     Testcase.alu_case |]
+
+let diff_sweeps =
+  (* (config, case) sweeps built lazily, once per pair *)
+  Array.map
+    (fun case ->
+      Array.of_list
+        (List.map
+           (fun (_, config, _) -> (config, lazy (Campaign.sweep config case)))
+           golden_configs))
+    diff_cases
+
+let prop_fast_kernel_matches_reference =
+  QCheck.Test.make
+    ~name:"memoized sweep kernel agrees with the reference run_one" ~count:200
+    QCheck.(
+      triple
+        (int_bound (Array.length diff_cases - 1))
+        (int_bound (List.length golden_configs - 1))
+        (int_bound 0xFFFF))
+    (fun (ci, ki, mask) ->
+      let case = diff_cases.(ci) in
+      let config, sweep = diff_sweeps.(ci).(ki) in
+      Campaign.run_one config case ~mask
+      = (Lazy.force sweep).Campaign.categories.(mask))
+
+let prop_memo_agrees_with_categories =
+  (* The per-word memo must agree with the per-mask categories: the
+     entry for a mask's perturbed word is exactly that mask's
+     classification. *)
+  QCheck.Test.make ~name:"memo table agrees with categories_by_mask" ~count:300
+    QCheck.(
+      triple
+        (int_bound (Array.length diff_cases - 1))
+        (int_bound (List.length golden_configs - 1))
+        (int_bound 0xFFFF))
+    (fun (ci, ki, mask) ->
+      let case = diff_cases.(ci) in
+      let config, sweep = diff_sweeps.(ci).(ki) in
+      let s = Lazy.force sweep in
+      let word = Fault_model.apply config.flip ~mask (Testcase.target_word case) in
+      s.Campaign.by_word.(word) = Some s.Campaign.categories.(mask))
+
+let sweep_stats_account_for_every_mask () =
+  (* executed + memoized = 65,536 for every sequential sweep; executed
+     equals the number of distinct perturbed words (memo occupancy);
+     XOR is a bijection so it can never hit the memo. *)
+  List.iter
+    (fun (name, config, _) ->
+      let s = Campaign.sweep config beq_case in
+      let stats = s.Campaign.sweep_stats in
+      Alcotest.(check int)
+        (name ^ " executed+memoized")
+        65536
+        (stats.Campaign.executed + stats.Campaign.memoized);
+      let occupied =
+        Array.fold_left
+          (fun acc c -> if c = None then acc else acc + 1)
+          0 s.Campaign.by_word
+      in
+      Alcotest.(check int) (name ^ " executed = distinct words") occupied
+        stats.Campaign.executed;
+      let r = Campaign.run_case config beq_case in
+      Alcotest.(check int)
+        (name ^ " run_case stats account for every mask")
+        65536
+        (r.stats.Campaign.executed + r.stats.Campaign.memoized))
+    golden_configs;
+  let xor = Campaign.sweep (Campaign.default_config Fault_model.Xor) beq_case in
+  Alcotest.(check int) "xor never hits the memo" 0
+    xor.Campaign.sweep_stats.Campaign.memoized
+
+let memo_saves_most_executions () =
+  (* The Figure 2(a) claim behind the optimisation: under AND, a sweep
+     executes only the distinct subsets of the target's set bits —
+     2^popcount(target) words — and memoizes the other ~98%. *)
+  let s = Campaign.sweep (Campaign.default_config Fault_model.And) beq_case in
+  let stats = s.Campaign.sweep_stats in
+  let expected = 1 lsl Bitmask.popcount (Testcase.target_word beq_case) in
+  Alcotest.(check int) "AND executes 2^popcount(target) words" expected
+    stats.Campaign.executed;
+  Alcotest.(check bool) "memo serves the large majority" true
+    (stats.Campaign.memoized > 60000)
 
 let prop_flipped_bits_match_apply =
   (* flipped_bits reports the number of bit positions a mask can change:
@@ -320,7 +462,8 @@ let () =
   in
   let campaign_props =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_run_one_matches_sweep; prop_flipped_bits_match_apply ]
+      [ prop_fast_kernel_matches_reference; prop_memo_agrees_with_categories;
+        prop_flipped_bits_match_apply ]
   in
   Alcotest.run "glitch_emu"
     [ ("bitmask",
@@ -352,9 +495,17 @@ let () =
          Alcotest.test_case "mask accounting" `Slow counts_are_conserved ]);
       ("figure2-golden",
        [ Alcotest.test_case "category totals" `Slow golden_category_totals;
-         Alcotest.test_case "AND success by weight" `Slow
-           golden_and_success_by_weight ]);
+         Alcotest.test_case "success by weight, all models" `Slow
+           golden_success_by_weight;
+         Alcotest.test_case "aggregate branch totals, all models" `Slow
+           golden_aggregate_branch_totals;
+         Alcotest.test_case "non-branch totals" `Slow golden_non_branch_totals ]);
       ("parallel",
        [ Alcotest.test_case "sequential = parallel" `Slow
            parallel_matches_sequential ]);
+      ("memo",
+       [ Alcotest.test_case "stats account for every mask" `Slow
+           sweep_stats_account_for_every_mask;
+         Alcotest.test_case "AND memo saves most executions" `Slow
+           memo_saves_most_executions ]);
       ("campaign-properties", campaign_props) ]

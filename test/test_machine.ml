@@ -62,6 +62,65 @@ let memory_little_endian () =
   | Ok v -> Alcotest.(check int) "lsb first" 0x44 v
   | Error _ -> Alcotest.fail "read failed"
 
+(* The unboxed accessors must agree with the result API in every
+   regime: cached-region fast path, region-straddling slow path, device
+   dispatch, and faults raised as [Memory.Fault]. *)
+
+let memory_exn_api () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~size:0x100;
+  Memory.write_u32_exn m 0x1000 0xDEADBEEF;
+  Alcotest.(check int) "u32 roundtrip" 0xDEADBEEF (Memory.read_u32_exn m 0x1000);
+  Alcotest.(check int) "u16 low half" 0xBEEF (Memory.read_u16_exn m 0x1000);
+  Memory.write_u16_exn m 0x1002 0x1234;
+  Alcotest.(check int) "u16 patch" 0x1234BEEF (Memory.read_u32_exn m 0x1000);
+  (match Memory.read_u16_exn m 0x1001 with
+  | exception Memory.Fault (Memory.Unaligned 0x1001) -> ()
+  | _ -> Alcotest.fail "expected unaligned Fault");
+  match Memory.read_u8_exn m 0x2000 with
+  | exception Memory.Fault (Memory.Unmapped 0x2000) -> ()
+  | _ -> Alcotest.fail "expected unmapped Fault"
+
+let memory_straddles_regions () =
+  (* An aligned word access spanning two adjacent RAM regions must fall
+     back to the per-byte path and still succeed. *)
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~size:2;
+  Memory.map m ~addr:0x1002 ~size:4;
+  Memory.write_u32_exn m 0x1000 0xCAFEF00D;
+  Alcotest.(check int) "straddling word" 0xCAFEF00D (Memory.read_u32_exn m 0x1000);
+  Alcotest.(check int) "low region byte" 0x0D (Memory.read_u8_exn m 0x1000);
+  Alcotest.(check int) "high region byte" 0xCA (Memory.read_u8_exn m 0x1003);
+  (* a word whose tail is unmapped faults with the first missing byte *)
+  match Memory.read_u32_exn m 0x1004 with
+  | exception Memory.Fault (Memory.Unmapped 0x1006) -> ()
+  | _ -> Alcotest.fail "expected fault at first unmapped byte"
+
+let memory_cache_tracks_regions () =
+  (* Alternating between regions (and a device) must never let the
+     last-hit cache serve stale mappings. *)
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~size:16;
+  Memory.map m ~addr:0x3000 ~size:16;
+  let written = ref [] in
+  Memory.add_device m ~addr:0x5000 ~size:4
+    ~read:(fun off -> 0x40 + off)
+    ~write:(fun off v -> written := (off, v) :: !written);
+  Memory.write_u16_exn m 0x1000 0x1111;
+  Memory.write_u16_exn m 0x3000 0x3333;
+  Memory.write_u8_exn m 0x5001 0xAB;
+  Alcotest.(check int) "region A" 0x1111 (Memory.read_u16_exn m 0x1000);
+  Alcotest.(check int) "region B" 0x3333 (Memory.read_u16_exn m 0x3000);
+  Alcotest.(check int) "device read" 0x42 (Memory.read_u8_exn m 0x5002);
+  Alcotest.(check (list (pair int int))) "device write seen" [ (1, 0xAB) ]
+    !written
+
+let memory_load_bytes_blit () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~size:8;
+  Memory.load_bytes m ~addr:0x1004 (Bytes.of_string "\x0D\xF0\xFE\xCA");
+  Alcotest.(check int) "blit contents" 0xCAFEF00D (Memory.read_u32_exn m 0x1004)
+
 (* --- flag semantics ------------------------------------------------------ *)
 
 let flags_add_sub () =
@@ -416,7 +475,11 @@ let () =
        [ Alcotest.test_case "mapping and faults" `Quick memory_mapping;
          Alcotest.test_case "overlap rejected" `Quick memory_overlap_rejected;
          Alcotest.test_case "device region" `Quick memory_device;
-         Alcotest.test_case "little endian" `Quick memory_little_endian ]);
+         Alcotest.test_case "little endian" `Quick memory_little_endian;
+         Alcotest.test_case "exn accessors" `Quick memory_exn_api;
+         Alcotest.test_case "region straddling" `Quick memory_straddles_regions;
+         Alcotest.test_case "cache tracks regions" `Quick memory_cache_tracks_regions;
+         Alcotest.test_case "load_bytes blit" `Quick memory_load_bytes_blit ]);
       ("flags",
        [ Alcotest.test_case "add/sub carry-borrow" `Quick flags_add_sub;
          Alcotest.test_case "signed overflow" `Quick flags_overflow;
