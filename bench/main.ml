@@ -32,8 +32,8 @@ let emit_perf perf =
   perf_log := !perf_log @ [ perf ];
   Fmt.pr "@.%a@.%s@." Stats.Perf.pp perf (Stats.Perf.machine_line perf)
 
-let write_perf_json path =
-  match !perf_log with
+let write_json path records =
+  match records with
   | [] -> ()
   | records ->
     let oc = open_out path in
@@ -47,6 +47,15 @@ let write_perf_json path =
     close_out oc;
     Fmt.pr "@.Wrote %s (%d record%s)@." path (List.length records)
       (if List.length records = 1 then "" else "s")
+
+let write_perf_json path = write_json path !perf_log
+
+(* Fold a hardware sweep's cost into a PERF record: the attempt count
+   becomes the item count, and the booted-vs-replayed cycle counters
+   record how much emulation the snapshot-replay kernel avoided. *)
+let perf_of_sweep (p : Stats.Perf.t) (s : Hw.Attack.sweep) =
+  Stats.Perf.with_cycles ~booted:s.emulated_cycles ~replayed:s.replayed_cycles
+    { p with Stats.Perf.items = s.attempts; executed = s.attempts }
 
 (* --- Figure 2: glitching effects in emulation ----------------------------- *)
 
@@ -127,7 +136,8 @@ let fig2x ?pool () =
     "word) 'could pay large dividends' but cannot test them without@.";
   Fmt.pr "fabricating silicon. In emulation we can: the same campaign, run@.";
   Fmt.pr "over RISC-V's 32-bit encoding (all-zero/all-one words illegal by@.";
-  Fmt.pr "construction, weights above 2 sampled at 600 masks each).@.@.";
+  Fmt.pr "construction, weights sampled at 600 masks each unless the@.";
+  Fmt.pr "whole population C(32,k) fits the budget, which is enumerated).@.@.";
   let thumb_rates flip =
     let results =
       Glitch_emu.Campaign.run_all ?pool
@@ -191,9 +201,13 @@ let instruction_listing guard =
 
 let table1 ?pool () =
   section "Table I - successful single glitches per clock cycle";
+  let sweep = ref Hw.Attack.sweep_zero in
+  let (), perf =
+    Stats.Perf.time ~label:"table1" ~jobs:(pool_jobs pool) ~items:0 (fun () ->
   List.iter
     (fun guard ->
       let t = Hw.Attack.run_table1 ?pool guard in
+      sweep := Hw.Attack.sweep_add !sweep t.sweep1;
       let listing = instruction_listing guard in
       Fmt.pr "@.--- %s (comparator r%d) ---@."
         (Hw.Attack.guard_name guard)
@@ -223,7 +237,9 @@ let table1 ?pool () =
         Stats.Rate.pp_count_pct
         (!total, 8 * t.attempts_per_cycle)
         (Hashtbl.length values_seen))
-    Hw.Attack.all_guards;
+    Hw.Attack.all_guards)
+  in
+  emit_perf (perf_of_sweep perf !sweep);
   paper_note "totals 0.705%% / 0.347%% / 0.449%%; while(!a) ~2x while(a);";
   paper_note "comparator residues included SP (0x20003FE8) and GPIO mixes."
 
@@ -231,14 +247,21 @@ let table1 ?pool () =
 
 let table2 ?pool () =
   section "Table II - partial vs full multi-glitch (two back-to-back loops)";
-  let rows =
-    List.map
-      (fun guard ->
-        let t = Hw.Attack.run_table2 ?pool guard in
-        let p = Array.fold_left ( + ) 0 t.partial in
-        let f = Array.fold_left ( + ) 0 t.full in
-        (guard, t, p, f))
-      Hw.Attack.all_guards
+  let rows, perf =
+    Stats.Perf.time ~label:"table2" ~jobs:(pool_jobs pool) ~items:0 (fun () ->
+        List.map
+          (fun guard ->
+            let t = Hw.Attack.run_table2 ?pool guard in
+            let p = Array.fold_left ( + ) 0 t.partial in
+            let f = Array.fold_left ( + ) 0 t.full in
+            (guard, t, p, f))
+          Hw.Attack.all_guards)
+  in
+  let sweep =
+    List.fold_left
+      (fun acc (_, (t : Hw.Attack.table2), _, _) ->
+        Hw.Attack.sweep_add acc t.sweep2)
+      Hw.Attack.sweep_zero rows
   in
   Stats.Table.print
     ~header:
@@ -257,6 +280,7 @@ let table2 ?pool () =
         Stats.Rate.pp_count_pct (f, t.attempts2)
         (if f = 0 then Float.infinity else float_of_int p /. float_of_int f))
     rows;
+  emit_perf (perf_of_sweep perf sweep);
   paper_note "partial 1.330%% / 0.420%% / 0.413%%, full 0.494%% / 0.068%% / 0.258%%;";
   paper_note "multi-glitch 6x / 3x / 1.6x harder than a single glitch."
 
@@ -264,10 +288,11 @@ let table2 ?pool () =
 
 let table3 ?pool () =
   section "Table III - long glitches (10-20 contiguous cycles)";
-  let results =
-    List.map
-      (fun guard -> (guard, Hw.Attack.run_table3 ?pool guard))
-      Hw.Attack.all_guards
+  let results, perf =
+    Stats.Perf.time ~label:"table3" ~jobs:(pool_jobs pool) ~items:0 (fun () ->
+        List.map
+          (fun guard -> (guard, Hw.Attack.run_table3 ?pool guard))
+          Hw.Attack.all_guards)
   in
   Stats.Table.print
     ~header:[ "Cycles"; "while(!a)"; "while(a)"; "while(a!=0xD3B9AEC6)" ]
@@ -275,18 +300,75 @@ let table3 ?pool () =
        (fun last ->
          Fmt.str "0-%d" last
          :: List.map
-              (fun (_, rows) -> string_of_int (List.assoc last rows))
+              (fun (_, (t : Hw.Attack.table3)) ->
+                string_of_int (List.assoc last t.windows))
               results)
        [ 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 ]);
   List.iter
-    (fun (guard, rows) ->
-      let total = List.fold_left (fun acc (_, s) -> acc + s) 0 rows in
+    (fun (guard, (t : Hw.Attack.table3)) ->
+      let total = List.fold_left (fun acc (_, s) -> acc + s) 0 t.windows in
       Fmt.pr "%s: total %a@." (Hw.Attack.guard_name guard)
         Stats.Rate.pp_count_pct
-        (total, 11 * 9801))
+        (total, t.sweep3.attempts))
     results;
+  let sweep =
+    List.fold_left
+      (fun acc (_, (t : Hw.Attack.table3)) -> Hw.Attack.sweep_add acc t.sweep3)
+      Hw.Attack.sweep_zero results
+  in
+  emit_perf (perf_of_sweep perf sweep);
   paper_note "totals 0.101%% / 0.730%% / 0.0992%%: long glitches help while(a)";
   paper_note "most (aborted loads read zero) and barely help the others."
+
+(* --- tables: sweep-kernel timings for the bench trajectory ------------------- *)
+
+(* Times the three hardware-table sweeps for one guard, sequentially and
+   (when --jobs N > 1) in parallel, and writes the PERF records to
+   BENCH_3.json. The booted/replayed cycle counters quantify how much
+   emulation the snapshot-replay kernel avoids; the parallel leg is
+   checked bit-identical to the sequential one. *)
+let tables ?pool () =
+  section "tables - Table I-III sweep kernel (writes BENCH_3.json)";
+  let guard = Hw.Attack.While_not_a in
+  let records = ref [] in
+  let emit r =
+    records := !records @ [ r ];
+    Fmt.pr "@.%a@.%s@." Stats.Perf.pp r (Stats.Perf.machine_line r)
+  in
+  let leg name jobs pool =
+    let t1, p1 =
+      Stats.Perf.time ~label:("tables-t1-" ^ name) ~jobs ~items:0 (fun () ->
+          Hw.Attack.run_table1 ?pool guard)
+    in
+    emit (perf_of_sweep p1 t1.Hw.Attack.sweep1);
+    let t2, p2 =
+      Stats.Perf.time ~label:("tables-t2-" ^ name) ~jobs ~items:0 (fun () ->
+          Hw.Attack.run_table2 ?pool guard)
+    in
+    emit (perf_of_sweep p2 t2.Hw.Attack.sweep2);
+    let t3, p3 =
+      Stats.Perf.time ~label:("tables-t3-" ^ name) ~jobs ~items:0 (fun () ->
+          Hw.Attack.run_table3 ?pool guard)
+    in
+    emit (perf_of_sweep p3 t3.Hw.Attack.sweep3);
+    (t1, t2, t3)
+  in
+  let s1, s2, s3 = leg "seq" 1 None in
+  (match pool with
+  | Some p when Runtime.Pool.jobs p > 1 ->
+    let jobs = Runtime.Pool.jobs p in
+    let q1, q2, q3 = leg (Fmt.str "par%d" jobs) jobs pool in
+    let same =
+      s1.Hw.Attack.per_cycle = q1.Hw.Attack.per_cycle
+      && s2.Hw.Attack.partial = q2.Hw.Attack.partial
+      && s2.Hw.Attack.full = q2.Hw.Attack.full
+      && s3.Hw.Attack.windows = q3.Hw.Attack.windows
+    in
+    if same then
+      Fmt.pr "@.parallel (%d jobs) == sequential: tables bit-identical@." jobs
+    else Fmt.pr "@.WARNING: parallel tables diverge from the sequential run@."
+  | Some _ | None -> ());
+  write_json "BENCH_3.json" !records
 
 (* --- Section V-B: locating optimal parameters --------------------------------- *)
 
@@ -303,7 +385,9 @@ let tuner () =
           (r.seconds /. 60.)
       | None ->
         Fmt.pr "%s: no fully reliable parameters found (%d attempts)@."
-          (Hw.Attack.guard_name guard) r.attempts))
+          (Hw.Attack.guard_name guard) r.attempts);
+      Fmt.pr "  %d cycles emulated, %d served by snapshot replay@."
+        r.emulated_cycles r.replayed_cycles)
     Hw.Attack.all_guards;
   paper_note "while(a) converged in <59 min (7,031/36,869 successes);";
   paper_note "while(a!=0xD3B9AEC6) in 16 min (901 successes)."
@@ -553,7 +637,9 @@ let micro () =
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig2|table1|table2|table3|tuner|table4|table5|table6|table7|micro] [--quick] [--jobs N]"
+    "usage: main.exe \
+     [all|fig2|table1|table2|table3|tables|tuner|table4|table5|table6|table7|micro] \
+     [--quick] [--jobs N]"
 
 (* Pull "--jobs N" out of the raw argument list. *)
 let rec extract_jobs = function
@@ -581,7 +667,8 @@ let () =
   let pool = if jobs > 1 then Some (Runtime.Pool.create ~jobs ()) else None in
   let experiments =
     [ ("fig2", fig2 ?pool); ("fig2x", fig2x ?pool); ("table1", table1 ?pool);
-      ("table2", table2 ?pool); ("table3", table3 ?pool); ("tuner", tuner);
+      ("table2", table2 ?pool); ("table3", table3 ?pool);
+      ("tables", tables ?pool); ("tuner", tuner);
       ("table4", table45); ("table5", table45);
       ("table6", table6 ?pool ~quick); ("table7", table7);
       ("ablation", ablation ?pool ~quick); ("micro", micro) ]

@@ -9,6 +9,8 @@
                                      GlitchResistor pipeline + objdump
      glitchctl attack fw.c --defenses all --attack single --step 4
                                      parameter sweep against an image
+     glitchctl table 1 --guard not_a --jobs 4
+                                     Table I/II/III hardware sweep
      glitchctl tune not_a            Section V-B parameter search *)
 
 open Cmdliner
@@ -328,6 +330,86 @@ let attack_cmd =
           __trigger_high() and set attack_success = 170 on compromise).")
     Term.(const run $ file $ config_arg $ sensitive_arg $ attack $ step $ jobs_arg)
 
+(* --- table ------------------------------------------------------------------------ *)
+
+let table_cmd =
+  let n =
+    let n_conv =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 1 && n <= 3 -> Ok n
+            | Some _ | None -> Error (`Msg "expected a table number: 1, 2 or 3")),
+          Fmt.int )
+    in
+    Arg.(required & pos 0 (some n_conv) None & info [] ~docv:"N")
+  in
+  let guard =
+    Arg.(
+      value
+      & opt guard_conv Hw.Attack.While_not_a
+      & info [ "guard" ] ~docv:"GUARD" ~doc:"not_a, a, or ne.")
+  in
+  let run n guard jobs =
+    let perf_line label jobs (s : Hw.Attack.sweep) perf =
+      let perf =
+        Stats.Perf.with_cycles ~booted:s.emulated_cycles
+          ~replayed:s.replayed_cycles
+          { perf with Stats.Perf.items = s.attempts; executed = s.attempts }
+      in
+      Fmt.pr "%s@." (Stats.Perf.machine_line { perf with Stats.Perf.label; jobs })
+    in
+    with_jobs jobs (fun pool ->
+        match n with
+        | 1 ->
+          let t, perf =
+            Stats.Perf.time ~label:"table1" ~jobs ~items:0 (fun () ->
+                Hw.Attack.run_table1 ?pool guard)
+          in
+          Fmt.pr "Table I, %s (%d attempts per cycle):@."
+            (Hw.Attack.guard_name guard) t.attempts_per_cycle;
+          Array.iteri
+            (fun cycle (c : Hw.Attack.cycle_stats) ->
+              let values =
+                c.values
+                |> List.map (fun (v, k) -> Fmt.str "0x%X x%d" v k)
+                |> String.concat "  "
+              in
+              Fmt.pr "  cycle %d: %4d successes  %s@." cycle c.successes values)
+            t.per_cycle;
+          perf_line "table1" jobs t.sweep1 perf
+        | 2 ->
+          let t, perf =
+            Stats.Perf.time ~label:"table2" ~jobs ~items:0 (fun () ->
+                Hw.Attack.run_table2 ?pool guard)
+          in
+          Fmt.pr "Table II, %s (%d attempts):@." (Hw.Attack.guard_name guard)
+            t.attempts2;
+          Array.iteri
+            (fun cycle p ->
+              Fmt.pr "  cycle %d: partial %4d  full %4d@." cycle p t.full.(cycle))
+            t.partial;
+          perf_line "table2" jobs t.sweep2 perf
+        | _ ->
+          let t, perf =
+            Stats.Perf.time ~label:"table3" ~jobs ~items:0 (fun () ->
+                Hw.Attack.run_table3 ?pool guard)
+          in
+          Fmt.pr "Table III, %s (%d attempts per window):@."
+            (Hw.Attack.guard_name guard) t.attempts_per_window;
+          List.iter
+            (fun (last, s) -> Fmt.pr "  cycles 0-%d: %4d successes@." last s)
+            t.windows;
+          perf_line "table3" jobs t.sweep3 perf);
+    0
+  in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:
+         "Run one of the paper's hardware sweeps (Table I, II or III) via the \
+          snapshot-replay kernel and print per-cycle counts plus a PERF line.")
+    Term.(const run $ n $ guard $ jobs_arg)
+
 (* --- tune ------------------------------------------------------------------------- *)
 
 let tune_cmd =
@@ -339,6 +421,8 @@ let tune_cmd =
       Fmt.pr "found width=%d offset=%d cycle=%d (%d attempts, ~%.0f simulated minutes)@."
         w o c r.attempts (r.seconds /. 60.)
     | None -> Fmt.pr "no fully reliable parameters found (%d attempts)@." r.attempts);
+    Fmt.pr "%d cycles emulated, %d served by snapshot replay@." r.emulated_cycles
+      r.replayed_cycles;
     0
   in
   Cmd.v
@@ -353,4 +437,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
-            tune_cmd ]))
+            table_cmd; tune_cmd ]))

@@ -192,18 +192,67 @@ let escaped board (obs : Glitcher.observation) =
       | Machine.Exec.Step_limit)
   | `Timeout -> false
 
-let full_parameter_sweep ?config ?(max_cycles = 300) board ~make_schedule
-    ~classify =
-  let attempts = ref 0 in
+(* --- the sweep kernel ------------------------------------------------------- *)
+
+(* A booted target, ready for snapshot-replay attacks: the board has run
+   glitch-free to its first trigger edge (the deterministic "boot"), the
+   state at that edge is snapshotted, and the unglitched continuation is
+   recorded as a baseline. Every attempt then starts from the snapshot
+   instead of a power-on reset — sound because no glitch window can arm
+   before the first trigger edge exists — and ends via the baseline the
+   moment its schedule is provably dead. *)
+type rig = {
+  rig_board : Board.t;
+  rig_snap : Board.snapshot;
+  rig_baseline : Glitcher.baseline;
+  rig_max_cycles : int;
+  boot_cycles : int;
+}
+
+let boot_rig ?(max_cycles = 300) program =
+  let board = Board.create (Board.Asm program) in
+  if not (Board.run_until_trigger board ~max_cycles) then
+    invalid_arg "Attack.boot_rig: program never raises its trigger";
+  let snap = Board.snapshot board in
+  let boot_cycles = Board.cycles board in
+  let baseline = Glitcher.baseline ~max_cycles board ~from:snap in
+  { rig_board = board;
+    rig_snap = snap;
+    rig_baseline = baseline;
+    rig_max_cycles = max_cycles;
+    boot_cycles }
+
+let boot_cycles rig = rig.boot_cycles
+let rig_board rig = rig.rig_board
+
+let attempt ?config ?nonce rig schedule =
+  Glitcher.run ?config ~max_cycles:rig.rig_max_cycles ?nonce
+    ~from:rig.rig_snap ~baseline:rig.rig_baseline rig.rig_board schedule
+
+type sweep = { attempts : int; emulated_cycles : int; replayed_cycles : int }
+
+let sweep_zero = { attempts = 0; emulated_cycles = 0; replayed_cycles = 0 }
+
+let sweep_add a b =
+  { attempts = a.attempts + b.attempts;
+    emulated_cycles = a.emulated_cycles + b.emulated_cycles;
+    replayed_cycles = a.replayed_cycles + b.replayed_cycles }
+
+let full_parameter_sweep ?config rig ~make_schedule ~classify =
+  let attempts = ref 0 and emulated = ref 0 and replayed = ref 0 in
   for width = -49 to 49 do
     for offset = -49 to 49 do
       incr attempts;
       let schedule = make_schedule ~width ~offset in
-      let obs = Glitcher.run ?config ~max_cycles board schedule in
-      classify board obs
+      let obs = attempt ?config rig schedule in
+      emulated := !emulated + (obs.Glitcher.cycles - obs.Glitcher.replayed_cycles);
+      replayed := !replayed + obs.Glitcher.replayed_cycles;
+      classify rig.rig_board obs
     done
   done;
-  !attempts
+  { attempts = !attempts;
+    emulated_cycles = !emulated;
+    replayed_cycles = !replayed }
 
 (* --- Table I ---------------------------------------------------------------- *)
 
@@ -213,31 +262,32 @@ type table1 = {
   guard : guard;
   per_cycle : cycle_stats array;
   attempts_per_cycle : int;
+  sweep1 : sweep;
 }
 
-(* Every sweep below restores the board to power-on state before each
-   attempt, so a cycle's statistics depend only on (program, cycle,
-   fault config) — never on which board object ran it or in what order.
-   The parallel paths exploit this: each work item gets a private board
-   and the per-item results are reassembled by index, bit-identical to
-   the sequential sweep. *)
-let map_cycles ?pool ~make_board f =
+(* Every attempt rewinds the board to the same trigger snapshot, so a
+   cycle's statistics depend only on (program, cycle, fault config) —
+   never on which board object ran it or in what order. The parallel
+   paths exploit this: each work item boots a private rig and the
+   per-item results are reassembled by index, bit-identical to the
+   sequential sweep. *)
+let map_cycles ?pool ~make_rig f =
   match pool with
   | Some pool when Runtime.Pool.jobs pool > 1 ->
     Runtime.Pool.map_array pool
-      (fun cycle -> f (make_board ()) cycle)
+      (fun cycle -> f (make_rig ()) cycle)
       (Array.init loop_cycles Fun.id)
   | Some _ | None ->
-    let board = make_board () in
-    Array.init loop_cycles (f board)
+    let rig = make_rig () in
+    Array.init loop_cycles (f rig)
 
 let run_table1 ?pool ?config guard =
   let cmp_reg = comparator guard in
-  let run_cycle board cycle =
+  let run_cycle rig cycle =
     let successes = ref 0 in
     let values : (int, int) Hashtbl.t = Hashtbl.create 16 in
-    let attempts =
-      full_parameter_sweep ?config board
+    let sweep =
+      full_parameter_sweep ?config rig
         ~make_schedule:(fun ~width ~offset ->
           [ Glitcher.single ~width ~offset ~ext_offset:cycle ])
         ~classify:(fun board obs ->
@@ -248,18 +298,22 @@ let run_table1 ?pool ?config guard =
               (1 + Option.value ~default:0 (Hashtbl.find_opt values v))
           end)
     in
-    ignore attempts;
-    { successes = !successes;
-      values =
-        Hashtbl.fold (fun v c acc -> (v, c) :: acc) values []
-        |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1) }
+    ( { successes = !successes;
+        values =
+          Hashtbl.fold (fun v c acc -> (v, c) :: acc) values []
+          |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1) },
+      sweep )
   in
-  let per_cycle =
+  let cells =
     map_cycles ?pool
-      ~make_board:(fun () -> Board.create (Board.Asm (single_loop_program guard)))
+      ~make_rig:(fun () -> boot_rig (single_loop_program guard))
       run_cycle
   in
-  { guard; per_cycle; attempts_per_cycle = 99 * 99 }
+  let sweep = Array.fold_left (fun acc (_, s) -> sweep_add acc s) sweep_zero cells in
+  { guard;
+    per_cycle = Array.map fst cells;
+    attempts_per_cycle = sweep.attempts / loop_cycles;
+    sweep1 = sweep }
 
 (* --- Table II ---------------------------------------------------------------- *)
 
@@ -268,13 +322,14 @@ type table2 = {
   partial : int array;
   full : int array;
   attempts2 : int;
+  sweep2 : sweep;
 }
 
 let run_table2 ?pool ?config guard =
-  let run_cycle board cycle =
+  let run_cycle rig cycle =
     let partial = ref 0 and full = ref 0 in
-    let (_ : int) =
-      full_parameter_sweep ?config ~max_cycles:500 board
+    let sweep =
+      full_parameter_sweep ?config rig
         ~make_schedule:(fun ~width ~offset ->
           [ Glitcher.single ~width ~offset ~ext_offset:cycle;
             { (Glitcher.single ~width ~offset ~ext_offset:cycle) with
@@ -283,43 +338,60 @@ let run_table2 ?pool ?config guard =
           if escaped board obs then incr full
           else if Board.reg board 4 = 1 then incr partial)
     in
-    (!partial, !full)
+    (!partial, !full, sweep)
   in
-  let per_cycle =
+  let cells =
     map_cycles ?pool
-      ~make_board:(fun () -> Board.create (Board.Asm (double_loop_program guard)))
+      ~make_rig:(fun () -> boot_rig ~max_cycles:500 (double_loop_program guard))
       run_cycle
   in
+  let sweep =
+    Array.fold_left (fun acc (_, _, s) -> sweep_add acc s) sweep_zero cells
+  in
   { guard2 = guard;
-    partial = Array.map fst per_cycle;
-    full = Array.map snd per_cycle;
-    attempts2 = loop_cycles * 99 * 99 }
+    partial = Array.map (fun (p, _, _) -> p) cells;
+    full = Array.map (fun (_, f, _) -> f) cells;
+    attempts2 = sweep.attempts;
+    sweep2 = sweep }
 
 (* --- Table III ---------------------------------------------------------------- *)
 
+type table3 = {
+  guard3 : guard;
+  windows : (int * int) list;
+  attempts_per_window : int;
+  sweep3 : sweep;
+}
+
 let run_table3 ?pool ?config guard =
-  let run_window board last_cycle =
+  let run_window rig last_cycle =
     let successes = ref 0 in
-    let (_ : int) =
-      full_parameter_sweep ?config ~max_cycles:800 board
+    let sweep =
+      full_parameter_sweep ?config rig
         ~make_schedule:(fun ~width ~offset ->
           [ Glitcher.with_repeat
               (Glitcher.single ~width ~offset ~ext_offset:0)
               (last_cycle + 1) ])
         ~classify:(fun board obs -> if escaped board obs then incr successes)
     in
-    (last_cycle, !successes)
+    (last_cycle, !successes, sweep)
   in
+  let make_rig () = boot_rig ~max_cycles:800 (long_glitch_program guard) in
   let windows = [| 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 |] in
   let rows =
     match pool with
     | Some pool when Runtime.Pool.jobs pool > 1 ->
       Runtime.Pool.map_array pool
-        (fun last_cycle ->
-          run_window (Board.create (Board.Asm (long_glitch_program guard))) last_cycle)
+        (fun last_cycle -> run_window (make_rig ()) last_cycle)
         windows
     | Some _ | None ->
-      let board = Board.create (Board.Asm (long_glitch_program guard)) in
-      Array.map (run_window board) windows
+      let rig = make_rig () in
+      Array.map (run_window rig) windows
   in
-  Array.to_list rows
+  let sweep =
+    Array.fold_left (fun acc (_, _, s) -> sweep_add acc s) sweep_zero rows
+  in
+  { guard3 = guard;
+    windows = Array.to_list rows |> List.map (fun (w, s, _) -> (w, s));
+    attempts_per_window = sweep.attempts / Array.length windows;
+    sweep3 = sweep }

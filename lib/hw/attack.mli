@@ -4,9 +4,12 @@
     generic full-parameter sweep the defended-firmware evaluation
     (Table VI) reuses.
 
-    Each attempt resets the board, waits for the firmware's trigger,
-    arms the glitch, and classifies the run — exactly the
-    ChipWhisperer workflow. *)
+    Each attempt rewinds the board to a snapshot taken at the firmware's
+    first trigger edge, arms the glitch, and classifies the run. The
+    rewind is observationally identical to the ChipWhisperer workflow of
+    power-cycling before every attempt (the boot up to the trigger is
+    deterministic and no glitch window can arm before the first edge
+    exists), but skips re-emulating it 9,801 times per sweep. *)
 
 type guard =
   | While_not_a  (** [while (!a)], a = 0 — the paper's most glitchable *)
@@ -37,6 +40,42 @@ val comparator : guard -> int
 val loop_cycles : int
 (** 8 — each guard iteration's cycle count, bounding [ext_offset]. *)
 
+type rig
+(** A booted target: a board run glitch-free to its first trigger edge,
+    the snapshot taken there, and the recorded unglitched continuation
+    ({!Glitcher.baseline}). All sweep attempts start from the snapshot
+    instead of a power-on reset. *)
+
+val boot_rig : ?max_cycles:int -> string -> rig
+(** Assemble the program, boot it to its trigger edge, snapshot, and
+    record the baseline. [max_cycles] (default 300) is the per-attempt
+    cycle budget every subsequent sweep on this rig runs under.
+    [Invalid_argument] if the program never raises the trigger. *)
+
+val attempt :
+  ?config:Susceptibility.config ->
+  ?nonce:int ->
+  rig ->
+  Glitcher.params list ->
+  Glitcher.observation
+(** One glitch attempt from the rig's trigger snapshot, with its
+    dead-schedule baseline armed. *)
+
+val boot_cycles : rig -> int
+(** Cycles the boot to the trigger edge consumed (emulated once,
+    replayed by every attempt). *)
+
+val rig_board : rig -> Board.t
+(** The rig's board, for post-mortem inspection after {!attempt}. *)
+
+(** What a sweep cost: attempts issued, cycles actually emulated, and
+    cycles served by snapshot restore (boot replay + dead-schedule
+    cutoff) that the reset-per-attempt workflow would have emulated. *)
+type sweep = { attempts : int; emulated_cycles : int; replayed_cycles : int }
+
+val sweep_zero : sweep
+val sweep_add : sweep -> sweep -> sweep
+
 (** One Table I cell: successes at a given cycle with the post-mortem
     comparator histogram. *)
 type cycle_stats = { successes : int; values : (int * int) list }
@@ -44,41 +83,48 @@ type cycle_stats = { successes : int; values : (int * int) list }
 type table1 = {
   guard : guard;
   per_cycle : cycle_stats array;  (** index = clock cycle 0-7 *)
-  attempts_per_cycle : int;  (** 9,801 *)
+  attempts_per_cycle : int;  (** derived from the sweep: 9,801 *)
+  sweep1 : sweep;
 }
 
 val run_table1 :
   ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard -> table1
 (** With [pool], the 8 per-cycle sweeps run on worker domains, each
-    against a private board; every attempt restores power-on state, so
-    the table is bit-identical to the sequential run. Likewise for
-    {!run_table2} and {!run_table3}. *)
+    against a private rig; every attempt restores the same trigger
+    snapshot, so the table is bit-identical to the sequential run.
+    Likewise for {!run_table2} and {!run_table3}. *)
 
 type table2 = {
   guard2 : guard;
   partial : int array;  (** first glitch only, per cycle *)
   full : int array;  (** both glitches, per cycle *)
-  attempts2 : int;
+  attempts2 : int;  (** derived: total attempts across the 8 cycles *)
+  sweep2 : sweep;
 }
 
 val run_table2 :
   ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard -> table2
 
+type table3 = {
+  guard3 : guard;
+  windows : (int * int) list;
+      (** [(last_cycle, successes)] for glitches covering cycles 0-10
+          through 0-20 *)
+  attempts_per_window : int;  (** derived from the sweep: 9,801 *)
+  sweep3 : sweep;
+}
+
 val run_table3 :
-  ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard ->
-  (int * int) list
-(** [(last_cycle, successes)] for glitches covering cycles 0-10 through
-    0-20, 9,801 attempts each. *)
+  ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard -> table3
 
 val full_parameter_sweep :
   ?config:Susceptibility.config ->
-  ?max_cycles:int ->
-  Board.t ->
+  rig ->
   make_schedule:(width:int -> offset:int -> Glitcher.params list) ->
   classify:(Board.t -> Glitcher.observation -> unit) ->
-  int
-(** Run one attempt per (width, offset) in [-49, 49]^2; returns the
-    attempt count (9,801). [classify] sees the post-mortem board. *)
+  sweep
+(** Run one attempt per (width, offset) in [-49, 49]^2 from the rig's
+    trigger snapshot. [classify] sees the post-mortem board. *)
 
 val escaped : Board.t -> Glitcher.observation -> bool
 (** Did the run reach the escape marker ([r0 = 0xAA] at a breakpoint)? *)

@@ -169,6 +169,20 @@ let execute_counted t instr =
   in
   (result, Thumb.Cycles.of_instr ~taken instr)
 
+(* Predict, before executing, how many cycles [instr] will consume if it
+   runs unglitched: the branch direction is decided by the current flags.
+   Must agree with [execute_counted]'s post-hoc accounting — including
+   the degenerate branch-to-next-instruction case, which the counter sees
+   as not taken because the PC ends up at [pc + 2] either way. *)
+let instr_duration t (instr : Thumb.Instr.t) =
+  let taken =
+    match instr with
+    | Thumb.Instr.B_cond (cond, off) ->
+      off <> -1 && Machine.Cpu.condition_holds t.cpu cond
+    | _ -> true
+  in
+  Thumb.Cycles.of_instr ~taken instr
+
 let step ?(applied = Normal) t =
   match peek t with
   | Error stop -> Machine.Exec.Stopped stop

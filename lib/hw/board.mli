@@ -61,6 +61,13 @@ val peek : t -> (Thumb.Instr.t, Machine.Exec.stop) result
 val word_at : t -> int -> int option
 (** Raw halfword at an address (pipeline decode/fetch stage contents). *)
 
+val instr_duration : t -> Thumb.Instr.t -> int
+(** Cycles the instruction will consume if stepped unglitched from the
+    current state: conditional branches are resolved against the live
+    flags, so a not-taken branch counts 1 cycle, not 3. Agrees exactly
+    with the cycle counter's post-hoc accounting; the glitcher uses it
+    to test window overlap against cycles that actually elapse. *)
+
 val step : ?applied:applied -> t -> Machine.Exec.step_result
 (** Execute one instruction under the given fault, advancing the cycle
     counter by the Cortex-M0 cost of what actually executed. *)

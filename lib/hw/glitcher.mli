@@ -22,16 +22,44 @@ val with_repeat : params -> int -> params
 
 type observation = {
   stop : [ `Stopped of Machine.Exec.stop | `Timeout ];
-  cycles : int;  (** total cycles executed *)
+  cycles : int;  (** total cycles on the board at stop *)
   fired : int;  (** glitched cycles that actually produced a fault *)
   glitched_cycles : int;  (** cycles that fell inside an armed window *)
+  replayed_cycles : int;
+      (** of [cycles], how many were served by snapshot restore (the
+          pre-trigger boot when running [~from], plus the dead-schedule
+          tail when a [baseline] cut the attempt short) rather than
+          emulated instruction by instruction *)
 }
+
+val active_window :
+  params list -> int list -> start:int -> duration:int -> (params * int) option
+(** Does any armed window overlap cycles [start, start + duration)?
+    [edges] are the trigger-edge cycle stamps, oldest first. Returns the
+    window containing the earliest overlapping {e absolute} cycle plus
+    that cycle's position relative to the window's own trigger edge.
+    Exposed for the multi-trigger tie-break regression test. *)
+
+type baseline
+(** The unglitched continuation from a trigger snapshot: end state, stop
+    reason, final cycle count, and how many trigger edges ever fire.
+    Lets {!run} cut an attempt short the moment its schedule is provably
+    dead — no fault applied, nothing pending, every window closed or
+    waiting on an edge that never comes — by restoring the recorded end
+    state, which is bit-identical to emulating the rest. *)
+
+val baseline : ?max_cycles:int -> Board.t -> from:Board.snapshot -> baseline
+(** Run the board glitch-free from the snapshot to completion (or
+    [max_cycles], default 3,000) and record the outcome. The resulting
+    baseline is only valid for {!run} calls with the same [from] and the
+    same [max_cycles] (checked; [Invalid_argument] otherwise). *)
 
 val run :
   ?config:Susceptibility.config ->
   ?max_cycles:int ->
   ?nonce:int ->
   ?from:Board.snapshot ->
+  ?baseline:baseline ->
   Board.t ->
   params list ->
   observation
@@ -39,4 +67,10 @@ val run :
     (or [max_cycles] total board cycles, default 3,000) with the
     schedule armed. [nonce] separates repeated attempts with identical
     parameters (attempt-level noise). The board is left un-reset for
-    post-mortem inspection. *)
+    post-mortem inspection.
+
+    [baseline] enables the dead-schedule cutoff: once execution is
+    provably identical to the unglitched run forever after, the recorded
+    end state is restored instead of emulated. Observations (and the
+    post-mortem board) are bit-identical with or without it; only
+    [replayed_cycles] reflects the shortcut. *)

@@ -3,20 +3,25 @@ type result = {
   attempts : int;
   successes : int;
   seconds : float;
+  emulated_cycles : int;
+  replayed_cycles : int;
 }
 
 let per_attempt_s = 0.095
 
 let search ?(config = Susceptibility.default) ?(coarse_step = 2) guard =
-  let board = Board.create (Board.Asm (Attack.single_loop_program guard)) in
+  let rig = Attack.boot_rig (Attack.single_loop_program guard) in
   let attempts = ref 0 and successes = ref 0 in
+  let emulated = ref 0 and replayed = ref 0 in
   let try_once ~width ~offset ~ext_offset ~repeat ~nonce =
     incr attempts;
     let schedule =
       [ Glitcher.with_repeat (Glitcher.single ~width ~offset ~ext_offset) repeat ]
     in
-    let obs = Glitcher.run ~config ~max_cycles:300 ~nonce board schedule in
-    let ok = Attack.escaped board obs in
+    let obs = Attack.attempt ~config ~nonce rig schedule in
+    emulated := !emulated + (obs.Glitcher.cycles - obs.Glitcher.replayed_cycles);
+    replayed := !replayed + obs.Glitcher.replayed_cycles;
+    let ok = Attack.escaped (Attack.rig_board rig) obs in
     if ok then incr successes;
     ok
   in
@@ -75,4 +80,6 @@ let search ?(config = Susceptibility.default) ?(coarse_step = 2) guard =
   { found;
     attempts = !attempts;
     successes = !successes;
-    seconds = float_of_int !attempts *. per_attempt_s }
+    seconds = float_of_int !attempts *. per_attempt_s;
+    emulated_cycles = !emulated;
+    replayed_cycles = !replayed }

@@ -13,6 +13,8 @@ type result = {
   attempts : int;  (** total glitch attempts issued *)
   successes : int;  (** successful glitches observed along the way *)
   seconds : float;  (** simulated wall-clock, at [per_attempt_s] each *)
+  emulated_cycles : int;  (** board cycles actually emulated *)
+  replayed_cycles : int;  (** cycles served by trigger-snapshot replay *)
 }
 
 val per_attempt_s : float

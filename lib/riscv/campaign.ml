@@ -132,15 +132,17 @@ let run_case config case =
           counts.(idx) <- counts.(idx) + 1;
           if weight > 0 then totals.(idx) <- totals.(idx) + 1
         in
+        (* Enumerate whenever the whole population fits the sampling
+           budget: drawing with replacement from a population smaller
+           than the budget (weight 31: C(32,31) = 32 masks for 600
+           draws) would count duplicate masks as independent trials. *)
         let exhaustive = Glitch_emu.Bitmask.choose 32 weight in
-        if weight <= 2 then
+        if weight <= 2 || exhaustive <= config.samples_per_weight then
           Glitch_emu.Bitmask.iter_of_weight ~width:32 ~weight record
-        else begin
-          let n = min exhaustive config.samples_per_weight in
-          for _ = 1 to n do
+        else
+          for _ = 1 to config.samples_per_weight do
             record (sample_mask state ~weight)
-          done
-        end;
+          done;
         (Array.fold_left ( + ) 0 counts, counts))
   in
   { case; config; by_weight; totals }

@@ -2,8 +2,10 @@
     paper could not run without fabricating silicon.
 
     32-bit encodings make exhaustive mask enumeration infeasible
-    (2^32 per instruction), so low weights (0-2 flipped bits) are
-    exhaustive and higher weights are sampled deterministically; rates
+    (2^32 per instruction), so a weight is enumerated exhaustively
+    whenever its whole population C(32,k) fits the per-weight sampling
+    budget (weights 0-2 and 30-32 at the default 600) and sampled
+    deterministically without replacement-correction otherwise; rates
     are reported per weight exactly as for Thumb. Outcome categories are
     shared with {!Glitch_emu.Campaign} so the two ISAs classify runs
     identically.

@@ -5,15 +5,28 @@ type t = {
   elapsed_s : float;
   executed : int;
   memoized : int;
+  booted_cycles : int;
+  replayed_cycles : int;
 }
 
 let time ~label ~jobs ~items f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  (v, { label; jobs; items; elapsed_s; executed = items; memoized = 0 })
+  ( v,
+    { label;
+      jobs;
+      items;
+      elapsed_s;
+      executed = items;
+      memoized = 0;
+      booted_cycles = 0;
+      replayed_cycles = 0 } )
 
 let with_memo ~executed ~memoized t = { t with executed; memoized }
+
+let with_cycles ~booted ~replayed t =
+  { t with booted_cycles = booted; replayed_cycles = replayed }
 
 let throughput t =
   if t.elapsed_s <= 0. then 0. else float_of_int t.items /. t.elapsed_s
@@ -22,19 +35,29 @@ let hit_rate t =
   let total = t.executed + t.memoized in
   if total = 0 then 0. else float_of_int t.memoized /. float_of_int total
 
+let replay_rate t =
+  let total = t.booted_cycles + t.replayed_cycles in
+  if total = 0 then 0. else float_of_int t.replayed_cycles /. float_of_int total
+
 let machine_line t =
-  Printf.sprintf
-    "PERF experiment=%s jobs=%d items=%d seconds=%.3f rate=%.1f executed=%d \
-     memoized=%d hit_rate=%.4f"
-    t.label t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
-    (hit_rate t)
+  let base =
+    Printf.sprintf
+      "PERF experiment=%s jobs=%d items=%d seconds=%.3f rate=%.1f executed=%d \
+       memoized=%d hit_rate=%.4f"
+      t.label t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
+      (hit_rate t)
+  in
+  if t.booted_cycles = 0 && t.replayed_cycles = 0 then base
+  else
+    Printf.sprintf "%s booted_cycles=%d replayed_cycles=%d replay_rate=%.4f"
+      base t.booted_cycles t.replayed_cycles (replay_rate t)
 
 let to_json t =
   Printf.sprintf
-    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f}|}
+    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f,"booted_cycles":%d,"replayed_cycles":%d,"replay_rate":%.6f}|}
     (String.escaped t.label)
     t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
-    (hit_rate t)
+    (hit_rate t) t.booted_cycles t.replayed_cycles (replay_rate t)
 
 let pp ppf t =
   Fmt.pf ppf "%s: %d items in %.2fs (%.0f items/s, %d job%s" t.label t.items
@@ -44,4 +67,8 @@ let pp ppf t =
     Fmt.pf ppf ", %d executed / %d memoized = %.1f%% memo hits" t.executed
       t.memoized
       (100. *. hit_rate t);
+  if t.booted_cycles > 0 || t.replayed_cycles > 0 then
+    Fmt.pf ppf ", %d cycles emulated / %d replayed = %.1f%% replay"
+      t.booted_cycles t.replayed_cycles
+      (100. *. replay_rate t);
   Fmt.pf ppf ")"

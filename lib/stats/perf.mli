@@ -19,6 +19,11 @@ type t = {
   elapsed_s : float;  (** wall-clock seconds *)
   executed : int;  (** items that did real work (default: [items]) *)
   memoized : int;  (** items served from a memo (default: 0) *)
+  booted_cycles : int;  (** board cycles emulated step by step (default: 0) *)
+  replayed_cycles : int;
+      (** board cycles served by snapshot replay — pre-trigger boots and
+          dead-schedule tails the hardware sweeps no longer emulate
+          (default: 0) *)
 }
 
 val time : label:string -> jobs:int -> items:int -> (unit -> 'a) -> 'a * t
@@ -28,6 +33,14 @@ val time : label:string -> jobs:int -> items:int -> (unit -> 'a) -> 'a * t
 
 val with_memo : executed:int -> memoized:int -> t -> t
 (** Attach memoization counters after the fact. *)
+
+val with_cycles : booted:int -> replayed:int -> t -> t
+(** Attach booted-vs-replayed board-cycle counters after the fact (the
+    hardware-leg analogue of {!with_memo}). *)
+
+val replay_rate : t -> float
+(** [replayed / (booted + replayed)] in [0, 1]; 0 when no cycles were
+    recorded. *)
 
 val throughput : t -> float
 (** Items per second; 0 for a degenerate zero-length interval. *)

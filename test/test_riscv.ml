@@ -197,6 +197,36 @@ let campaign_deterministic () =
   let r2 = Campaign.run_case config case in
   Alcotest.(check bool) "same totals" true (r1.totals = r2.totals)
 
+let high_weights_enumerated_exhaustively () =
+  (* Weights whose whole population fits the 600-mask budget must be
+     enumerated, not sampled with replacement: weight 31 has only
+     C(32,31) = 32 masks, so sampling would count duplicates as
+     independent trials. The per-weight totals must equal the population
+     size, and the category counts must match running every mask of
+     that weight once. *)
+  let case = Campaign.conditional_branch Instr.BEQ in
+  let config = Campaign.default_config Glitch_emu.Fault_model.And in
+  let r = Campaign.run_case config case in
+  List.iter
+    (fun (weight, population) ->
+      let total, counts = List.nth r.Campaign.by_weight weight in
+      Alcotest.(check int)
+        (Printf.sprintf "weight %d enumerated" weight)
+        population total;
+      let expected = Array.make (Array.length counts) 0 in
+      Glitch_emu.Bitmask.iter_of_weight ~width:32 ~weight (fun mask ->
+          let cat = Campaign.run_one config case ~mask in
+          let i = Glitch_emu.Campaign.category_index cat in
+          expected.(i) <- expected.(i) + 1);
+      Alcotest.(check (array int))
+        (Printf.sprintf "weight %d counts" weight)
+        expected counts)
+    [ (30, 496); (31, 32); (32, 1) ];
+  (* a mid-range weight still samples exactly the configured budget *)
+  let total, _ = List.nth r.Campaign.by_weight 16 in
+  Alcotest.(check int) "weight 16 sampled" config.Campaign.samples_per_weight
+    total
+
 let riscv_encoding_more_fault_tolerant () =
   (* The headline cross-ISA result: under the same 1->0 fault model,
      RV32I branches are skipped an order of magnitude less often than
@@ -244,5 +274,7 @@ let () =
       ("campaign",
        [ Alcotest.test_case "unglitched taken" `Quick unglitched_branches_taken;
          Alcotest.test_case "deterministic" `Slow campaign_deterministic;
+         Alcotest.test_case "high weights exhaustive" `Slow
+           high_weights_enumerated_exhaustively;
          Alcotest.test_case "cross-ISA headline" `Slow
            riscv_encoding_more_fault_tolerant ]) ]

@@ -36,6 +36,34 @@ let rate_pct () =
   Alcotest.(check (float 1e-9)) "simple" 50. (Stats.Rate.pct ~num:1 ~den:2);
   Alcotest.(check (float 1e-9)) "den 0" 0. (Stats.Rate.pct ~num:5 ~den:0)
 
+let perf_cycle_counters () =
+  let (), p = Stats.Perf.time ~label:"t" ~jobs:1 ~items:10 (fun () -> ()) in
+  (* without cycle counters the PERF line stays in its original shape *)
+  Alcotest.(check bool) "no cycle keys by default" false
+    (String.length (Stats.Perf.machine_line p)
+    <> String.length
+         (Stats.Perf.machine_line
+            (Stats.Perf.with_cycles ~booted:0 ~replayed:0 p)));
+  Alcotest.(check (float 1e-9)) "replay rate empty" 0. (Stats.Perf.replay_rate p);
+  let p = Stats.Perf.with_cycles ~booted:25 ~replayed:75 p in
+  Alcotest.(check (float 1e-9)) "replay rate" 0.75 (Stats.Perf.replay_rate p);
+  let line = Stats.Perf.machine_line p in
+  let has needle =
+    let n = String.length needle and l = String.length line in
+    let rec go i = i + n <= l && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "booted in PERF line" true (has "booted_cycles=25");
+  Alcotest.(check bool) "replayed in PERF line" true (has "replayed_cycles=75");
+  Alcotest.(check bool) "booted in json" true
+    (let line = Stats.Perf.to_json p in
+     let n = "\"booted_cycles\":25" in
+     let rec go i =
+       i + String.length n <= String.length line
+       && (String.sub line i (String.length n) = n || go (i + 1))
+     in
+     go 0)
+
 let table_layout () =
   let out =
     Stats.Table.render ~header:[ "A"; "Blong"; "C" ]
@@ -61,4 +89,5 @@ let () =
       ("rate",
        [ Alcotest.test_case "formatting" `Quick rate_formatting;
          Alcotest.test_case "pct" `Quick rate_pct ]);
+      ("perf", [ Alcotest.test_case "cycle counters" `Quick perf_cycle_counters ]);
       ("table", [ Alcotest.test_case "layout" `Quick table_layout ]) ]
