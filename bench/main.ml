@@ -560,6 +560,54 @@ let table7 () =
   print_string (Resistor.Compare.render ());
   paper_note "GlitchResistor is the only technique with every property."
 
+(* --- analysis: static glitch-surface analyzer timings -------------------------- *)
+
+(* Times CFG recovery + the 1/2-bit static surface sweep + the defense
+   audit over the firmware suite, undefended and fully defended, and
+   writes the PERF records to BENCH_4.json. [items] counts the
+   perturbations classified (136 per reachable instruction). *)
+let analysis () =
+  section "analysis - static glitch surface and defense audit (writes BENCH_4.json)";
+  let records = ref [] in
+  let lint name config source =
+    let report, perf =
+      Stats.Perf.time ~label:("analysis-" ^ name) ~jobs:1 ~items:0 (fun () ->
+          Analysis.Lint.run
+            (Analysis.Lint.of_compiled (Resistor.Driver.compile config source)))
+    in
+    let surface = report.Analysis.Lint.surface in
+    let perf =
+      { perf with
+        Stats.Perf.items = surface.Analysis.Surface.total_flips;
+        executed = surface.Analysis.Surface.total_flips }
+    in
+    records := !records @ [ perf ];
+    Fmt.pr "@.%a@.%s@." Stats.Perf.pp perf (Stats.Perf.machine_line perf);
+    Fmt.pr "  %s: %d error(s), %d warning(s), %d instruction(s), %.1f%% control@."
+      name
+      (Analysis.Lint.count Analysis.Lint.Error report)
+      (Analysis.Lint.count Analysis.Lint.Warning report)
+      (List.length surface.Analysis.Surface.profiles)
+      (100. *. surface.Analysis.Surface.image_score);
+    report
+  in
+  let undef = lint "guard-loop-none" Resistor.Config.none Resistor.Firmware.guard_loop in
+  let def =
+    lint "guard-loop-all"
+      (Resistor.Config.all ~sensitive:[ "a" ] ())
+      Resistor.Firmware.guard_loop
+  in
+  ignore (lint "boot-tick-none" Resistor.Config.none Resistor.Firmware.boot_tick);
+  ignore
+    (lint "boot-tick-all"
+       (Resistor.Config.all ~sensitive:[ "tick" ] ())
+       Resistor.Firmware.boot_tick);
+  Fmt.pr "@.undefended guard-loop errors: %d (expected > 0); defended: %d \
+          (expected 0)@."
+    (List.length (Analysis.Lint.errors undef))
+    (List.length (Analysis.Lint.errors def));
+  write_json "BENCH_4.json" !records
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let micro () =
@@ -638,7 +686,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|fig2|table1|table2|table3|tables|tuner|table4|table5|table6|table7|micro] \
+     [all|fig2|table1|table2|table3|tables|tuner|table4|table5|table6|table7|analysis|micro] \
      [--quick] [--jobs N]"
 
 (* Pull "--jobs N" out of the raw argument list. *)
@@ -671,7 +719,8 @@ let () =
       ("tables", tables ?pool); ("tuner", tuner);
       ("table4", table45); ("table5", table45);
       ("table6", table6 ?pool ~quick); ("table7", table7);
-      ("ablation", ablation ?pool ~quick); ("micro", micro) ]
+      ("ablation", ablation ?pool ~quick); ("analysis", analysis);
+      ("micro", micro) ]
   in
   let run_all () =
     fig2 ?pool ();
@@ -684,6 +733,7 @@ let () =
     table6 ?pool ~quick ();
     table7 ();
     ablation ?pool ~quick ();
+    analysis ();
     micro ()
   in
   (match args with

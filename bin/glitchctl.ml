@@ -11,9 +11,21 @@
                                      parameter sweep against an image
      glitchctl table 1 --guard not_a --jobs 4
                                      Table I/II/III hardware sweep
-     glitchctl tune not_a            Section V-B parameter search *)
+     glitchctl tune not_a            Section V-B parameter search
+     glitchctl lint fw.c --defenses all --json
+                                     static glitch-surface + defense audit *)
 
 open Cmdliner
+
+(* Exit-code discipline, so CI can tell a crash from a finding:
+     0  success / clean lint
+     1  internal failure (a bug in the toolkit)
+     2  invalid input (unparsable source, unknown names, bad words)
+     3  Error-severity lint findings
+   (cmdliner itself reserves 124/125 for CLI and internal errors). *)
+let exit_internal = 1
+let exit_input = 2
+let exit_findings = 3
 
 let read_file path =
   let ic = open_in_bin path in
@@ -94,7 +106,7 @@ let asm_cmd =
       0
     | exception Thumb.Asm.Parse_error e ->
       Fmt.epr "%s: %a@." file Thumb.Asm.pp_error e;
-      1
+      exit_input
   in
   Cmd.v (Cmd.info "asm" ~doc:"Assemble a Thumb-16 source file and list it.")
     Term.(const run $ file)
@@ -114,7 +126,7 @@ let disasm_cmd =
           Fmt.pr "%04x  %a@." w Thumb.Instr.pp (Thumb.Decode.of_word w)
         | Some _ | None ->
           Fmt.epr "not a 16-bit hex word: %S@." s;
-          code := 1)
+          code := exit_input)
       words;
     !code
   in
@@ -136,7 +148,7 @@ let run_cmd =
       0
     | exception Thumb.Asm.Parse_error e ->
       Fmt.epr "%s: %a@." file Thumb.Asm.pp_error e;
-      1
+      exit_input
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Assemble and execute a program on the bare machine.")
@@ -180,7 +192,7 @@ let emulate_cmd =
       with
       | None ->
         Fmt.epr "unknown Thumb conditional branch %S@." branch;
-        1
+        exit_input
       | Some cond ->
         let case = Glitch_emu.Testcase.conditional_branch cond in
         let result =
@@ -206,7 +218,7 @@ let emulate_cmd =
       with
       | None ->
         Fmt.epr "unknown RV32I branch %S (beq|bne|blt|bge|bltu|bgeu)@." branch;
-        1
+        exit_input
       | Some cond ->
         let case = Riscv.Campaign.conditional_branch cond in
         let result =
@@ -264,9 +276,18 @@ let compile_cmd =
       | None -> ());
       if dump then print_string (Lower.Objdump.to_string compiled.image);
       0
+    | exception Minic.Parser.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Parser.pp_error e;
+      exit_input
+    | exception Minic.Sema.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Sema.pp_error e;
+      exit_input
+    | exception Lower.Layout.Error e ->
+      Fmt.epr "%s: %a@." file Lower.Layout.pp_error e;
+      exit_input
     | exception e ->
       Fmt.epr "compile failed: %s@." (Printexc.to_string e);
-      1
+      exit_internal
   in
   Cmd.v
     (Cmd.info "compile"
@@ -319,9 +340,15 @@ let attack_cmd =
         o.detections;
       Fmt.pr "%s@." (Stats.Perf.machine_line perf);
       0
+    | exception Minic.Parser.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Parser.pp_error e;
+      exit_input
+    | exception Minic.Sema.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Sema.pp_error e;
+      exit_input
     | exception Invalid_argument _ ->
       Fmt.epr "firmware never raised the trigger (call __trigger_high())@.";
-      1
+      exit_input
   in
   Cmd.v
     (Cmd.info "attack"
@@ -430,6 +457,83 @@ let tune_cmd =
        ~doc:"Search for 100%-reliable glitch parameters (Section V-B).")
     Term.(const run $ guard)
 
+(* --- lint ------------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let cfcss =
+    Arg.(
+      value & flag
+      & info [ "cfcss" ]
+          ~doc:
+            "Instrument with CFCSS signatures only (no GlitchResistor \
+             passes): the Table VII witness — the signature audit comes \
+             back clean while every guard stays direction-flippable.")
+  in
+  let run file config sensitive json cfcss =
+    let target () =
+      if Filename.check_suffix file ".s" then
+        Analysis.Lint.of_instrs (Thumb.Asm.assemble (read_file file))
+      else if cfcss then begin
+        let source = read_file file in
+        let m, reports =
+          Resistor.Driver.compile_modul Resistor.Config.none source
+        in
+        let report = Resistor.Cfcss.run Resistor.Config.Spin m in
+        let reports =
+          { reports with
+            Resistor.Driver.verify_warnings =
+              reports.Resistor.Driver.verify_warnings
+              @ Resistor.Pass.drain_warnings () }
+        in
+        { Analysis.Lint.image = Lower.Layout.link m;
+          modul = Some m;
+          config = Some Resistor.Config.none;
+          reports = Some reports;
+          cfcss = Some report }
+      end
+      else
+        Analysis.Lint.of_compiled
+          (Resistor.Driver.compile (with_sensitive config sensitive)
+             (read_file file))
+    in
+    match target () with
+    | target ->
+      let report = Analysis.Lint.run target in
+      if json then print_endline (Analysis.Lint.to_json report)
+      else Fmt.pr "%a@." Analysis.Lint.pp report;
+      if Analysis.Lint.errors report <> [] then exit_findings else 0
+    | exception Thumb.Asm.Parse_error e ->
+      Fmt.epr "%s: %a@." file Thumb.Asm.pp_error e;
+      exit_input
+    | exception Minic.Parser.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Parser.pp_error e;
+      exit_input
+    | exception Minic.Sema.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Sema.pp_error e;
+      exit_input
+    | exception Lower.Layout.Error e ->
+      Fmt.epr "%s: %a@." file Lower.Layout.pp_error e;
+      exit_input
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static glitch-surface analysis and defense audit of a Mini-C \
+          firmware (compiled with $(b,--defenses)) or an assembly snippet \
+          ($(i,.s)). Exits 0 when clean, 3 on Error-severity findings, 2 \
+          on invalid input."
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"on a clean report (no Error findings)."
+         :: Cmd.Exit.info exit_input ~doc:"on unparsable or invalid input."
+         :: Cmd.Exit.info exit_findings
+              ~doc:"on Error-severity lint findings."
+         :: Cmd.Exit.defaults))
+    Term.(const run $ file $ config_arg $ sensitive_arg $ json $ cfcss)
+
 let () =
   let doc = "glitching attack and defense toolkit (Glitching Demystified, DSN'21)" in
   let info = Cmd.info "glitchctl" ~version:"1.0.0" ~doc in
@@ -437,4 +541,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
-            table_cmd; tune_cmd ]))
+            table_cmd; tune_cmd; lint_cmd ]))

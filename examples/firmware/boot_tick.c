@@ -1,0 +1,57 @@
+/* The Tables IV/V evaluation firmware: CubeMX-flavoured boot with
+   constant-return init functions, a calibration loop, and a tick loop
+   whose success path is designed to be unreachable.  Mirrors
+   Resistor.Firmware.boot_tick. */
+
+enum boot_status { BOOT_OK, BOOT_FAIL, CLOCK_READY, UART_READY };
+
+volatile unsigned tick = 1;
+volatile unsigned sys_clock = 0;
+volatile unsigned uart_ready = 0;
+volatile unsigned attack_success = 0;
+
+int clock_init(void) {
+  sys_clock = 48;
+  return 42;
+}
+
+int uart_init(void) {
+  uart_ready = 1;
+  return 42;
+}
+
+int hal_init(void) {
+  int calibrate = 0;
+  for (int i = 0; i < 64; i = i + 1) {
+    calibrate = calibrate + i;
+  }
+  if (clock_init() == 42) {
+    if (uart_init() == 42) {
+      return calibrate;
+    }
+  }
+  return 0;
+}
+
+int check_tick(void) {
+  if (tick == 0) { return BOOT_OK; }
+  return BOOT_FAIL;
+}
+
+void success(void) {
+  attack_success = 170;
+}
+
+int main(void) {
+  int boot = hal_init();
+  __trigger_high();
+  while (1) {
+    if (check_tick() == BOOT_OK) {
+      success();
+      __halt();
+    }
+    tick = tick + 1;
+    if (tick == 0) { tick = 1; }
+  }
+  return boot;
+}

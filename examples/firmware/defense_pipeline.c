@@ -1,0 +1,23 @@
+/* The door-lock firmware from examples/defense_pipeline.ml: a PIN
+   check guarding a retry loop — enum diversification, branch and loop
+   duplication all participate when defended. */
+
+enum door_state { LOCKED, UNLOCKED, JAMMED };
+
+volatile unsigned pin_ok = 0;
+volatile unsigned door = 0;
+
+int check_pin(void) {
+  if (pin_ok == 1) { return UNLOCKED; }
+  return LOCKED;
+}
+
+int main(void) {
+  for (int tries = 0; tries < 3; tries = tries + 1) {
+    if (check_pin() == UNLOCKED) {
+      door = 1;
+      return 0;
+    }
+  }
+  return 1;
+}

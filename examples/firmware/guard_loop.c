@@ -1,0 +1,17 @@
+/* Table VI worst case: the most glitchable guard from Section V.
+   `glitchctl lint` on the undefended build flags the while(!a) guard
+   as single-bit-flippable; compiled with --defenses all --sensitive a
+   the same guard is re-checked by complemented duplicates and the
+   lint comes back clean. */
+
+volatile unsigned a = 0;
+volatile unsigned attack_success = 0;
+
+int main(void) {
+  __trigger_high();
+  while (!a) { }
+  attack_success = 170;
+  __trigger_low();
+  __halt();
+  return 0;
+}

@@ -1,0 +1,28 @@
+/* The secure-boot bootloader from examples/secure_boot.ml: verify a
+   firmware digest, refuse to boot on mismatch.  The attacker wants to
+   glitch past verify_signature() == SIG_OK. */
+
+enum verdict { SIG_OK, SIG_BAD };
+
+volatile unsigned fw_word0 = 0xDEAD0001;
+volatile unsigned fw_word1 = 0xBEEF0002;
+volatile unsigned expected = 0x61B2C290;
+volatile unsigned attack_success = 0;
+
+int verify_signature(void) {
+  unsigned digest = 0;
+  digest = digest ^ (fw_word0 * 3);
+  digest = digest ^ (fw_word1 * 5);
+  if (digest == expected) { return SIG_OK; }
+  return SIG_BAD;
+}
+
+int main(void) {
+  __trigger_high();
+  if (verify_signature() == SIG_OK) {
+    attack_success = 170;   /* boot_firmware() */
+    __halt();
+  }
+  while (1) { }             /* recovery: refuse to boot */
+  return 0;
+}

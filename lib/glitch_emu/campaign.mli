@@ -40,6 +40,17 @@ type counts = int array
 
 val category_index : category -> int
 
+val flash_base : int
+val flash_size : int
+val sram_base : int
+val sram_size : int
+val stack_top : int
+(** The sweep rig's address-space geometry.  Exposed so the static
+    analyzer ({!Analysis.Surface.predicted_outcomes}) can reason about
+    which perturbed branch targets stay inside the snippet image — the
+    differential property pins its predictions against {!run_one} on
+    exactly this rig. *)
+
 type sweep_stats = {
   executed : int;  (** perturbed words actually emulated *)
   memoized : int;  (** masks served from the per-word outcome memo *)

@@ -100,6 +100,146 @@ let modul (m : Types.modul) =
   in
   global_violations @ List.concat_map (func m) m.funcs
 
+(* ------------------------------------------------------------------ *)
+(* Non-fatal lint: path-sensitive checks that a pass may legitimately
+   leave behind (e.g. dead blocks after edge redirection) but that a
+   human should see.  Kept separate from [func]/[modul] so check_exn
+   stays a hard wall while these surface as warnings. *)
+
+module Int_set = Set.Make (Int)
+module String_set = Set.Make (String)
+
+let block_defs (b : Types.block) =
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | Types.Load { dst; _ } | Types.Binop { dst; _ } | Types.Icmp { dst; _ }
+      | Types.Call { dst = Some dst; _ } -> Int_set.add dst acc
+      | Types.Store _ | Types.Call { dst = None; _ } -> acc)
+    Int_set.empty b.instrs
+
+let lint_func (f : Types.func) =
+  let bad = ref [] in
+  let report fmt =
+    Fmt.kstr (fun message -> bad := { func = f.fname; message } :: !bad) fmt
+  in
+  match f.blocks with
+  | [] -> []
+  | entry :: _ ->
+    let find l =
+      List.find_opt (fun (b : Types.block) -> b.label = l) f.blocks
+    in
+    (* Reachability: BFS over terminator successors from the entry. *)
+    let reachable = ref (String_set.singleton entry.label) in
+    let queue = Queue.create () in
+    Queue.add entry queue;
+    while not (Queue.is_empty queue) do
+      let b = Queue.pop queue in
+      List.iter
+        (fun l ->
+          if not (String_set.mem l !reachable) then begin
+            reachable := String_set.add l !reachable;
+            Option.iter (fun b' -> Queue.add b' queue) (find l)
+          end)
+        (Types.successors b.term)
+    done;
+    List.iter
+      (fun (b : Types.block) ->
+        if not (String_set.mem b.label !reachable) then
+          report "block %s is unreachable from entry" b.label)
+      f.blocks;
+    (* Maybe-undefined temps: forward must-define dataflow over the
+       reachable subgraph.  IN[b] = intersection of OUT[preds]; a use
+       not covered by IN plus the defs so far in the block may read an
+       undefined temp on some path. *)
+    let reachable_blocks =
+      List.filter
+        (fun (b : Types.block) -> String_set.mem b.label !reachable)
+        f.blocks
+    in
+    let all_defs =
+      List.fold_left
+        (fun acc b -> Int_set.union acc (block_defs b))
+        Int_set.empty reachable_blocks
+    in
+    let preds = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Types.block) ->
+        List.iter
+          (fun l ->
+            Hashtbl.replace preds l (b.label :: Option.value ~default:[] (Hashtbl.find_opt preds l)))
+          (Types.successors b.term))
+      reachable_blocks;
+    let out = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Types.block) ->
+        Hashtbl.replace out b.label
+          (if b.label = entry.label then block_defs b else all_defs))
+      reachable_blocks;
+    let in_set (b : Types.block) =
+      if b.label = entry.label then Int_set.empty
+      else
+        match Hashtbl.find_opt preds b.label with
+        | None | Some [] -> Int_set.empty
+        | Some ps ->
+          List.fold_left
+            (fun acc p ->
+              match Hashtbl.find_opt out p with
+              | Some s -> Int_set.inter acc s
+              | None -> acc)
+            all_defs ps
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (b : Types.block) ->
+          let next = Int_set.union (in_set b) (block_defs b) in
+          if not (Int_set.equal next (Hashtbl.find out b.label)) then begin
+            Hashtbl.replace out b.label next;
+            changed := true
+          end)
+        reachable_blocks
+    done;
+    let flagged = ref Int_set.empty in
+    List.iter
+      (fun (b : Types.block) ->
+        let avail = ref (in_set b) in
+        let use where = function
+          | Types.Const _ -> ()
+          | Types.Temp t ->
+            if (not (Int_set.mem t !avail)) && not (Int_set.mem t !flagged)
+            then begin
+              flagged := Int_set.add t !flagged;
+              report "t%d may be used before definition (%s, block %s)" t
+                where b.label
+            end
+        in
+        List.iter
+          (fun i ->
+            (match i with
+            | Types.Load _ -> ()
+            | Types.Store { src; _ } -> use "store" src
+            | Types.Binop { lhs; rhs; _ } | Types.Icmp { lhs; rhs; _ } ->
+              use "operand" lhs;
+              use "operand" rhs
+            | Types.Call { args; _ } -> List.iter (use "argument") args);
+            match i with
+            | Types.Load { dst; _ } | Types.Binop { dst; _ }
+            | Types.Icmp { dst; _ } | Types.Call { dst = Some dst; _ } ->
+              avail := Int_set.add dst !avail
+            | Types.Store _ | Types.Call { dst = None; _ } -> ())
+          b.instrs;
+        match b.term with
+        | Types.Cond_br { cond; _ } -> use "branch condition" cond
+        | Types.Switch { value; _ } -> use "switch value" value
+        | Types.Ret (Some v) -> use "return value" v
+        | Types.Br _ | Types.Ret None | Types.Unreachable -> ())
+      reachable_blocks;
+    List.rev !bad
+
+let lint (m : Types.modul) = List.concat_map lint_func m.funcs
+
 let check_exn m =
   match modul m with
   | [] -> ()

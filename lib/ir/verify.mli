@@ -12,3 +12,13 @@ val modul : Types.modul -> violation list
 
 val check_exn : Types.modul -> unit
 (** @raise Invalid_argument listing all violations, if any. *)
+
+val lint_func : Types.func -> violation list
+val lint : Types.modul -> violation list
+(** Non-fatal, path-sensitive diagnostics: blocks unreachable from the
+    entry, and temps that some path can use before any definition
+    (forward must-define dataflow, IN\[b\] = intersection of OUT over
+    predecessors).  These are warnings, not errors — a pass may leave a
+    dead block behind legitimately — and are surfaced through
+    [Resistor.Driver]'s after-every-pass verification and the
+    [glitchctl lint] auditor. *)

@@ -5,6 +5,9 @@ type reports = {
   branches_report : Branches.report option;
   loops_report : Loops.report option;
   delay_report : Delay.report option;
+  verify_warnings : (string * Ir.Verify.violation) list;
+      (* pass-tagged Ir.Verify.lint findings from the after-every-pass
+         verification runs *)
 }
 
 type compiled = {
@@ -18,6 +21,7 @@ let firmware_externs =
   [ ("__trigger_high", 0); ("__trigger_low", 0); ("__halt", 0) ]
 
 let compile_modul (config : Config.t) source =
+  Pass.reset_warnings ();
   let ast = Minic.Parser.program source in
   let sema = Minic.Sema.check ~externs:firmware_externs ast in
   (* source-to-source stage *)
@@ -56,9 +60,10 @@ let compile_modul (config : Config.t) source =
     else None
   in
   Ir.Verify.check_exn m;
+  Pass.collect_warnings "final" m;
   ( m,
     { enum_report; returns_report; integrity_report; branches_report;
-      loops_report; delay_report } )
+      loops_report; delay_report; verify_warnings = Pass.drain_warnings () } )
 
 let compile config source =
   let modul, reports = compile_modul config source in

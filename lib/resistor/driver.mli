@@ -22,6 +22,9 @@ type reports = {
   branches_report : Branches.report option;
   loops_report : Loops.report option;
   delay_report : Delay.report option;
+  verify_warnings : (string * Ir.Verify.violation) list;
+      (** pass-tagged {!Ir.Verify.lint} findings (unreachable blocks,
+          maybe-undefined temps) from the after-every-pass verifier *)
 }
 
 type compiled = {

@@ -87,11 +87,34 @@ let clone_chain fresh defs root =
   let value = go 0 root in
   { instrs = List.rev !instrs; value; replicated = !fully }
 
+(* Non-fatal verifier findings (Ir.Verify.lint) accumulated across the
+   passes of one compile; the driver drains them into its reports. *)
+let pending_warnings : (string * Ir.Verify.violation) list ref = ref []
+
+let reset_warnings () = pending_warnings := []
+let drain_warnings () =
+  let ws = List.rev !pending_warnings in
+  pending_warnings := [];
+  ws
+
+let collect_warnings pass_name m =
+  List.iter
+    (fun (v : Ir.Verify.violation) ->
+      let seen =
+        List.exists
+          (fun (_, (v' : Ir.Verify.violation)) ->
+            v'.func = v.func && v'.message = v.message)
+          !pending_warnings
+      in
+      if not seen then pending_warnings := (pass_name, v) :: !pending_warnings)
+    (Ir.Verify.lint m)
+
 let verify_or_fail pass_name m =
-  match Ir.Verify.modul m with
+  (match Ir.Verify.modul m with
   | [] -> ()
   | violations ->
     invalid_arg
       (Fmt.str "GlitchResistor pass %s broke the module:@ %a" pass_name
          Fmt.(list ~sep:cut Ir.Verify.pp_violation)
-         violations)
+         violations));
+  collect_warnings pass_name m

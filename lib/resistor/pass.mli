@@ -29,4 +29,13 @@ val clone_chain :
 
 val verify_or_fail : string -> Ir.modul -> unit
 (** Run the IR verifier after a pass; raise with the pass name on
-    violation (pass bugs must never produce silently-broken firmware). *)
+    violation (pass bugs must never produce silently-broken firmware).
+    Non-fatal [Ir.Verify.lint] findings (unreachable blocks,
+    maybe-undefined temps) are accumulated instead of raised; the
+    driver drains them with {!drain_warnings}. *)
+
+val reset_warnings : unit -> unit
+val collect_warnings : string -> Ir.modul -> unit
+val drain_warnings : unit -> (string * Ir.Verify.violation) list
+(** Pass-tagged lint findings since the last reset/drain, oldest
+    first, deduplicated by (func, message). *)

@@ -215,6 +215,66 @@ let max_temp_tracking () =
   let f = build_add2 () in
   Alcotest.(check int) "max temp" 3 (Ir.max_temp f)
 
+(* --- Verify.lint: reachability and must-define dataflow ------------------- *)
+
+let contains s ~affix =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let lint_clean () =
+  Alcotest.(check int) "clean function" 0
+    (List.length (Ir.Verify.lint_func (build_countdown ())))
+
+let lint_unreachable_block () =
+  let f = build_add2 () in
+  f.blocks <-
+    f.blocks
+    @ [ { Ir.label = "orphan"; instrs = []; term = Ir.Ret (Some (Ir.Const 1)) } ];
+  Ir.Verify.check_exn { globals = []; funcs = [ f ]; externs = [] };
+  match Ir.Verify.lint_func f with
+  | [ v ] ->
+    Alcotest.(check string) "names the function" "add2" v.func;
+    Alcotest.(check bool) "names the block" true
+      (contains v.message ~affix:"orphan")
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+let lint_maybe_undefined () =
+  (* t defined only on the then-path, used at the join *)
+  let b = Ir.Builder.create ~fname:"half" ~params:[ "x" ] ~returns_value:true in
+  let x = Ir.Builder.load b (Ir.Local "x") in
+  let c = Ir.Builder.icmp b Ir.Ne x (Ir.Const 0) in
+  Ir.Builder.cond_br b c ~if_true:"then" ~if_false:"join";
+  let _ = Ir.Builder.new_block b "then" in
+  let t = Ir.Builder.binop b Ir.Add x (Ir.Const 1) in
+  Ir.Builder.br b "join";
+  let _ = Ir.Builder.new_block b "join" in
+  let s = Ir.Builder.binop b Ir.Add t (Ir.Const 0) in
+  Ir.Builder.ret b (Some s);
+  let f = Ir.Builder.func b in
+  Alcotest.(check bool) "flags the maybe-undefined temp" true
+    (List.exists
+       (fun (v : Ir.Verify.violation) ->
+         contains v.message ~affix:"before definition")
+       (Ir.Verify.lint_func f));
+  (* fully-defined variant is quiet: define t on both paths *)
+  Alcotest.(check int) "countdown is clean" 0
+    (List.length (Ir.Verify.lint_func (build_countdown ())))
+
+let lint_surfaces_through_driver () =
+  (* dead blocks produced by lowering surface as pass-tagged warnings in
+     the driver reports *)
+  let c =
+    Resistor.Driver.compile
+      (Resistor.Config.all ~sensitive:[ "a" ] ())
+      Resistor.Firmware.guard_loop
+  in
+  Alcotest.(check bool) "driver collected lint warnings" true
+    (List.exists
+       (fun (pass, (v : Ir.Verify.violation)) ->
+         pass <> "" && contains v.message ~affix:"unreachable")
+       c.reports.verify_warnings)
+
 let () =
   Alcotest.run "ir"
     [ ("interp",
@@ -232,4 +292,10 @@ let () =
       ("verify",
        [ Alcotest.test_case "catches violations" `Quick verifier_catches;
          Alcotest.test_case "accepts good modules" `Quick verifier_accepts_good;
-         Alcotest.test_case "max_temp" `Quick max_temp_tracking ]) ]
+         Alcotest.test_case "max_temp" `Quick max_temp_tracking ]);
+      ("lint",
+       [ Alcotest.test_case "clean function" `Quick lint_clean;
+         Alcotest.test_case "unreachable block" `Quick lint_unreachable_block;
+         Alcotest.test_case "maybe-undefined temp" `Quick lint_maybe_undefined;
+         Alcotest.test_case "surfaces through driver" `Quick
+           lint_surfaces_through_driver ]) ]
