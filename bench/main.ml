@@ -608,6 +608,36 @@ let analysis () =
     (List.length (Analysis.Lint.errors def));
   write_json "BENCH_4.json" !records
 
+(* --- fuzz: randomized differential testing throughput ------------------------- *)
+
+(* One bounded fixed-seed batch per property family; [items] counts the
+   generated programs, so the PERF rate reads as programs/second. The
+   per-family checked/skipped/pass tallies land in BENCH_5.json next to
+   the timings. *)
+let fuzz ~quick () =
+  section "fuzz - randomized differential defense testing (writes BENCH_5.json)";
+  let count = if quick then 10 else 60 in
+  let seed = 42 in
+  let records = ref [] in
+  List.iter
+    (fun family ->
+      let name = Gen.Fuzz.family_name family in
+      let summary, perf =
+        Stats.Perf.time ~label:("fuzz-" ^ name) ~jobs:1 ~items:count (fun () ->
+            Gen.Fuzz.run ~families:[ family ] ~count ~seed ())
+      in
+      let run = List.hd summary.Gen.Fuzz.runs in
+      let perf = { perf with Stats.Perf.executed = run.Gen.Fuzz.checked } in
+      records := !records @ [ perf ];
+      Fmt.pr "@.%a@.%s@." Stats.Perf.pp perf (Stats.Perf.machine_line perf);
+      Fmt.pr "  %-14s %d generated, %d checked, %d skipped: %s@." name count
+        run.Gen.Fuzz.checked run.Gen.Fuzz.skipped
+        (match run.Gen.Fuzz.failure with
+        | None -> "pass"
+        | Some f -> "FAIL: " ^ f.Gen.Fuzz.message))
+    Gen.Fuzz.all_families;
+  write_json "BENCH_5.json" !records
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let micro () =
@@ -686,7 +716,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|fig2|table1|table2|table3|tables|tuner|table4|table5|table6|table7|analysis|micro] \
+     [all|fig2|table1|table2|table3|tables|tuner|table4|table5|table6|table7|analysis|fuzz|micro] \
      [--quick] [--jobs N]"
 
 (* Pull "--jobs N" out of the raw argument list. *)
@@ -720,7 +750,7 @@ let () =
       ("table4", table45); ("table5", table45);
       ("table6", table6 ?pool ~quick); ("table7", table7);
       ("ablation", ablation ?pool ~quick); ("analysis", analysis);
-      ("micro", micro) ]
+      ("fuzz", fuzz ~quick); ("micro", micro) ]
   in
   let run_all () =
     fig2 ?pool ();
@@ -734,6 +764,7 @@ let () =
     table7 ();
     ablation ?pool ~quick ();
     analysis ();
+    fuzz ~quick ();
     micro ()
   in
   (match args with

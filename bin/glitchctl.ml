@@ -285,6 +285,9 @@ let compile_cmd =
     | exception Lower.Layout.Error e ->
       Fmt.epr "%s: %a@." file Lower.Layout.pp_error e;
       exit_input
+    | exception Lower.Codegen.Error e ->
+      Fmt.epr "%s: %a@." file Lower.Codegen.pp_error e;
+      exit_input
     | exception e ->
       Fmt.epr "compile failed: %s@." (Printexc.to_string e);
       exit_internal
@@ -534,6 +537,142 @@ let lint_cmd =
          :: Cmd.Exit.defaults))
     Term.(const run $ file $ config_arg $ sensitive_arg $ json $ cfcss)
 
+(* --- fuzz ------------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Generated programs per property family.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Generator seed; a fresh one is drawn (and printed) if omitted.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk, replayable counterexamples.")
+  in
+  let properties =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "properties" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated family subset: roundtrip, semantics, efficacy, \
+             static-dynamic.")
+  in
+  let sabotage =
+    Arg.(
+      value & flag
+      & info [ "sabotage" ]
+          ~doc:
+            "Negative control: disable the complemented re-check in the \
+             Branches/Loops passes. The efficacy family must then fail.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run one saved counterexample instead of fuzzing.")
+  in
+  let run count seed corpus properties sabotage replay =
+    match replay with
+    | Some path -> (
+      match Gen.Corpus.load path with
+      | Error m ->
+        Fmt.epr "%s: %s@." path m;
+        exit_input
+      | Ok entry -> (
+        match Gen.Fuzz.replay entry with
+        | Error m ->
+          Fmt.epr "%s: %s@." path m;
+          exit_input
+        | Ok Gen.Fuzz.Pass ->
+          Fmt.pr "replay %s: %s now passes@." path entry.Gen.Corpus.property;
+          0
+        | Ok (Gen.Fuzz.Skip m) ->
+          Fmt.epr "replay %s: precondition no longer holds (%s)@." path m;
+          exit_input
+        | Ok (Gen.Fuzz.Fail m) ->
+          Fmt.pr "replay %s: %s still fails@.  %s@." path
+            entry.Gen.Corpus.property m;
+          exit_findings))
+    | None when count <= 0 ->
+      Fmt.epr "--count expects a positive integer (got %d)@." count;
+      exit_input
+    | None -> (
+      let families =
+        match properties with
+        | None -> Ok Gen.Fuzz.all_families
+        | Some s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.fold_left
+               (fun acc name ->
+                 match (acc, Gen.Fuzz.family_of_string name) with
+                 | Error _, _ -> acc
+                 | Ok _, None -> Error name
+                 | Ok fs, Some f -> Ok (fs @ [ f ]))
+               (Ok [])
+      in
+      match families with
+      | Error name ->
+        Fmt.epr "unknown property family %S@." name;
+        exit_input
+      | Ok families ->
+        let seed =
+          match seed with
+          | Some s -> s
+          | None ->
+            Random.self_init ();
+            Random.int 0x3FFFFFFF
+        in
+        Fmt.pr "fuzz: seed %d, %d program(s) per family%s@." seed count
+          (if sabotage then " [sabotaged complement check]" else "");
+        let summary =
+          Gen.Fuzz.run ~dir:corpus ~families ~sabotage ~count ~seed ()
+        in
+        List.iter
+          (fun (r : Gen.Fuzz.family_run) ->
+            match r.failure with
+            | None ->
+              Fmt.pr "  %-14s %d checked, %d skipped: ok@."
+                (Gen.Fuzz.family_name r.family)
+                r.checked r.skipped
+            | Some f ->
+              Fmt.pr "  %-14s FAILED after %d checks (%d shrink steps)@."
+                (Gen.Fuzz.family_name r.family)
+                r.checked f.shrink_steps;
+              Fmt.pr "    %s@." f.message;
+              Option.iter
+                (fun p -> Fmt.pr "    counterexample saved to %s@." p)
+                f.corpus_path)
+          summary.runs;
+        if Gen.Fuzz.ok summary then 0 else exit_findings)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential defense testing on random Mini-C firmware: generated \
+          programs are compiled under every pass configuration and \
+          cross-checked between the source-level interpreter, the board, \
+          and the static analyzers; defended guards are swept with 1/2-bit \
+          flash corruption. Failures shrink to replayable $(i,corpus/) \
+          files. Exits 0 when every family passes, 3 on a property \
+          failure, 2 on invalid input."
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"when every property family passes."
+         :: Cmd.Exit.info exit_input ~doc:"on invalid input."
+         :: Cmd.Exit.info exit_findings ~doc:"on a property failure."
+         :: Cmd.Exit.defaults))
+    Term.(const run $ count $ seed $ corpus $ properties $ sabotage $ replay)
+
 let () =
   let doc = "glitching attack and defense toolkit (Glitching Demystified, DSN'21)" in
   let info = Cmd.info "glitchctl" ~version:"1.0.0" ~doc in
@@ -541,4 +680,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
-            table_cmd; tune_cmd; lint_cmd ]))
+            table_cmd; tune_cmd; lint_cmd; fuzz_cmd ]))

@@ -1,0 +1,586 @@
+(* Random well-typed Mini-C programs for the differential fuzzer.
+
+   Two shapes are generated:
+
+   - [Terminating]: firmware that provably halts — every loop is a
+     counter loop with a fresh, never-reassigned induction variable —
+     so the IR interpreter can serve as a semantics oracle against the
+     board.
+   - [Guarded]: firmware in the Table-VI mold — a volatile guard
+     variable that (glitch-free) never satisfies its unlock condition
+     protects the [attack_success] marker store, exactly like the
+     hand-written suite in [Resistor.Firmware].
+
+   Invariants the properties rely on, maintained here by construction:
+   every name is globally unique (sema rejects shadowing); locals are
+   always initialised (the interpreter traps on read-before-write, the
+   board would read stack fill); enum constants flow only into
+   enum-typed locals, enum comparisons and enum switch cases, never
+   into globals, returns or arithmetic (so ENUM diversification cannot
+   change observables); shift amounts are literal; loop counters are
+   read-only inside their own bodies; generated switch arms are never
+   empty (an empty arm body would merge its case labels with the next
+   arm on reparse). *)
+
+open Minic
+
+type shape = Terminating | Guarded
+
+type case = { shape : shape; prog : Ast.program }
+
+let shape_name = function Terminating -> "terminating" | Guarded -> "guarded"
+
+let source_of_case c = Pretty.to_string c.prog
+
+(* ------------------------------------------------------------------ *)
+(* generation context                                                  *)
+
+type ctx = {
+  st : Random.State.t;
+  mutable fresh : int;
+  mutable vars : string list;  (** assignable integer variables in scope *)
+  mutable reads : string list;  (** readable but never assigned (counters, guards) *)
+  mutable helpers : (string * int) list;  (** callable helpers: name, arity *)
+  mutable status : (string * int * int) list;
+      (** constant-return helpers and their two return values — used
+          only as [s() == k] so the Returns pass can diversify them *)
+  mutable enum_members : string list;  (** members of the single enum, if any *)
+  mutable enum_name : string option;
+  mutable enum_vars : string list;  (** enum-typed locals in scope *)
+  allow_trigger : bool;  (** random trigger pulses allowed in statements *)
+}
+
+let new_ctx ?(allow_trigger = true) st =
+  { st; fresh = 0; vars = []; reads = []; helpers = []; status = [];
+    enum_members = []; enum_name = None; enum_vars = []; allow_trigger }
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let rint ctx n = Random.State.int ctx.st n
+let range ctx lo hi = lo + rint ctx (hi - lo + 1)
+let pick ctx l = List.nth l (rint ctx (List.length l))
+let chance ctx pct = rint ctx 100 < pct
+
+(* ------------------------------------------------------------------ *)
+(* expressions                                                         *)
+
+let interesting_literals =
+  [ 0; 1; 2; 3; 5; 7; 10; 42; 100; 170; 255; 256; 1000; 0xFFFF; 0x7FFFFFFF;
+    0x80000000; 0xFFFFFFFF; -1; -2; -17; -256 ]
+
+let gen_literal ctx =
+  if chance ctx 40 then Ast.Int (pick ctx interesting_literals)
+  else Ast.Int (range ctx (-64) 500)
+
+let arith_binops =
+  [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Band; Ast.Bor; Ast.Bxor ]
+
+let compare_binops = [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+
+let gen_leaf ctx =
+  let readable = ctx.vars @ ctx.reads in
+  if readable <> [] && chance ctx 55 then Ast.Ident (pick ctx readable)
+  else gen_literal ctx
+
+let rec gen_expr ctx depth =
+  if depth <= 0 then gen_leaf ctx
+  else
+    match rint ctx 10 with
+    | 0 | 1 -> gen_leaf ctx
+    | 2 | 3 | 4 ->
+      Ast.Binop (pick ctx arith_binops, gen_expr ctx (depth - 1),
+                 gen_expr ctx (depth - 1))
+    | 5 ->
+      (* literal shift amounts: keeps >=32-bit shift semantics out of
+         the differential (the IR masks the amount, hardware varies) *)
+      let op = if chance ctx 50 then Ast.Shl else Ast.Shr in
+      Ast.Binop (op, gen_expr ctx (depth - 1), Ast.Int (range ctx 0 12))
+    | 6 ->
+      let op = pick ctx [ Ast.Neg; Ast.Lnot; Ast.Bnot ] in
+      (match (op, gen_expr ctx (depth - 1)) with
+      | Ast.Neg, Ast.Int v -> Ast.Int (-v)  (* canonical negated literal *)
+      | op, e -> Ast.Unop (op, e))
+    | 7 ->
+      Ast.Binop (pick ctx compare_binops, gen_expr ctx (depth - 1),
+                 gen_expr ctx (depth - 1))
+    | 8 when ctx.helpers <> [] ->
+      let name, arity = pick ctx ctx.helpers in
+      Ast.Call (name, List.init arity (fun _ -> gen_expr ctx (depth - 1)))
+    | _ ->
+      let op = if chance ctx 50 then Ast.Land else Ast.Lor in
+      Ast.Binop (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+
+(* conditions: mostly comparisons, sprinkled with status-helper checks
+   (Returns-pass fodder) and enum comparisons *)
+let gen_cond ctx depth =
+  match rint ctx 6 with
+  | 0 when ctx.status <> [] ->
+    let name, k1, k2 = pick ctx ctx.status in
+    let k = if chance ctx 50 then k1 else k2 in
+    let op = if chance ctx 50 then Ast.Eq else Ast.Ne in
+    Ast.Binop (op, Ast.Call (name, []), Ast.Int k)
+  | 1 when ctx.enum_vars <> [] && ctx.enum_members <> [] ->
+    let v = pick ctx ctx.enum_vars in
+    let m = pick ctx ctx.enum_members in
+    let op = if chance ctx 50 then Ast.Eq else Ast.Ne in
+    Ast.Binop (op, Ast.Ident v, Ast.Ident m)
+  | 2 | 3 ->
+    Ast.Binop (pick ctx compare_binops, gen_expr ctx depth,
+               gen_expr ctx (depth - 1))
+  | _ -> gen_expr ctx depth
+
+(* ------------------------------------------------------------------ *)
+(* statements                                                          *)
+
+let scoped ctx f =
+  let vars = ctx.vars and reads = ctx.reads and evars = ctx.enum_vars in
+  let r = f () in
+  ctx.vars <- vars;
+  ctx.reads <- reads;
+  ctx.enum_vars <- evars;
+  r
+
+let int_ty ctx = if chance ctx 50 then Ast.Tint else Ast.Tuint
+
+let rec gen_stmt ctx ~depth ~in_for =
+  let budgeted = depth > 0 in
+  match rint ctx 14 with
+  | 0 | 1 when ctx.vars <> [] ->
+    Ast.Sassign (pick ctx ctx.vars, gen_expr ctx 2)
+  | 2 | 3 ->
+    let name = fresh ctx "x" in
+    let d =
+      { Ast.dname = name; dty = int_ty ctx; dvolatile = false;
+        dinit = Some (gen_expr ctx 2) }
+    in
+    ctx.vars <- name :: ctx.vars;
+    Ast.Sdecl d
+  | 4 when ctx.enum_members <> [] ->
+    let name = fresh ctx "m" in
+    let d =
+      { Ast.dname = name;
+        dty = Ast.Tenum (Option.get ctx.enum_name);
+        dvolatile = false;
+        dinit = Some (Ast.Ident (pick ctx ctx.enum_members)) }
+    in
+    ctx.enum_vars <- name :: ctx.enum_vars;
+    Ast.Sdecl d
+  | 5 | 6 when budgeted ->
+    let cond = gen_cond ctx 2 in
+    let then_ = gen_block ctx ~depth:(depth - 1) ~in_for ~min_stmts:1 in
+    let else_ =
+      if chance ctx 40 then
+        Some (gen_block ctx ~depth:(depth - 1) ~in_for ~min_stmts:1)
+      else None
+    in
+    Ast.Sif (cond, then_, else_)
+  | 7 when budgeted -> gen_for ctx ~depth
+  | 8 when budgeted -> gen_while ctx ~depth
+  | 9 when budgeted -> gen_do_while ctx ~depth
+  | 10 when budgeted -> gen_switch ctx ~depth ~in_for
+  | 11 when ctx.helpers <> [] ->
+    let name, arity = pick ctx ctx.helpers in
+    Ast.Sexpr (Ast.Call (name, List.init arity (fun _ -> gen_expr ctx 1)))
+  | 12 when ctx.allow_trigger && chance ctx 30 ->
+    Ast.Sexpr
+      (Ast.Call ((if chance ctx 50 then "__trigger_high" else "__trigger_low"), []))
+  | 13 when in_for && chance ctx 30 ->
+    (* guarded early exit; [continue] is safe in a for (the step block
+       still advances the induction variable) *)
+    let exit = if chance ctx 50 then Ast.Sbreak else Ast.Scontinue in
+    Ast.Sif (gen_cond ctx 1, [ exit ], None)
+  | _ ->
+    if ctx.vars <> [] then Ast.Sassign (pick ctx ctx.vars, gen_expr ctx 2)
+    else Ast.Sexpr (gen_expr ctx 2)
+
+and gen_block ctx ~depth ~in_for ~min_stmts =
+  scoped ctx (fun () ->
+      let n = max min_stmts (range ctx min_stmts 3) in
+      List.init n (fun _ -> gen_stmt ctx ~depth ~in_for))
+
+and gen_for ctx ~depth =
+  let i = fresh ctx "i" in
+  let bound = range ctx 1 4 in
+  let init =
+    Ast.Sdecl
+      { Ast.dname = i; dty = Ast.Tint; dvolatile = false; dinit = Some (Ast.Int 0) }
+  in
+  let cond = Ast.Binop (Ast.Lt, Ast.Ident i, Ast.Int bound) in
+  let step = Ast.Sassign (i, Ast.Binop (Ast.Add, Ast.Ident i, Ast.Int 1)) in
+  let body =
+    scoped ctx (fun () ->
+        ctx.reads <- i :: ctx.reads;
+        List.init (range ctx 1 3) (fun _ -> gen_stmt ctx ~depth:(depth - 1) ~in_for:true))
+  in
+  Ast.Sfor (Some init, Some cond, Some step, body)
+
+and gen_while ctx ~depth =
+  (* int c = 0; while (c < k) { c = c + 1; ... } — the increment comes
+     first so the body cannot starve it *)
+  let c = fresh ctx "c" in
+  let bound = range ctx 1 4 in
+  let body =
+    scoped ctx (fun () ->
+        ctx.reads <- c :: ctx.reads;
+        Ast.Sassign (c, Ast.Binop (Ast.Add, Ast.Ident c, Ast.Int 1))
+        :: List.init (range ctx 0 2) (fun _ ->
+               gen_stmt ctx ~depth:(depth - 1) ~in_for:false))
+  in
+  Ast.Sblock
+    [ Ast.Sdecl
+        { Ast.dname = c; dty = Ast.Tint; dvolatile = false;
+          dinit = Some (Ast.Int 0) };
+      Ast.Swhile (Ast.Binop (Ast.Lt, Ast.Ident c, Ast.Int bound), body) ]
+
+and gen_do_while ctx ~depth =
+  let c = fresh ctx "d" in
+  let bound = range ctx 1 3 in
+  let body =
+    scoped ctx (fun () ->
+        ctx.reads <- c :: ctx.reads;
+        Ast.Sassign (c, Ast.Binop (Ast.Add, Ast.Ident c, Ast.Int 1))
+        :: List.init (range ctx 0 2) (fun _ ->
+               gen_stmt ctx ~depth:(depth - 1) ~in_for:false))
+  in
+  Ast.Sblock
+    [ Ast.Sdecl
+        { Ast.dname = c; dty = Ast.Tint; dvolatile = false;
+          dinit = Some (Ast.Int 0) };
+      Ast.Sdo_while (body, Ast.Binop (Ast.Lt, Ast.Ident c, Ast.Int bound)) ]
+
+and gen_switch ctx ~depth ~in_for =
+  let on_enum = ctx.enum_vars <> [] && List.length ctx.enum_members >= 2
+                && chance ctx 50 in
+  let arm_body () =
+    scoped ctx (fun () ->
+        let stmts =
+          List.init (range ctx 1 2) (fun _ ->
+              gen_stmt ctx ~depth:(depth - 1) ~in_for)
+        in
+        if chance ctx 70 then stmts @ [ Ast.Sbreak ] else stmts)
+  in
+  if on_enum then begin
+    let v = pick ctx ctx.enum_vars in
+    let n = min (List.length ctx.enum_members) (range ctx 1 3) in
+    let members = List.filteri (fun i _ -> i < n) ctx.enum_members in
+    let arms =
+      List.map
+        (fun m ->
+          { Ast.arm_cases = [ Some (Ast.Ident m) ]; arm_body = arm_body () })
+        members
+    in
+    let arms =
+      if chance ctx 50 then
+        arms @ [ { Ast.arm_cases = [ None ]; arm_body = arm_body () } ]
+      else arms
+    in
+    Ast.Sswitch (Ast.Ident v, arms)
+  end
+  else begin
+    let base = range ctx (-3) 20 in
+    let n = range ctx 1 3 in
+    let arms =
+      List.init n (fun k ->
+          let cases =
+            if k = 0 && chance ctx 30 then
+              [ Some (Ast.Int base); Some (Ast.Int (base + 100)) ]
+            else [ Some (Ast.Int (base + k + 1)) ]
+          in
+          { Ast.arm_cases = cases; arm_body = arm_body () })
+    in
+    let arms =
+      if chance ctx 50 then
+        arms @ [ { Ast.arm_cases = [ None ]; arm_body = arm_body () } ]
+      else arms
+    in
+    Ast.Sswitch (gen_expr ctx 2, arms)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* top-level items                                                     *)
+
+let gen_enum ctx =
+  let name = fresh ctx "e" in
+  let n = range ctx 2 4 in
+  let members = List.init n (fun i -> (Printf.sprintf "%s_m%d" name i, None)) in
+  ctx.enum_name <- Some name;
+  ctx.enum_members <- List.map fst members;
+  Ast.Ienum { ename = name; members }
+
+let gen_global ctx ~volatile =
+  let name = fresh ctx (if volatile then "v" else "g") in
+  let g =
+    { Ast.gname = name; gty = int_ty ctx; gvolatile = volatile;
+      ginit = Some (gen_literal ctx) }
+  in
+  ctx.vars <- name :: ctx.vars;
+  Ast.Iglobal g
+
+let gen_status_helper ctx =
+  let name = fresh ctx "s" in
+  let k1 = range ctx 1 120 in
+  let k2 = k1 + range ctx 1 120 in
+  let body =
+    [ Ast.Sif (gen_cond ctx 1, [ Ast.Sreturn (Some (Ast.Int k1)) ], None);
+      Ast.Sreturn (Some (Ast.Int k2)) ]
+  in
+  ctx.status <- (name, k1, k2) :: ctx.status;
+  Ast.Ifunc { fname = name; fret = Ast.Tint; fparams = []; fbody = body }
+
+let gen_helper ctx =
+  let name = fresh ctx "h" in
+  let arity = range ctx 0 2 in
+  let params =
+    List.init arity (fun _ -> (fresh ctx "p", int_ty ctx))
+  in
+  let body =
+    scoped ctx (fun () ->
+        ctx.vars <- List.map fst params @ ctx.vars;
+        let stmts =
+          List.init (range ctx 1 4) (fun _ ->
+              gen_stmt ctx ~depth:1 ~in_for:false)
+        in
+        stmts @ [ Ast.Sreturn (Some (gen_expr ctx 2)) ])
+  in
+  ctx.helpers <- (name, arity) :: ctx.helpers;
+  Ast.Ifunc { fname = name; fret = Ast.Tint; fparams = params; fbody = body }
+
+let gen_preamble ctx =
+  let enum = if chance ctx 60 then [ gen_enum ctx ] else [] in
+  let globals =
+    List.init (range ctx 1 3) (fun _ -> gen_global ctx ~volatile:false)
+    @ List.init (range ctx 0 2) (fun _ -> gen_global ctx ~volatile:true)
+  in
+  let status = if chance ctx 60 then [ gen_status_helper ctx ] else [] in
+  let helpers = List.init (range ctx 0 2) (fun _ -> gen_helper ctx) in
+  enum @ globals @ status @ helpers
+
+(* ------------------------------------------------------------------ *)
+(* program shapes                                                      *)
+
+let gen_terminating st =
+  let ctx = new_ctx st in
+  let items = gen_preamble ctx in
+  let stmts =
+    List.init (range ctx 3 7) (fun _ -> gen_stmt ctx ~depth:2 ~in_for:false)
+  in
+  let body =
+    (Ast.Sexpr (Ast.Call ("__trigger_high", [])) :: stmts)
+    @ [ Ast.Sexpr (Ast.Call ("__trigger_low", []));
+        Ast.Sreturn (Some (gen_expr ctx 2)) ]
+  in
+  let main =
+    Ast.Ifunc { fname = "main"; fret = Ast.Tint; fparams = []; fbody = body }
+  in
+  { shape = Terminating; prog = items @ [ main ] }
+
+type guard_kind = While_not | While_ne | If_eq
+
+let marker = Resistor.Firmware.attack_marker_global
+
+let gen_guarded st =
+  let ctx = new_ctx ~allow_trigger:false st in
+  let items = gen_preamble ctx in
+  let kind = pick ctx [ While_not; While_ne; If_eq ] in
+  let gv = fresh ctx "guard" in
+  let gv_init, unlock =
+    match kind with
+    | While_not -> (0, 0)  (* while (!guard) spins while guard stays 0 *)
+    | While_ne | If_eq ->
+      let v = range ctx 0 5000 in
+      let k = v + range ctx 1 5000 in
+      (v, k)
+  in
+  let guard_items =
+    [ Ast.Iglobal
+        { gname = gv; gty = Ast.Tuint; gvolatile = true;
+          ginit = Some (Ast.Int gv_init) };
+      Ast.Iglobal
+        { gname = marker; gty = Ast.Tuint; gvolatile = true;
+          ginit = Some (Ast.Int 0) } ]
+  in
+  (* the guard variable and marker are readable but never assigned *)
+  ctx.reads <- gv :: ctx.reads;
+  let prelude =
+    List.init (range ctx 1 4) (fun _ -> gen_stmt ctx ~depth:1 ~in_for:false)
+  in
+  let unlock_stmts =
+    [ Ast.Sassign (marker, Ast.Int Resistor.Firmware.attack_marker_value) ]
+  in
+  let tail =
+    match kind with
+    | While_not ->
+      Ast.Swhile (Ast.Unop (Ast.Lnot, Ast.Ident gv), [])
+      :: unlock_stmts
+      @ [ Ast.Sexpr (Ast.Call ("__halt", [])) ]
+    | While_ne ->
+      Ast.Swhile (Ast.Binop (Ast.Ne, Ast.Ident gv, Ast.Int unlock), [])
+      :: unlock_stmts
+      @ [ Ast.Sexpr (Ast.Call ("__halt", [])) ]
+    | If_eq ->
+      [ Ast.Sif
+          (Ast.Binop (Ast.Eq, Ast.Ident gv, Ast.Int unlock), unlock_stmts, None);
+        Ast.Sexpr (Ast.Call ("__halt", [])) ]
+  in
+  let body =
+    prelude
+    @ (Ast.Sexpr (Ast.Call ("__trigger_high", [])) :: tail)
+    @ [ Ast.Sreturn (Some (Ast.Int 0)) ]
+  in
+  let main =
+    Ast.Ifunc { fname = "main"; fret = Ast.Tint; fparams = []; fbody = body }
+  in
+  { shape = Guarded; prog = items @ guard_items @ [ main ] }
+
+(* ------------------------------------------------------------------ *)
+(* shrinking (through the AST; the corpus stores pretty-printed text)  *)
+
+module Iter = QCheck.Iter
+
+let rec shrink_expr (e : Ast.expr) : Ast.expr Iter.t =
+ fun yield ->
+  match e with
+  | Ast.Int v -> QCheck.Shrink.int v (fun v' -> yield (Ast.Int v'))
+  | Ast.Ident _ -> yield (Ast.Int 0)
+  | Ast.Unop (op, a) ->
+    yield a;
+    shrink_expr a (fun a' -> yield (Ast.Unop (op, a')))
+  | Ast.Binop (op, a, b) ->
+    yield a;
+    yield b;
+    shrink_expr a (fun a' -> yield (Ast.Binop (op, a', b)));
+    shrink_expr b (fun b' -> yield (Ast.Binop (op, a, b')))
+  | Ast.Call (f, args) ->
+    yield (Ast.Int 1);
+    List.iteri
+      (fun i a ->
+        shrink_expr a (fun a' ->
+            yield (Ast.Call (f, List.mapi (fun j x -> if i = j then a' else x) args))))
+      args
+
+let shrink_list shrink_elem l : _ list Iter.t =
+ fun yield ->
+  List.iteri (fun i _ -> yield (List.filteri (fun j _ -> i <> j) l)) l;
+  List.iteri
+    (fun i x ->
+      shrink_elem x (fun x' ->
+          yield (List.mapi (fun j y -> if i = j then x' else y) l)))
+    l
+
+let rec shrink_stmt (s : Ast.stmt) : Ast.stmt Iter.t =
+ fun yield ->
+  match s with
+  | Ast.Sexpr e -> shrink_expr e (fun e' -> yield (Ast.Sexpr e'))
+  | Ast.Sassign (n, e) -> shrink_expr e (fun e' -> yield (Ast.Sassign (n, e')))
+  | Ast.Sdecl d ->
+    (match d.dinit with
+    | Some e ->
+      shrink_expr e (fun e' -> yield (Ast.Sdecl { d with dinit = Some e' }))
+    | None -> ())
+  | Ast.Sif (c, t, e) ->
+    yield (Ast.Sblock t);
+    (match e with Some b -> yield (Ast.Sblock b) | None -> ());
+    (match e with
+    | Some _ -> yield (Ast.Sif (c, t, None))
+    | None -> ());
+    shrink_expr c (fun c' -> yield (Ast.Sif (c', t, e)));
+    shrink_block t (fun t' -> yield (Ast.Sif (c, t', e)));
+    (match e with
+    | Some b -> shrink_block b (fun b' -> yield (Ast.Sif (c, t, Some b')))
+    | None -> ())
+  | Ast.Swhile (c, b) ->
+    yield (Ast.Sblock b);
+    shrink_expr c (fun c' -> yield (Ast.Swhile (c', b)));
+    shrink_block b (fun b' -> yield (Ast.Swhile (c, b')))
+  | Ast.Sdo_while (b, c) ->
+    yield (Ast.Sblock b);
+    shrink_expr c (fun c' -> yield (Ast.Sdo_while (b, c')));
+    shrink_block b (fun b' -> yield (Ast.Sdo_while (b', c)))
+  | Ast.Sfor (init, cond, step, b) ->
+    yield (Ast.Sblock b);
+    shrink_block b (fun b' -> yield (Ast.Sfor (init, cond, step, b')))
+  | Ast.Sswitch (e, arms) ->
+    List.iter (fun a -> yield (Ast.Sblock a.Ast.arm_body)) arms;
+    (* drop a whole arm (never just its last statement: an empty arm
+       body would merge labels with the following arm when reprinted) *)
+    List.iteri
+      (fun i _ -> yield (Ast.Sswitch (e, List.filteri (fun j _ -> i <> j) arms)))
+      arms;
+    shrink_expr e (fun e' -> yield (Ast.Sswitch (e', arms)));
+    List.iteri
+      (fun i a ->
+        shrink_block a.Ast.arm_body (fun b' ->
+            if b' <> [] then
+              yield
+                (Ast.Sswitch
+                   ( e,
+                     List.mapi
+                       (fun j a' ->
+                         if i = j then { a' with Ast.arm_body = b' } else a')
+                       arms ))))
+      arms
+  | Ast.Sreturn (Some e) ->
+    shrink_expr e (fun e' -> yield (Ast.Sreturn (Some e')))
+  | Ast.Sblock b ->
+    (match b with [ s ] -> yield s | _ -> ());
+    shrink_block b (fun b' -> yield (Ast.Sblock b'))
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue -> ()
+
+and shrink_block (b : Ast.block) : Ast.block Iter.t = shrink_list shrink_stmt b
+
+let shrink_item (it : Ast.item) : Ast.item Iter.t =
+ fun yield ->
+  match it with
+  | Ast.Ifunc f -> shrink_block f.fbody (fun b -> yield (Ast.Ifunc { f with fbody = b }))
+  | Ast.Iglobal g ->
+    (match g.ginit with
+    | Some e ->
+      shrink_expr e (fun e' -> yield (Ast.Iglobal { g with ginit = Some e' }))
+    | None -> ())
+  | Ast.Ienum e ->
+    List.iteri
+      (fun i _ ->
+        let members = List.filteri (fun j _ -> i <> j) e.members in
+        if members <> [] then yield (Ast.Ienum { e with members }))
+      e.members
+
+let shrink_case (c : case) : case Iter.t =
+ fun yield ->
+  (* Item removal must not delete [main]: a program without an entry
+     point fails to link for a reason of its own, which would let the
+     shrinker walk every counterexample down to the empty program. *)
+  let removable = function
+    | Ast.Ifunc f -> f.Ast.fname <> "main"
+    | Ast.Iglobal _ | Ast.Ienum _ -> true
+  in
+  List.iteri
+    (fun i it ->
+      if removable it then
+        yield { c with prog = List.filteri (fun j _ -> i <> j) c.prog })
+    c.prog;
+  List.iteri
+    (fun i it ->
+      shrink_item it (fun it' ->
+          yield
+            { c with
+              prog = List.mapi (fun j x -> if i = j then it' else x) c.prog }))
+    c.prog
+
+(* ------------------------------------------------------------------ *)
+(* QCheck plumbing                                                     *)
+
+let print_case c =
+  Printf.sprintf "/* shape: %s */\n%s" (shape_name c.shape) (source_of_case c)
+
+let arb_of gen =
+  QCheck.make ~print:print_case ~shrink:shrink_case gen
+
+let arb_terminating = arb_of gen_terminating
+let arb_guarded = arb_of gen_guarded
+
+let arb_any =
+  arb_of (fun st ->
+      if Random.State.bool st then gen_terminating st else gen_guarded st)

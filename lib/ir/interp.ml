@@ -2,6 +2,11 @@ type outcome = { ret : int option; globals : (string * int) list }
 
 type builtin = int list -> int
 
+type event =
+  | Obs_load of { name : string; value : int; volatile : bool }
+  | Obs_store of { name : string; value : int; volatile : bool }
+  | Obs_call of { callee : string; args : int list }
+
 exception Trap of string
 
 let trap fmt = Fmt.kstr (fun m -> raise (Trap m)) fmt
@@ -10,8 +15,11 @@ type state = {
   modul : Types.modul;
   globals : (string, int) Hashtbl.t;
   builtins : (string * builtin) list;
+  observer : (event -> unit) option;
   mutable fuel : int;
 }
+
+let observe st ev = match st.observer with Some f -> f ev | None -> ()
 
 let value_of frame (v : Types.value) =
   match v with
@@ -78,10 +86,19 @@ and exec_instr st f locals frame (i : Types.instr) =
   if st.fuel <= 0 then trap "out of fuel in %s" f.fname;
   st.fuel <- st.fuel - 1;
   match i with
-  | Types.Load { dst; src; volatile = _ } ->
-    Hashtbl.replace frame dst (read_var st locals src)
-  | Types.Store { dst; src; volatile = _ } ->
-    write_var st locals dst (value_of frame src)
+  | Types.Load { dst; src; volatile } ->
+    let v = read_var st locals src in
+    (match src with
+    | Types.Global name -> observe st (Obs_load { name; value = v; volatile })
+    | Types.Local _ -> ());
+    Hashtbl.replace frame dst v
+  | Types.Store { dst; src; volatile } ->
+    let v = value_of frame src in
+    (match dst with
+    | Types.Global name ->
+      observe st (Obs_store { name; value = Types.mask32 v; volatile })
+    | Types.Local _ -> ());
+    write_var st locals dst v
   | Types.Binop { dst; op; lhs; rhs } ->
     Hashtbl.replace frame dst
       (Types.eval_binop op (value_of frame lhs) (value_of frame rhs))
@@ -102,16 +119,17 @@ and exec_instr st f locals frame (i : Types.instr) =
     | None -> (
       match List.assoc_opt callee st.builtins with
       | Some fn ->
+        observe st (Obs_call { callee; args = argv });
         let r = fn argv in
         Option.iter (fun d -> Hashtbl.replace frame d (Types.mask32 r)) dst
       | None -> trap "no definition for %s" callee))
 
-let run ?(fuel = 1_000_000) ?(builtins = []) modul ~entry ~args =
+let run ?(fuel = 1_000_000) ?(builtins = []) ?observer modul ~entry ~args =
   let globals = Hashtbl.create 16 in
   List.iter
     (fun (g : Types.global) -> Hashtbl.replace globals g.gname (Types.mask32 g.init))
     modul.Types.globals;
-  let st = { modul; globals; builtins; fuel } in
+  let st = { modul; globals; builtins; observer; fuel } in
   match Types.find_func modul entry with
   | None -> Error (Printf.sprintf "no function %s" entry)
   | Some f -> (

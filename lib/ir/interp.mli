@@ -12,13 +12,26 @@ type outcome = {
 type builtin = int list -> int
 (** Handler for an extern callee; void-returning builtins return 0. *)
 
+type event =
+  | Obs_load of { name : string; value : int; volatile : bool }
+  | Obs_store of { name : string; value : int; volatile : bool }
+  | Obs_call of { callee : string; args : int list }
+      (** Observable actions in program order: accesses to module
+          globals (with the IR volatile flag, so an observer can keep
+          just the volatile I/O trace) and calls that resolve to a
+          builtin — the source-level counterpart of the board's
+          MMIO/trigger activity. Local slots and temps are not
+          reported. *)
+
 val run :
   ?fuel:int ->
   ?builtins:(string * builtin) list ->
+  ?observer:(event -> unit) ->
   Types.modul ->
   entry:string ->
   args:int list ->
   (outcome, string) result
 (** Execute [entry] with the given arguments. [fuel] (default 1,000,000
     executed instructions) bounds runaway loops; exhaustion, unknown
-    callees, or a fall into [Unreachable] produce [Error]. *)
+    callees, or a fall into [Unreachable] produce [Error]. [observer]
+    is invoked synchronously on every {!event}. *)

@@ -28,11 +28,16 @@ type item =
   | Bto of string
   | Bl_sym of string
   | Load_lit of R.t * lit
+  | Pool of lit list
+      (** a literal-pool island; padded to word alignment when placed *)
 
+(* [Pool] length excludes the alignment pad, which depends on where the
+   island lands — the offset fold in [resolve] accounts for it. *)
 let item_halfwords = function
   | Ins _ | Bcond _ | Bto _ | Load_lit _ -> 1
   | Label _ -> 0
   | Bl_sym _ -> 2
+  | Pool lits -> 2 * List.length lits
 
 type ctx = {
   fn : Ir.func;
@@ -223,43 +228,166 @@ let sp_adjust ctx words =
 
 (* --- resolution: items -> words ------------------------------------------ *)
 
-let resolve ctx =
-  let items = List.rev ctx.items in
-  (* offsets *)
-  let offsets = Hashtbl.create 64 in
-  let code_len =
-    List.fold_left
-      (fun off item ->
-        (match item with
-        | Label l ->
-          if Hashtbl.mem offsets l then fail ctx "duplicate label %s" l;
-          Hashtbl.add offsets l off
-        | Ins _ | Bcond _ | Bto _ | Bl_sym _ | Load_lit _ -> ());
-        off + item_halfwords item)
-      0 items
+(* [ldr rd, [pc, #imm]] reaches at most 1020 bytes forward, so a single
+   end-of-function pool breaks once a function outgrows ~1KB — which
+   defense instrumentation makes routine (randomized differential
+   testing first hit the limit on a Branches+Loops+Integrity build).
+   Pending literals are therefore flushed into mid-function islands at
+   any point no conditional hop spans: after an unconditional branch
+   the island sits in dead space, anywhere else a branch over it is
+   emitted first. The trigger charges the island's own size against
+   the 510-halfword reach, so the oldest use still reaches the last
+   entry. Functions whose every load stays within reach of the final
+   pool keep the old single-pool layout bit for bit. *)
+let flush_limit = 450 (* halfwords: use-to-flush distance + island size *)
+
+let insert_pools ctx items =
+  let out = ref [] in
+  let off = ref 0 in
+  let pending = ref [] in (* literals in first-use order *)
+  let first_use = ref 0 in
+  let open_bconds = ref [] in
+  let prev_bto = ref true (* nothing falls into the function head *) in
+  let flush () =
+    if !pending <> [] then begin
+      if not !prev_bto then begin
+        let skip = local_label ctx "pool" in
+        out := Pool !pending :: Bto skip :: !out;
+        off := !off + 1;
+        out := Label skip :: !out
+      end
+      else out := Pool !pending :: !out;
+      off := !off + (!off land 1) + (2 * List.length !pending);
+      pending := []
+    end
   in
-  (* literal pool: unique literals after the (aligned) code *)
-  let pool_start = if code_len land 1 = 0 then code_len else code_len + 1 in
-  let pool = ref [] in
-  let pool_index lit =
-    match
-      List.find_map
-        (fun (l, idx) -> if l = lit then Some idx else None)
-        !pool
-    with
-    | Some idx -> idx
-    | None ->
-      let idx = List.length !pool in
-      pool := !pool @ [ (lit, idx) ];
-      idx
-  in
-  (* collect literals in item order for determinism *)
   List.iter
-    (function
-      | Load_lit (_, lit) -> ignore (pool_index lit)
-      | Ins _ | Label _ | Bcond _ | Bto _ | Bl_sym _ -> ())
+    (fun item ->
+      if
+        !open_bconds = []
+        && !off - !first_use + (2 * List.length !pending) > flush_limit
+      then flush ();
+      (match item with
+      | Bcond (_, l) -> open_bconds := l :: !open_bconds
+      | Label l -> open_bconds := List.filter (fun l' -> l' <> l) !open_bconds
+      | Load_lit (_, lit) ->
+        if not (List.mem lit !pending) then begin
+          if !pending = [] then first_use := !off;
+          pending := !pending @ [ lit ]
+        end
+      | Ins _ | Bto _ | Bl_sym _ | Pool _ -> ());
+      prev_bto := (match item with Bto _ -> true | _ -> false);
+      out := item :: !out;
+      off := !off + item_halfwords item)
     items;
-  let total_len = pool_start + (2 * List.length !pool) in
+  prev_bto := true (* past the epilogue: nothing falls through *);
+  flush ();
+  List.rev !out
+
+(* halfword offset after placing [item] at [off] (pools pad to words) *)
+let advance off = function
+  | Pool lits -> off + (off land 1) + (2 * List.length lits)
+  | item -> off + item_halfwords item
+
+let resolve ctx =
+  let layout items =
+    let offsets = Hashtbl.create 64 in
+    let islands = ref [] in (* (lit, entry halfword offset) in image order *)
+    let total_len =
+      List.fold_left
+        (fun off item ->
+          match item with
+          | Label l ->
+            if Hashtbl.mem offsets l then fail ctx "duplicate label %s" l;
+            Hashtbl.add offsets l off;
+            off
+          | Pool lits ->
+            let start = off + (off land 1) in
+            List.iteri
+              (fun i lit -> islands := (lit, start + (2 * i)) :: !islands)
+              lits;
+            start + (2 * List.length lits)
+          | Ins _ | Bcond _ | Bto _ | Bl_sym _ | Load_lit _ ->
+            off + item_halfwords item)
+        0 items
+    in
+    (offsets, List.rev !islands, total_len)
+  in
+  (* Branch relaxation: the unconditional B reaches ±1024 halfwords, and
+     an instrumented function can outgrow that (found, like the pool
+     limit, by randomized differential testing).  An out-of-range branch
+     is split through a trampoline stub placed at a no-fallthrough point
+     inside the span, iterating until every branch is in range. *)
+  let stubs = ref 0 in
+  let rec relax items attempt =
+    let offsets, islands, total_len = layout items in
+    let target l =
+      match Hashtbl.find_opt offsets l with
+      | Some off -> off
+      | None -> fail ctx "unresolved label %s" l
+    in
+    let bad = ref None in
+    let off = ref 0 in
+    List.iteri
+      (fun i item ->
+        (match item with
+        | Bto l when !bad = None ->
+          let d = target l - (!off + 2) in
+          if d < -1024 || d > 1023 then bad := Some (i, !off, l, target l)
+        | _ -> ());
+        off := advance !off item)
+      items;
+    match !bad with
+    | None -> (items, offsets, islands, total_len)
+    | Some (bad_idx, boff, l, toff) ->
+      if attempt >= 64 then
+        fail ctx "branch to %s out of range (%d halfwords, unable to relax)" l
+          (toff - (boff + 2));
+      let lo = min boff toff and hi = max boff toff in
+      let mid = (boff + toff) / 2 in
+      (* candidate stub sites: after an unconditional branch, no
+         conditional hop spanning the point, strictly inside the span *)
+      let best = ref None in
+      let off = ref 0 in
+      let open_bconds = ref [] in
+      let prev_bto = ref false in
+      List.iteri
+        (fun i item ->
+          if !prev_bto && !open_bconds = [] && !off > lo && !off < hi then begin
+            let better =
+              match !best with
+              | None -> true
+              | Some (_, o) -> abs (!off - mid) < abs (o - mid)
+            in
+            if better then best := Some (i, !off)
+          end;
+          (match item with
+          | Bcond (_, l') -> open_bconds := l' :: !open_bconds
+          | Label l' -> open_bconds := List.filter (fun x -> x <> l') !open_bconds
+          | Ins _ | Bto _ | Bl_sym _ | Load_lit _ | Pool _ -> ());
+          prev_bto := (match item with Bto _ -> true | _ -> false);
+          off := advance !off item)
+        items;
+      (match !best with
+      | None ->
+        fail ctx "branch to %s out of range (%d halfwords)" l (toff - (boff + 2))
+      | Some (ins_idx, _) ->
+        incr stubs;
+        let sl = Printf.sprintf ".%s.stub.%d" ctx.fn.Ir.fname !stubs in
+        let items =
+          List.concat
+            (List.mapi
+               (fun i item ->
+                 if i = bad_idx then [ Bto sl ]
+                 else if i = ins_idx then [ Label sl; Bto l; item ]
+                 else [ item ])
+               items)
+        in
+        relax items (attempt + 1))
+  in
+  let items, offsets, islands, total_len =
+    relax (insert_pools ctx (List.rev ctx.items)) 0
+  in
   let words = Array.make total_len 0 in
   let bl_relocs = ref [] and word_relocs = ref [] in
   let target l =
@@ -292,24 +420,31 @@ let resolve ctx =
         put (I.Bl_hi 0);
         put (I.Bl_lo 0)
       | Load_lit (rd, lit) ->
-        let entry = pool_start + (2 * pool_index lit) in
+        let entry =
+          match
+            List.find_opt (fun (l, e) -> l = lit && e > !cursor) islands
+          with
+          | Some (_, e) -> e
+          | None -> fail ctx "no literal pool entry after offset %d" !cursor
+        in
         (* ldr rd, [pc, #imm]: base = (pc + 4) & ~3, pc = 2 * !cursor *)
         let base = ((2 * !cursor) + 4) land lnot 3 in
         let delta = (2 * entry) - base in
         if delta < 0 || delta > 1020 || delta land 3 <> 0 then
           fail ctx "literal pool out of range (delta %d)" delta;
-        put (I.Ldr_pc (rd, delta / 4)))
+        put (I.Ldr_pc (rd, delta / 4))
+      | Pool lits ->
+        if !cursor land 1 = 1 then incr cursor (* alignment pad stays zero *);
+        List.iter
+          (fun lit ->
+            (match lit with
+            | Lconst v ->
+              words.(!cursor) <- v land 0xFFFF;
+              words.(!cursor + 1) <- (v lsr 16) land 0xFFFF
+            | Lglobal g -> word_relocs := (!cursor, g) :: !word_relocs);
+            cursor := !cursor + 2)
+          lits)
     items;
-  (* emit the pool *)
-  List.iter
-    (fun (lit, idx) ->
-      let at = pool_start + (2 * idx) in
-      match lit with
-      | Lconst v ->
-        words.(at) <- v land 0xFFFF;
-        words.(at + 1) <- (v lsr 16) land 0xFFFF
-      | Lglobal g -> word_relocs := (at, g) :: !word_relocs)
-    !pool;
   (words, List.rev !bl_relocs, List.rev !word_relocs)
 
 let func (m : Ir.modul) (f : Ir.func) =

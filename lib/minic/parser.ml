@@ -167,7 +167,13 @@ and parse_multiplicative st =
   !lhs
 
 and parse_unary st =
-  if eat_punct st "-" then Ast.Unop (Ast.Neg, parse_unary st)
+  if eat_punct st "-" then (
+    (* Fold negated literals so [Int (-5)] is the canonical AST for
+       "-5": the printer emits negative constants with "%d" and the
+       round-trip property needs reparsing to reproduce them exactly. *)
+    match parse_unary st with
+    | Ast.Int v -> Ast.Int (-v)
+    | e -> Ast.Unop (Ast.Neg, e))
   else if eat_punct st "!" then Ast.Unop (Ast.Lnot, parse_unary st)
   else if eat_punct st "~" then Ast.Unop (Ast.Bnot, parse_unary st)
   else if eat_punct st "+" then parse_unary st

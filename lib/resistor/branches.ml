@@ -1,5 +1,14 @@
 type report = { branches_instrumented : int }
 
+(* Negative-control hook for the fuzzer: when set, the emitted check
+   block compares the complemented clones for *equality with
+   themselves* instead of re-evaluating the edge condition, i.e. the
+   verdict is a tautology and the defense never detects anything. Both
+   Branches and Loops route through [instrument_edge], so flipping this
+   breaks both passes at once; the efficacy property must then find a
+   silently-accepted corrupted guard. *)
+let disable_complement_check = ref false
+
 let mask32 = 0xFFFFFFFF
 
 (* Complementing both operands reverses order: x < y iff ~x > ~y (two's
@@ -17,7 +26,8 @@ let complemented_op (op : Ir.icmp) : Ir.icmp =
   | Ir.Ugt -> Ir.Ult
   | Ir.Uge -> Ir.Ule
 
-let instrument_edge (f : Ir.func) fresh defs ~(block : Ir.block) ~edge =
+let instrument_edge (f : Ir.func) fresh defs ~shadows ~(block : Ir.block) ~edge
+    =
   match block.term with
   | Ir.Br _ | Ir.Switch _ | Ir.Ret _ | Ir.Unreachable -> []
   | Ir.Cond_br { cond; if_true; if_false } ->
@@ -49,17 +59,60 @@ let instrument_edge (f : Ir.func) fresh defs ~(block : Ir.block) ~edge =
     let c_lhs_i, c_lhs = complement lhs_clone.value in
     let c_rhs_i, c_rhs = complement rhs_clone.value in
     let verdict = Pass.temp fresh in
+    let verdict_icmp =
+      if !disable_complement_check then
+        Ir.Icmp { dst = verdict; op = Ir.Eq; lhs = c_lhs; rhs = c_lhs }
+      else
+        Ir.Icmp
+          { dst = verdict; op = complemented_op edge_op; lhs = c_lhs;
+            rhs = c_rhs }
+    in
+    (* Operands the cloner reused verbatim live in a single stack slot
+       at -O0, and a corrupted guard word can decode into a store that
+       overwrites exactly that slot — skipping the primary test and
+       feeding the re-check the attacker's value in one fault. Pair
+       each reused temp with a complemented shadow captured at its
+       definition and fold [t lxor shadow = ~0] into the verdict: a
+       one-word fault can clobber one slot of the pair, never both. *)
+    let reused =
+      List.filter
+        (fun t -> not (List.mem t lhs_clone.Pass.reused))
+        rhs_clone.Pass.reused
+      |> ( @ ) lhs_clone.Pass.reused
+    in
+    let pair_instrs, pair_cond =
+      if !disable_complement_check then ([], Ir.Temp verdict)
+      else
+        List.fold_left
+          (fun (instrs, cond) t ->
+            match Pass.shadow_for f fresh defs shadows t with
+            | None -> (instrs, cond)
+            | Some sh ->
+              let x = Pass.temp fresh in
+              let ok = Pass.temp fresh in
+              let combined = Pass.temp fresh in
+              ( instrs
+                @ [ Ir.Binop
+                      { dst = x; op = Ir.Xor; lhs = Ir.Temp t;
+                        rhs = Ir.Temp sh };
+                    Ir.Icmp
+                      { dst = ok; op = Ir.Eq; lhs = Ir.Temp x;
+                        rhs = Ir.Const mask32 };
+                    Ir.Binop
+                      { dst = combined; op = Ir.And; lhs = cond;
+                        rhs = Ir.Temp ok } ],
+                Ir.Temp combined ))
+          ([], Ir.Temp verdict) reused
+    in
     let check_block =
       { Ir.label = check_label;
         instrs =
           lhs_clone.instrs @ rhs_clone.instrs
-          @ [ c_lhs_i; c_rhs_i;
-              Ir.Icmp
-                { dst = verdict; op = complemented_op edge_op; lhs = c_lhs;
-                  rhs = c_rhs } ];
+          @ [ c_lhs_i; c_rhs_i; verdict_icmp ]
+          @ pair_instrs;
         term =
-          Ir.Cond_br
-            { cond = Ir.Temp verdict; if_true = target; if_false = bad_label } }
+          Ir.Cond_br { cond = pair_cond; if_true = target; if_false = bad_label }
+      }
     in
     let bad_block =
       { Ir.label = bad_label;
@@ -82,6 +135,7 @@ let run reaction (m : Ir.modul) =
       if f.fname <> Detect.detected_fn then begin
         let fresh = Pass.fresh_for f in
         let defs = Pass.def_map f in
+        let shadows = Hashtbl.create 8 in
         let original = f.blocks in
         let additions =
           List.concat_map
@@ -89,7 +143,7 @@ let run reaction (m : Ir.modul) =
               match block.Ir.term with
               | Ir.Cond_br _ ->
                 incr count;
-                instrument_edge f fresh defs ~block ~edge:`True
+                instrument_edge f fresh defs ~shadows ~block ~edge:`True
               | Ir.Br _ | Ir.Switch _ | Ir.Ret _ | Ir.Unreachable -> [])
             original
         in

@@ -9,15 +9,29 @@
 
 type report = { branches_instrumented : int }
 
+val disable_complement_check : bool ref
+(** Test-only sabotage switch (default [false]): emit a tautological
+    verdict instead of the complemented re-comparison, disabling
+    detection in every check block this pass (and the loop pass, which
+    shares {!instrument_edge}) emits. The fuzzer's efficacy property
+    uses it as a negative control — a deliberately broken defense must
+    be caught. Always reset it after use. *)
+
 val instrument_edge :
   Ir.func ->
   Pass.fresh ->
   (int, Ir.instr) Hashtbl.t ->
+  shadows:(int, int) Hashtbl.t ->
   block:Ir.block ->
   edge:[ `True | `False ] ->
   Ir.block list
 (** Build the re-check on one edge of [block]'s conditional terminator
     (re-pointing the terminator); returns the new blocks to append.
-    Shared with the loop-guard pass. *)
+    Shared with the loop-guard pass. [shadows] memoizes per-function
+    complemented shadows ({!Pass.shadow_for}) of operands the cloner
+    reuses verbatim; the check cross-validates each reused temp against
+    its shadow so a single corrupted word that decodes into a frame
+    store cannot both skip the primary test and feed the re-check a
+    consistent forged value. *)
 
 val run : Config.reaction -> Ir.modul -> report

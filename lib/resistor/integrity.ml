@@ -38,38 +38,63 @@ let instrument_function protected (f : Ir.func) =
         label := cont_label;
         acc := []
       in
-      List.iter
-        (fun (i : Ir.instr) ->
-          match i with
-          | Ir.Store { dst = Ir.Global g; src; volatile } when List.mem g protected ->
-            acc := Ir.Store { dst = Ir.Global g; src; volatile } :: !acc;
-            let inv = Pass.temp fresh in
-            acc := Ir.Binop { dst = inv; op = Ir.Xor; lhs = src; rhs = Ir.Const mask32 } :: !acc;
-            acc :=
-              Ir.Store
-                { dst = Ir.Global (shadow_name g); src = Ir.Temp inv; volatile }
-              :: !acc
-          | Ir.Load { dst; src = Ir.Global g; volatile } when List.mem g protected ->
-            incr checks;
-            acc := Ir.Load { dst; src = Ir.Global g; volatile } :: !acc;
-            let sh = Pass.temp fresh in
-            acc :=
-              Ir.Load { dst = sh; src = Ir.Global (shadow_name g); volatile }
-              :: !acc;
-            let x = Pass.temp fresh in
-            acc :=
-              Ir.Binop { dst = x; op = Ir.Xor; lhs = Ir.Temp dst; rhs = Ir.Temp sh }
-              :: !acc;
-            let bad = Pass.temp fresh in
-            acc :=
-              Ir.Icmp { dst = bad; op = Ir.Ne; lhs = Ir.Temp x; rhs = Ir.Const mask32 }
-              :: !acc;
-            flush_with_check
-              ~cont_label:(Pass.label fresh "integrity.ok")
-              ~check_cond:(Ir.Temp bad)
-          | Ir.Load _ | Ir.Store _ | Ir.Binop _ | Ir.Icmp _ | Ir.Call _ ->
-            acc := i :: !acc)
-        b.instrs;
+      let rec go (instrs : Ir.instr list) =
+        match instrs with
+        | [] -> ()
+        | Ir.Store { dst = Ir.Global g; src; volatile } :: rest
+          when List.mem g protected ->
+          acc := Ir.Store { dst = Ir.Global g; src; volatile } :: !acc;
+          let inv = Pass.temp fresh in
+          acc := Ir.Binop { dst = inv; op = Ir.Xor; lhs = src; rhs = Ir.Const mask32 } :: !acc;
+          acc :=
+            Ir.Store
+              { dst = Ir.Global (shadow_name g); src = Ir.Temp inv; volatile }
+            :: !acc;
+          go rest
+        | Ir.Load { dst; src = Ir.Global g; volatile } :: rest
+          when List.mem g protected ->
+          incr checks;
+          acc := Ir.Load { dst; src = Ir.Global g; volatile } :: !acc;
+          (* Complement shadows an earlier pass captured for this load
+             ([Pass.shadow_for] emits [xor dst, -1] immediately after
+             the definition) must stay glued to it: letting the
+             integrity check run in between would open a window where a
+             corrupted check word can decode into a frame store that
+             overwrites the loaded value {e before} its shadow is
+             taken, forging both coherently. *)
+          let rec take_shadows rest =
+            match rest with
+            | (Ir.Binop { op = Ir.Xor; lhs = Ir.Temp t; rhs = Ir.Const c; _ }
+               as s)
+              :: tl
+              when t = dst && c = mask32 ->
+              acc := s :: !acc;
+              take_shadows tl
+            | _ -> rest
+          in
+          let rest = take_shadows rest in
+          let sh = Pass.temp fresh in
+          acc :=
+            Ir.Load { dst = sh; src = Ir.Global (shadow_name g); volatile }
+            :: !acc;
+          let x = Pass.temp fresh in
+          acc :=
+            Ir.Binop { dst = x; op = Ir.Xor; lhs = Ir.Temp dst; rhs = Ir.Temp sh }
+            :: !acc;
+          let bad = Pass.temp fresh in
+          acc :=
+            Ir.Icmp { dst = bad; op = Ir.Ne; lhs = Ir.Temp x; rhs = Ir.Const mask32 }
+            :: !acc;
+          flush_with_check
+            ~cont_label:(Pass.label fresh "integrity.ok")
+            ~check_cond:(Ir.Temp bad);
+          go rest
+        | ((Ir.Load _ | Ir.Store _ | Ir.Binop _ | Ir.Icmp _ | Ir.Call _) as i)
+          :: rest ->
+          acc := i :: !acc;
+          go rest
+      in
+      go b.instrs;
       emit_block { Ir.label = !label; instrs = List.rev !acc; term = b.term })
     f.blocks;
   f.blocks <- List.rev !new_blocks;

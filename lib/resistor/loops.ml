@@ -1,29 +1,107 @@
 type report = { loops_instrumented : int }
 
-let loop_headers (f : Ir.func) =
+(* A loop guard is a conditional block inside a cycle with an edge that
+   leaves it. Two detectors are combined:
+
+   - back-edge targets ending in [Cond_br] — the classic while/for
+     header, also caught for inner loops nested inside a larger SCC;
+   - conditional blocks inside a non-trivial SCC (or self-loop) with a
+     successor outside it — which additionally catches do-while exits,
+     where the back edge targets the *body*, so the conditional block
+     is never itself a back-edge target.
+
+   The second definition mirrors the lint auditor's notion of a
+   loop-exit guard; randomized differential testing caught the original
+   header-only detector silently skipping every do-while loop. *)
+let guard_edges (f : Ir.func) =
+  let blocks = Array.of_list f.blocks in
+  let n = Array.length blocks in
   let index = Hashtbl.create 16 in
-  List.iteri (fun i (b : Ir.block) -> Hashtbl.replace index b.label i) f.blocks;
-  let is_back_edge ~from target =
-    match Hashtbl.find_opt index target with
-    | Some ti -> ti <= from
-    | None -> false
+  Array.iteri (fun i (b : Ir.block) -> Hashtbl.replace index b.label i) blocks;
+  let succs v =
+    List.filter_map
+      (fun l -> Hashtbl.find_opt index l)
+      (Ir.successors blocks.(v).Ir.term)
   in
+  (* Tarjan strongly-connected components *)
+  let comp = Array.make n (-1) in
+  let num = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let ncomp = ref 0 in
+  let rec strong v =
+    num.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if num.(w) < 0 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) num.(w))
+      (succs v);
+    if low.(v) = num.(v) then begin
+      let rec pop () =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          comp.(w) <- !ncomp;
+          if w <> v then pop ()
+        | [] -> ()
+      in
+      pop ();
+      incr ncomp
+    end
+  in
+  for v = 0 to n - 1 do
+    if num.(v) < 0 then strong v
+  done;
+  let comp_size = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace comp_size c
+        (1 + Option.value (Hashtbl.find_opt comp_size c) ~default:0))
+    comp;
+  let in_cycle v =
+    Hashtbl.find comp_size comp.(v) > 1 || List.mem v (succs v)
+  in
+  (* back-edge targets, by block order (the pre-fix detector) *)
   let headers = Hashtbl.create 8 in
-  List.iteri
+  Array.iteri
     (fun i (b : Ir.block) ->
       List.iter
-        (fun successor ->
-          if is_back_edge ~from:i successor then
-            Hashtbl.replace headers successor ())
-        (Ir.successors b.term))
-    f.blocks;
-  List.filter
-    (fun (b : Ir.block) ->
-      Hashtbl.mem headers b.label
-      && match b.term with
-         | Ir.Cond_br _ -> true
-         | Ir.Br _ | Ir.Switch _ | Ir.Ret _ | Ir.Unreachable -> false)
-    f.blocks
+        (fun target ->
+          match Hashtbl.find_opt index target with
+          | Some ti when ti <= i -> Hashtbl.replace headers target ()
+          | _ -> ())
+        (Ir.successors b.Ir.term))
+    blocks;
+  let guards = ref [] in
+  Array.iteri
+    (fun v (b : Ir.block) ->
+      match b.Ir.term with
+      | Ir.Cond_br { if_true; if_false; _ } ->
+        let leaves label =
+          match Hashtbl.find_opt index label with
+          | Some w -> comp.(w) <> comp.(v)
+          | None -> false
+        in
+        if Hashtbl.mem headers b.label then
+          (* while/for header: the false edge is the loop exit *)
+          guards := (b, `False) :: !guards
+        else if in_cycle v && leaves if_false then
+          guards := (b, `False) :: !guards
+        else if in_cycle v && leaves if_true then
+          guards := (b, `True) :: !guards
+      | _ -> ())
+    blocks;
+  List.rev !guards
 
 let run reaction (m : Ir.modul) =
   Detect.ensure reaction m;
@@ -33,12 +111,13 @@ let run reaction (m : Ir.modul) =
       if f.fname <> Detect.detected_fn then begin
         let fresh = Pass.fresh_for f in
         let defs = Pass.def_map f in
+        let shadows = Hashtbl.create 8 in
         let additions =
           List.concat_map
-            (fun block ->
+            (fun (block, edge) ->
               incr count;
-              Branches.instrument_edge f fresh defs ~block ~edge:`False)
-            (loop_headers f)
+              Branches.instrument_edge f fresh defs ~shadows ~block ~edge)
+            (guard_edges f)
         in
         f.blocks <- f.blocks @ additions
       end)

@@ -2,13 +2,19 @@
     protects the {e true} edge only, on the assumption that the false
     edge is the common, uninteresting path — which is exactly backwards
     for loop guards, where escaping the loop takes the false edge. This
-    pass finds loop headers (conditional blocks targeted by a back edge)
-    and adds the same complemented re-check to their false edge. *)
+    pass finds loop-exit guards and adds the same complemented re-check
+    to the escaping edge. *)
 
 type report = { loops_instrumented : int }
 
-val loop_headers : Ir.func -> Ir.block list
-(** Blocks ending in a conditional branch that are the target of a back
-    edge (an edge from a block at the same or later position). *)
+val guard_edges : Ir.func -> (Ir.block * [ `True | `False ]) list
+(** The loop-exit guards of [f], paired with the edge that leaves the
+    loop: back-edge-target headers (the while/for shape, false-edge
+    exit) plus conditional blocks inside a strongly-connected component
+    with a successor outside it — which catches do-while exits, where
+    the back edge targets the body rather than the conditional, and
+    guarded breaks. The second detector was added after randomized
+    differential testing showed the header-only definition silently
+    skipping every do-while loop. *)
 
 val run : Config.reaction -> Ir.modul -> report

@@ -42,6 +42,11 @@ type clone_result = {
   instrs : Ir.instr list;
   value : Ir.value;
   replicated : bool;
+  reused : int list;
+      (** temps reused verbatim because their computation cannot be
+          replicated (volatile loads, call results, parameters); a
+          consumer that must not trust a single spilled slot has to
+          cross-validate these against a shadow *)
 }
 
 let max_clone_depth = 12
@@ -49,14 +54,17 @@ let max_clone_depth = 12
 let clone_chain fresh defs root =
   let instrs = ref [] in
   let fully = ref true in
+  let reused = ref [] in
+  let reuse t =
+    fully := false;
+    if not (List.mem t !reused) then reused := t :: !reused;
+    Ir.Temp t
+  in
   let rec go depth (v : Ir.value) : Ir.value =
     match v with
     | Ir.Const _ -> v
     | Ir.Temp t -> (
-      if depth > max_clone_depth then begin
-        fully := false;
-        v
-      end
+      if depth > max_clone_depth then reuse t
       else
         match Hashtbl.find_opt defs t with
         | Some (Ir.Load { src; volatile = false; _ }) ->
@@ -81,11 +89,49 @@ let clone_chain fresh defs root =
         | None ->
           (* volatile data, side effects, or parameters-by-convention:
              reuse the already-computed value *)
-          fully := false;
-          v)
+          reuse t)
   in
   let value = go 0 root in
-  { instrs = List.rev !instrs; value; replicated = !fully }
+  { instrs = List.rev !instrs; value; replicated = !fully;
+    reused = List.rev !reused }
+
+(* Complemented shadow of a temp the cloner reused verbatim,
+   materialized immediately after the temp's defining instruction so it
+   is live wherever the temp is. A check block that reuses t can then
+   verify [t lxor shadow = 0xFFFFFFFF] before trusting t's spilled
+   slot: a single corrupted word that decodes into a frame store can
+   overwrite one of the two slots, but cannot keep the pair
+   complementary. Memoized in [shadows] so every edge instrumented over
+   the same operand shares one shadow. Returns [None] for temps with no
+   defining instruction (parameters-by-convention). *)
+let shadow_for (f : Ir.func) fresh defs shadows t =
+  match Hashtbl.find_opt shadows t with
+  | Some sh -> Some sh
+  | None -> (
+    match Hashtbl.find_opt defs t with
+    | None -> None
+    | Some def ->
+      let sh = temp fresh in
+      let ins =
+        Ir.Binop
+          { dst = sh; op = Ir.Xor; lhs = Ir.Temp t; rhs = Ir.Const 0xFFFFFFFF }
+      in
+      let placed = ref false in
+      List.iter
+        (fun (b : Ir.block) ->
+          if (not !placed) && List.memq def b.instrs then begin
+            b.instrs <-
+              List.concat_map
+                (fun i -> if i == def then [ i; ins ] else [ i ])
+                b.instrs;
+            placed := true
+          end)
+        f.blocks;
+      if !placed then begin
+        Hashtbl.replace shadows t sh;
+        Some sh
+      end
+      else None)
 
 (* Non-fatal verifier findings (Ir.Verify.lint) accumulated across the
    passes of one compile; the driver drains them into its reports. *)

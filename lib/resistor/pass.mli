@@ -18,6 +18,12 @@ type clone_result = {
   replicated : bool;
       (** false if the chain had to reuse the original value because it
           reaches a volatile load, a call, or exceeds the depth bound *)
+  reused : int list;
+      (** the temps reused verbatim (first-use order). A checker that
+          consumes the clone must cross-validate each against a shadow
+          captured at definition time: at -O0 every temp lives in a
+          stack slot, and a corrupted guard word can decode into a store
+          that overwrites exactly the slot the re-check would read. *)
 }
 
 val clone_chain :
@@ -26,6 +32,18 @@ val clone_chain :
     (Section VI-B: "replicates any instructions that are needed to
     calculate the comparison"). Volatile loads and call results are not
     replicated — the original temp is reused, as in the paper. *)
+
+val shadow_for :
+  Ir.func ->
+  fresh ->
+  (int, Ir.instr) Hashtbl.t ->
+  (int, int) Hashtbl.t ->
+  int ->
+  int option
+(** [shadow_for f fresh defs shadows t] returns (creating on first use,
+    memoized in [shadows]) the temp holding [t lxor 0xFFFFFFFF],
+    materialized immediately after [t]'s definition. [None] when [t]
+    has no defining instruction (parameter-by-convention). *)
 
 val verify_or_fail : string -> Ir.modul -> unit
 (** Run the IR verifier after a pass; raise with the pass name on

@@ -1,0 +1,36 @@
+(* Deterministic seeding for every QCheck property in the suite.
+
+   Each test binary picks one seed — from the QCHECK_SEED environment
+   variable when set, otherwise freshly — and prints it up front, so
+   any property failure in CI can be replayed bit for bit with
+
+     QCHECK_SEED=<n> dune runtest
+
+   Route properties through {!to_alcotest} rather than calling
+   [QCheck_alcotest.to_alcotest] directly: the latter falls back to an
+   unannounced global random state, which makes failures one-shot. *)
+
+let seed =
+  lazy
+    (let chosen =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some v -> (
+         match int_of_string_opt (String.trim v) with
+         | Some n -> n
+         | None ->
+           Printf.eprintf "qseed: unparseable QCHECK_SEED=%S, picking one\n%!" v;
+           Random.self_init ();
+           Random.bits ())
+       | None ->
+         Random.self_init ();
+         Random.bits ()
+     in
+     Printf.printf "qcheck: seed %d (replay with QCHECK_SEED=%d)\n%!" chosen
+       chosen;
+     chosen)
+
+(* A fresh state per property: tests stay independent of suite order. *)
+let rand () = Random.State.make [| Lazy.force seed |]
+
+let to_alcotest ?verbose ?long test =
+  QCheck_alcotest.to_alcotest ?verbose ?long ~rand:(rand ()) test

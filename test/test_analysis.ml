@@ -466,7 +466,7 @@ let () =
       ( "differential",
         [ Alcotest.test_case "all 1/2-bit flips vs campaign" `Slow
             differential_exhaustive;
-          QCheck_alcotest.to_alcotest prop_differential_any_mask ] );
+          Qseed.to_alcotest prop_differential_any_mask ] );
       ( "lint",
         [ Alcotest.test_case "undefended guard loop" `Quick
             lint_undefended_guard_loop;

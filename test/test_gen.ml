@@ -1,0 +1,315 @@
+(* The randomized differential-testing harness, tested the boring way:
+   fixed corpus entries, fixed seeds, and the negative control that
+   justifies trusting the green runs. *)
+
+let marker = Resistor.Firmware.attack_marker_global
+
+(* --- corpus entries round-trip through disk ------------------------------ *)
+
+let sample_entry =
+  { Gen.Corpus.property = "efficacy";
+    seed = 1234;
+    config =
+      Resistor.Config.all_but_delay ~sensitive:[ "g0"; marker ] ();
+    sabotage = true;
+    message = "addr 0x8000092 mask 0x0100: silent\nsuccess";
+    source =
+      Printf.sprintf
+        "volatile unsigned %s = 0;\n\nint main() {\n  return 0;\n}\n" marker }
+
+let test_corpus_roundtrip () =
+  let dir = Filename.temp_file "corpus" "" in
+  Sys.remove dir;
+  let path = Gen.Corpus.save ~dir sample_entry in
+  match Gen.Corpus.load path with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok e ->
+    Alcotest.(check string) "property" "efficacy" e.Gen.Corpus.property;
+    Alcotest.(check int) "seed" 1234 e.seed;
+    Alcotest.(check bool) "sabotage" true e.sabotage;
+    Alcotest.(check bool) "branches" true e.config.Resistor.Config.branches;
+    Alcotest.(check bool) "loops" true e.config.Resistor.Config.loops;
+    Alcotest.(check bool) "delay off" false e.config.Resistor.Config.delay;
+    Alcotest.(check (list string))
+      "sensitive" [ "g0"; marker ] e.config.Resistor.Config.sensitive;
+    (* the message is flattened to one line so the header stays parseable *)
+    Alcotest.(check bool) "message one line"
+      false
+      (String.contains e.message '\n');
+    (* the saved file must itself be valid Mini-C: metadata is comments *)
+    (match Minic.Parser.program e.source with
+    | _ -> ()
+    | exception _ -> Alcotest.fail "saved corpus file does not parse as Mini-C")
+
+(* --- the committed sabotage counterexample ------------------------------- *)
+
+(* [corpus/] holds the shrunk program on which a deliberately broken
+   Branches/Loops pass (complemented re-check disabled) lets a 1-bit
+   guard flip set the attack marker without tripping the detector.
+   With the sabotage flag from its header the failure must reproduce;
+   with the pass restored the same program must be defended. *)
+(* Everything lives relative to _build/default/test, whatever the cwd. *)
+let build_root = Filename.dirname (Filename.dirname Sys.executable_name)
+
+let committed_counterexample =
+  Filename.concat
+    (Filename.concat build_root "corpus")
+    "fuzz-efficacy-17f790fd.c"
+
+let load_committed () =
+  match Gen.Corpus.load committed_counterexample with
+  | Ok e -> e
+  | Error m -> Alcotest.failf "%s: %s" committed_counterexample m
+
+let test_sabotage_still_fails () =
+  let e = load_committed () in
+  Alcotest.(check bool) "recorded as sabotaged" true e.Gen.Corpus.sabotage;
+  match Gen.Fuzz.replay e with
+  | Error m -> Alcotest.failf "replay: %s" m
+  | Ok (Gen.Fuzz.Fail m) ->
+    let has_silent =
+      let needle = "silent" in
+      let nl = String.length needle and ml = String.length m in
+      let rec go i =
+        i + nl <= ml && (String.sub m i nl = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) ("silent-success diagnostic in: " ^ m) true has_silent
+  | Ok Gen.Fuzz.Pass ->
+    Alcotest.fail "sabotaged pass no longer caught — negative control is dead"
+  | Ok (Gen.Fuzz.Skip m) -> Alcotest.failf "precondition lost: %s" m
+
+let test_fixed_pass_defends () =
+  let e = load_committed () in
+  match Gen.Fuzz.replay { e with Gen.Corpus.sabotage = false } with
+  | Error m -> Alcotest.failf "replay: %s" m
+  | Ok Gen.Fuzz.Pass -> ()
+  | Ok (Gen.Fuzz.Fail m) ->
+    Alcotest.failf "healthy Branches/Loops passes still leak: %s" m
+  | Ok (Gen.Fuzz.Skip m) -> Alcotest.failf "precondition lost: %s" m
+
+(* The 500-program acceptance run found a genuine single-glitch escape
+   in the un-sabotaged defenses: the guard conditional word corrupts
+   into [str rX, [sp, #imm]] aimed at the very slot the complemented
+   re-check reads, so one fault both skips the primary test and forges
+   the value the re-check validates. Fixed by pairing every reused
+   operand with a complemented shadow captured at its definition (and
+   keeping the shadow glued to the load when the integrity pass splits
+   the block). The committed counterexample must now be defended under
+   both swept configurations. *)
+let test_spilled_slot_clobber_defended () =
+  let path =
+    Filename.concat
+      (Filename.concat build_root "corpus")
+      "fuzz-efficacy-2ee70427.c"
+  in
+  match Gen.Corpus.load path with
+  | Error m -> Alcotest.failf "%s: %s" path m
+  | Ok e -> (
+    Alcotest.(check bool) "a real finding, not sabotage" false
+      e.Gen.Corpus.sabotage;
+    match Gen.Fuzz.replay e with
+    | Error m -> Alcotest.failf "replay: %s" m
+    | Ok Gen.Fuzz.Pass -> ()
+    | Ok (Gen.Fuzz.Fail m) ->
+      Alcotest.failf "spilled-slot clobber leaks again: %s" m
+    | Ok (Gen.Fuzz.Skip m) -> Alcotest.failf "precondition lost: %s" m)
+
+(* --- regressions the fuzzer flushed out ---------------------------------- *)
+
+(* Negated literals: the parser folds [-99] to [Int (-99)], so the
+   pretty-printer round trip must agree on programs that spell them
+   either way. *)
+let test_negative_literal_roundtrip () =
+  let src = "int f() { return -99; }\nint main() { return f() + -1; }\n" in
+  let prog = Minic.Parser.program src in
+  let again = Minic.Parser.program (Minic.Pretty.to_string prog) in
+  Alcotest.(check bool) "round trip" true (Minic.Ast.equal_program prog again)
+
+(* Do-while: the back edge targets the body, not the conditional, so
+   the original back-edge-target detector missed every do-while exit
+   guard. *)
+let test_do_while_loop_guard () =
+  let src =
+    "int main() {\n  int i;\n  i = 0;\n  do {\n    i = i + 1;\n  } while (i != \
+     3);\n  return i;\n}\n"
+  in
+  let m, _ =
+    Resistor.Driver.compile_modul Resistor.Config.none src
+  in
+  let main =
+    List.find (fun (f : Ir.func) -> f.Ir.fname = "main") m.Ir.funcs
+  in
+  Alcotest.(check bool)
+    "do-while exit guard found" true
+    (Resistor.Loops.guard_edges main <> [])
+
+(* Literal pools and long branches: heavy instrumentation outgrows both
+   the 1020-byte [ldr pc] reach and the ±1024-halfword [b] reach;
+   codegen must relax rather than reject. A straight-line function with
+   hundreds of distinct word constants forces multiple pool islands. *)
+let test_pool_islands_and_relaxation () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "volatile unsigned sink = 0;\nint main() {\n";
+  for i = 0 to 299 do
+    Buffer.add_string buf
+      (Printf.sprintf "  sink = %d;\n" (0x10000 + (i * 7)))
+  done;
+  (* a loop whose body sits past the branch range without relaxation *)
+  Buffer.add_string buf
+    "  int i;\n  i = 0;\n  while (i < 2) {\n    i = i + 1;\n  }\n";
+  Buffer.add_string buf "  return i;\n}\n";
+  let c = Resistor.Driver.compile Resistor.Config.none (Buffer.contents buf) in
+  let watch = [ "sink" ] in
+  match Gen.Oracle.run_interp ~watch c.Resistor.Driver.modul with
+  | Error m -> Alcotest.failf "interp: %s" m
+  | Ok interp ->
+    let arch =
+      Gen.Oracle.run_board ~max_cycles:4_000_000 c.Resistor.Driver.modul
+        c.Resistor.Driver.image
+    in
+    (match arch.Gen.Oracle.stop with
+    | Some (Machine.Exec.Breakpoint _) -> ()
+    | s ->
+      Alcotest.failf "board stop: %s"
+        (match s with None -> "timeout" | Some _ -> "abnormal"));
+    Alcotest.(check (option int)) "exit code" (Some interp.Gen.Oracle.ret)
+      arch.Gen.Oracle.exit_code
+
+(* --- interpreter observer ------------------------------------------------- *)
+
+let test_observer_trace () =
+  let src =
+    "volatile unsigned out = 0;\n\
+     int main() {\n\
+    \  __trigger_high();\n\
+    \  out = 7;\n\
+    \  out = out + 1;\n\
+    \  __trigger_low();\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let c = Resistor.Driver.compile Resistor.Config.none src in
+  match Gen.Oracle.run_interp ~watch:[ "out" ] c.Resistor.Driver.modul with
+  | Error m -> Alcotest.failf "interp: %s" m
+  | Ok r ->
+    Alcotest.(check int) "one rising edge" 1 r.Gen.Oracle.edges;
+    let expected =
+      [ Gen.Oracle.Tcall "__trigger_high";
+        Gen.Oracle.Vstore ("out", 7);
+        Gen.Oracle.Vload ("out", 7);
+        Gen.Oracle.Vstore ("out", 8);
+        Gen.Oracle.Tcall "__trigger_low" ]
+    in
+    Alcotest.(check (list string))
+      "volatile trace"
+      (List.map Gen.Oracle.obs_event_to_string expected)
+      (List.map Gen.Oracle.obs_event_to_string r.Gen.Oracle.trace)
+
+(* --- bounded fuzz smoke --------------------------------------------------- *)
+
+(* One fixed-seed roundtrip batch; the full four-family sweep runs in CI
+   through [glitchctl fuzz]. *)
+let test_fuzz_smoke () =
+  let summary =
+    Gen.Fuzz.run ~families:[ Gen.Fuzz.Roundtrip ] ~count:50 ~seed:2024 ()
+  in
+  Alcotest.(check bool) "roundtrip family green" true (Gen.Fuzz.ok summary);
+  match summary.Gen.Fuzz.runs with
+  | [ r ] -> Alcotest.(check int) "all 50 checked" 50 r.Gen.Fuzz.checked
+  | _ -> Alcotest.fail "expected exactly one family run"
+
+(* --- glitchctl exit-code matrix ------------------------------------------- *)
+
+(* The documented contract: 0 on success, 2 on invalid input, 3 on
+   findings — uniformly across subcommands, fuzz included. *)
+
+let glitchctl =
+  Filename.concat (Filename.concat build_root "bin") "glitchctl.exe"
+
+let write_tmp suffix contents =
+  let path = Filename.temp_file "glitchctl_test" suffix in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let exec args =
+  Sys.command
+    (Filename.quote_command glitchctl args ~stdout:Filename.null
+       ~stderr:Filename.null)
+
+let test_exit_codes () =
+  if not (Sys.file_exists glitchctl) then
+    Alcotest.failf "missing binary %s" glitchctl;
+  let good =
+    write_tmp ".c" "int main() { return 0; }\n"
+  in
+  let guarded =
+    write_tmp ".c"
+      (Printf.sprintf
+         "volatile unsigned %s = 0;\nvolatile unsigned pin = 0;\n\n\
+          int main() {\n  __trigger_high();\n  while (pin != 1) {\n  }\n  %s \
+          = 170;\n  return 0;\n}\n"
+         marker marker)
+  in
+  let bad = write_tmp ".c" "int main( {\n" in
+  let bad_property =
+    write_tmp ".c" "// property: bogus\nint main() { return 0; }\n"
+  in
+  let checks =
+    [ ("compile ok", [ "compile"; good ], 0);
+      ("compile parse error", [ "compile"; bad ], 2);
+      ("lint clean", [ "lint"; good ], 0);
+      ( "lint unguarded loop",
+        [ "lint"; guarded; "--defenses=none" ],
+        3 );
+      ( "lint defended",
+        [ "lint"; guarded; "--defenses=all-but-delay" ],
+        0 );
+      ( "fuzz roundtrip batch",
+        [ "fuzz"; "--count"; "5"; "--seed"; "11"; "--properties"; "roundtrip";
+          "--corpus"; Filename.get_temp_dir_name () ],
+        0 );
+      ( "fuzz unknown property",
+        [ "fuzz"; "--properties"; "nonsense" ],
+        2 );
+      ("fuzz zero count", [ "fuzz"; "--count"; "0" ], 2);
+      ( "fuzz replay unknown property",
+        [ "fuzz"; "--replay"; bad_property ],
+        2 );
+      ( "fuzz replay sabotage counterexample",
+        [ "fuzz"; "--replay"; committed_counterexample ],
+        3 ) ]
+  in
+  List.iter
+    (fun (name, args, expected) ->
+      Alcotest.(check int) name expected (exec args))
+    checks
+
+let () =
+  Alcotest.run "gen"
+    [ ( "corpus",
+        [ Alcotest.test_case "save/load round trip" `Quick
+            test_corpus_roundtrip ] );
+      ( "sabotage",
+        [ Alcotest.test_case "counterexample still fails" `Quick
+            test_sabotage_still_fails;
+          Alcotest.test_case "fixed pass defends" `Quick
+            test_fixed_pass_defends ] );
+      ( "regressions",
+        [ Alcotest.test_case "negative literal round trip" `Quick
+            test_negative_literal_roundtrip;
+          Alcotest.test_case "do-while loop guard" `Quick
+            test_do_while_loop_guard;
+          Alcotest.test_case "pool islands + branch relaxation" `Quick
+            test_pool_islands_and_relaxation;
+          Alcotest.test_case "spilled-slot clobber defended" `Quick
+            test_spilled_slot_clobber_defended ] );
+      ( "oracle",
+        [ Alcotest.test_case "observer trace" `Quick test_observer_trace ] );
+      ( "fuzz",
+        [ Alcotest.test_case "fixed-seed smoke" `Quick test_fuzz_smoke ] );
+      ( "cli",
+        [ Alcotest.test_case "exit-code matrix" `Quick test_exit_codes ] ) ]

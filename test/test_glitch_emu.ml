@@ -457,11 +457,11 @@ let prop_flipped_bits_match_apply =
 
 let () =
   let props =
-    List.map QCheck_alcotest.to_alcotest
+    List.map Qseed.to_alcotest
       [ prop_weight_enumeration; prop_classification_deterministic ]
   in
   let campaign_props =
-    List.map QCheck_alcotest.to_alcotest
+    List.map Qseed.to_alcotest
       [ prop_fast_kernel_matches_reference; prop_memo_agrees_with_categories;
         prop_flipped_bits_match_apply ]
   in

@@ -527,7 +527,7 @@ let tuner_finds_reliable_params () =
   Alcotest.(check bool) "search did work" true (r.attempts > 1000)
 
 let () =
-  let props = List.map QCheck_alcotest.to_alcotest [ prop_u01_range; prop_bits_range ] in
+  let props = List.map Qseed.to_alcotest [ prop_u01_range; prop_bits_range ] in
   Alcotest.run "hw"
     [ ("hashrand",
        Alcotest.test_case "deterministic" `Quick hashrand_deterministic :: props);
@@ -549,7 +549,7 @@ let () =
          Alcotest.test_case "forced skip escapes" `Quick forced_skip_escapes_loop;
          Alcotest.test_case "snapshot/restore" `Quick snapshot_restore_equivalence;
          Alcotest.test_case "instr duration" `Quick instr_duration_matches_execution;
-         QCheck_alcotest.to_alcotest prop_replay_equiv_reset;
+         Qseed.to_alcotest prop_replay_equiv_reset;
          Alcotest.test_case "sweep replay differential" `Quick
            sweep_replay_differential;
          Alcotest.test_case "tie-break absolute" `Quick

@@ -414,7 +414,7 @@ let lowering_rejects () =
   expect_error "int main(void) { return f(); }"
 
 let () =
-  let props = List.map QCheck_alcotest.to_alcotest [ prop_differential ] in
+  let props = List.map Qseed.to_alcotest [ prop_differential ] in
   Alcotest.run "lower"
     [ ("differential",
        [ Alcotest.test_case "arith" `Quick simple_arith;

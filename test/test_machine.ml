@@ -466,7 +466,7 @@ let prop_cmp_eq_iff_equal =
 
 let () =
   let props =
-    List.map QCheck_alcotest.to_alcotest
+    List.map Qseed.to_alcotest
       [ prop_adds_flags; prop_cmp_eq_iff_equal; prop_step_total;
         prop_branch_target ]
   in

@@ -250,7 +250,7 @@ let hamming_fn () =
 
 let () =
   let props =
-    List.map QCheck_alcotest.to_alcotest
+    List.map Qseed.to_alcotest
       [ prop_add_assoc; prop_mul_assoc; prop_mul_comm; prop_distributive;
         prop_inverse; prop_div_mul; prop_pow_exp; prop_divmod;
         prop_roundtrip_with_errors; prop_parity_linear;

@@ -236,7 +236,7 @@ let loops_find_headers () =
   let m = compile Config.none terminating_src in
   let main = Option.get (Ir.find_func m "main") in
   Alcotest.(check bool) "main has loop headers" true
-    (List.length (Loops.loop_headers main) >= 2)
+    (List.length (Loops.guard_edges main) >= 2)
 
 let branch_check_complements () =
   (* The re-check must use complemented operands: look for XOR with -1

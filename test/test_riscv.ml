@@ -258,7 +258,7 @@ let riscv_encoding_more_fault_tolerant () =
 
 let () =
   let props =
-    List.map QCheck_alcotest.to_alcotest [ prop_word_identity; prop_roundtrip ]
+    List.map Qseed.to_alcotest [ prop_word_identity; prop_roundtrip ]
   in
   Alcotest.run "riscv"
     [ ("codec",

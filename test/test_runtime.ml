@@ -174,7 +174,7 @@ let nested_run_rejected () =
       Alcotest.(check (option bool)) "nested run raises" (Some true) !nested)
 
 let () =
-  let props = List.map QCheck_alcotest.to_alcotest [ prop_split_tiles_range ] in
+  let props = List.map Qseed.to_alcotest [ prop_split_tiles_range ] in
   Alcotest.run "runtime"
     [ ("chunk",
        [ Alcotest.test_case "split covers ranges" `Quick split_covers_range;

@@ -311,7 +311,7 @@ let cycle_model () =
   check "pop with pc" 5 (Instr.Pop { rlist = 0b1; pc = true }) false
 
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest [ roundtrip; encoding_in_range ] in
+  let qsuite = List.map Qseed.to_alcotest [ roundtrip; encoding_in_range ] in
   Alcotest.run "thumb"
     [ ("encodings",
        [ Alcotest.test_case "known encodings" `Quick known_encodings;
