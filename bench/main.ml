@@ -6,11 +6,15 @@
      dune exec bench/main.exe -- fig2         -- one experiment
      dune exec bench/main.exe -- table6 --quick
      dune exec bench/main.exe -- fig2 --jobs 4
+     dune exec bench/main.exe -- fig2 --cache-dir .glitch-cache
+     dune exec bench/main.exe -- scaling      -- jobs ladder, BENCH_6.json
 
    --jobs N fans the campaign sweeps out over N domains (default: the
-   machine's recommended domain count; results are bit-identical at any
-   N). Sweep experiments also emit a machine-readable "PERF ..." line
-   for the bench trajectory.
+   machine's recommended domain count clamped to the work available;
+   results are bit-identical at any N). --cache-dir DIR serves fig2's
+   sweeps through the persistent result cache (a warm cache executes
+   zero sweep cases). Sweep experiments also emit a machine-readable
+   "PERF ..." line for the bench trajectory.
 
    Expected paper values are printed next to measured ones; see
    EXPERIMENTS.md for the discussion of each comparison. *)
@@ -50,6 +54,21 @@ let write_json path records =
 
 let write_perf_json path = write_json path !perf_log
 
+(* Fold the pool's parallel-region accounting (queue wait, worker
+   utilization) into a PERF record, then clear it so the next record
+   starts from zero. *)
+let with_pool_perf ?pool perf =
+  match pool with
+  | None -> perf
+  | Some p ->
+    let jobs = Runtime.Pool.jobs p in
+    let s = Runtime.Pool.stats p in
+    Runtime.Pool.reset_stats p;
+    Stats.Perf.with_pool_stats
+      ~wait_s:(Runtime.Pool.stats_wait ~jobs s)
+      ~utilization:(Runtime.Pool.stats_utilization ~jobs s)
+      perf
+
 (* Fold a hardware sweep's cost into a PERF record: the attempt count
    becomes the item count, and the booted-vs-replayed cycle counters
    record how much emulation the snapshot-replay kernel avoided. *)
@@ -59,7 +78,7 @@ let perf_of_sweep (p : Stats.Perf.t) (s : Hw.Attack.sweep) =
 
 (* --- Figure 2: glitching effects in emulation ----------------------------- *)
 
-let fig2 ?pool () =
+let fig2 ?pool ?cache () =
   section "Figure 2 - bit-flip effects on ARM Thumb conditional branches";
   let cases = Glitch_emu.Testcase.all_conditional_branches in
   let executed = ref 0 and memoized = ref 0 in
@@ -67,9 +86,29 @@ let fig2 ?pool () =
     executed := !executed + r.stats.executed;
     memoized := !memoized + r.stats.memoized
   in
+  (* With --cache-dir every sweep is served through the audit service:
+     intact cache entries come back with zero executed cases. *)
+  let svc = Option.map (fun cache -> Service.create ?pool ~cache ()) cache in
+  let hits = ref 0 and warms = ref 0 and misses = ref 0 in
+  let run_case config case =
+    match svc with
+    | None -> Glitch_emu.Campaign.run_case ?pool config case
+    | Some svc ->
+      let r, status = Service.run_case svc config case in
+      (match status with
+      | Service.Hit -> incr hits
+      | Service.Warm -> incr warms
+      | Service.Miss -> incr misses);
+      r
+  in
+  let run_all config cases =
+    match svc with
+    | None -> Glitch_emu.Campaign.run_all ?pool config cases
+    | Some _ -> List.map (run_case config) cases
+  in
   let run name config =
     Fmt.pr "@.--- %s ---@." name;
-    let results = Glitch_emu.Campaign.run_all ?pool config cases in
+    let results = run_all config cases in
     List.iter tally_stats results;
     print_string (Glitch_emu.Report.outcome_table results);
     Fmt.pr "@.Success rate by number of flipped bits:@.";
@@ -110,9 +149,7 @@ let fig2 ?pool () =
              (fun (case : Glitch_emu.Testcase.t) ->
                let rate flip =
                  let r =
-                   Glitch_emu.Campaign.run_case ?pool
-                     (Glitch_emu.Campaign.default_config flip)
-                     case
+                   run_case (Glitch_emu.Campaign.default_config flip) case
                  in
                  tally_stats r;
                  Glitch_emu.Campaign.category_percent r
@@ -122,7 +159,12 @@ let fig2 ?pool () =
                  Fmt.str "%.1f" (rate Glitch_emu.Fault_model.Or) ])
              Glitch_emu.Testcase.non_branch_cases))
   in
-  emit_perf (Stats.Perf.with_memo ~executed:!executed ~memoized:!memoized perf);
+  emit_perf
+    (with_pool_perf ?pool
+       (Stats.Perf.with_memo ~executed:!executed ~memoized:!memoized perf));
+  if Option.is_some svc then
+    Fmt.pr "cache: %d hit, %d warm, %d miss (%d case(s) executed)@." !hits
+      !warms !misses !executed;
   paper_note "branches skipped >60%% when flipping to 0, <30%% when flipping to 1;";
   paper_note "making 0x0000 invalid left the success rate 'effectively unchanged'."
 
@@ -239,7 +281,7 @@ let table1 ?pool () =
         (Hashtbl.length values_seen))
     Hw.Attack.all_guards)
   in
-  emit_perf (perf_of_sweep perf !sweep);
+  emit_perf (with_pool_perf ?pool (perf_of_sweep perf !sweep));
   paper_note "totals 0.705%% / 0.347%% / 0.449%%; while(!a) ~2x while(a);";
   paper_note "comparator residues included SP (0x20003FE8) and GPIO mixes."
 
@@ -280,7 +322,7 @@ let table2 ?pool () =
         Stats.Rate.pp_count_pct (f, t.attempts2)
         (if f = 0 then Float.infinity else float_of_int p /. float_of_int f))
     rows;
-  emit_perf (perf_of_sweep perf sweep);
+  emit_perf (with_pool_perf ?pool (perf_of_sweep perf sweep));
   paper_note "partial 1.330%% / 0.420%% / 0.413%%, full 0.494%% / 0.068%% / 0.258%%;";
   paper_note "multi-glitch 6x / 3x / 1.6x harder than a single glitch."
 
@@ -316,7 +358,7 @@ let table3 ?pool () =
       (fun acc (_, (t : Hw.Attack.table3)) -> Hw.Attack.sweep_add acc t.sweep3)
       Hw.Attack.sweep_zero results
   in
-  emit_perf (perf_of_sweep perf sweep);
+  emit_perf (with_pool_perf ?pool (perf_of_sweep perf sweep));
   paper_note "totals 0.101%% / 0.730%% / 0.0992%%: long glitches help while(a)";
   paper_note "most (aborted loads read zero) and barely help the others."
 
@@ -340,17 +382,17 @@ let tables ?pool () =
       Stats.Perf.time ~label:("tables-t1-" ^ name) ~jobs ~items:0 (fun () ->
           Hw.Attack.run_table1 ?pool guard)
     in
-    emit (perf_of_sweep p1 t1.Hw.Attack.sweep1);
+    emit (with_pool_perf ?pool (perf_of_sweep p1 t1.Hw.Attack.sweep1));
     let t2, p2 =
       Stats.Perf.time ~label:("tables-t2-" ^ name) ~jobs ~items:0 (fun () ->
           Hw.Attack.run_table2 ?pool guard)
     in
-    emit (perf_of_sweep p2 t2.Hw.Attack.sweep2);
+    emit (with_pool_perf ?pool (perf_of_sweep p2 t2.Hw.Attack.sweep2));
     let t3, p3 =
       Stats.Perf.time ~label:("tables-t3-" ^ name) ~jobs ~items:0 (fun () ->
           Hw.Attack.run_table3 ?pool guard)
     in
-    emit (perf_of_sweep p3 t3.Hw.Attack.sweep3);
+    emit (with_pool_perf ?pool (perf_of_sweep p3 t3.Hw.Attack.sweep3));
     (t1, t2, t3)
   in
   let s1, s2, s3 = leg "seq" 1 None in
@@ -369,6 +411,87 @@ let tables ?pool () =
     else Fmt.pr "@.WARNING: parallel tables diverge from the sequential run@."
   | Some _ | None -> ());
   write_json "BENCH_3.json" !records
+
+(* --- scaling: the fig2 sweep kernel across a jobs ladder ---------------------- *)
+
+(* The exact fig2 workload (62 sweeps of 2^16 masks), quietly: all four
+   model configs over the conditional branches plus the And/Or
+   non-branch supplement, results in a fixed order so legs can be
+   compared bit for bit. *)
+let fig2_workload ?pool () =
+  let cases = Glitch_emu.Testcase.all_conditional_branches in
+  let branch_configs =
+    [ Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And;
+      Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Or;
+      { (Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.And) with
+        zero_is_invalid = true };
+      Glitch_emu.Campaign.default_config Glitch_emu.Fault_model.Xor ]
+  in
+  List.concat_map
+    (fun config -> Glitch_emu.Campaign.run_all ?pool config cases)
+    branch_configs
+  @ List.concat_map
+      (fun flip ->
+        List.map
+          (Glitch_emu.Campaign.run_case ?pool
+             (Glitch_emu.Campaign.default_config flip))
+          Glitch_emu.Testcase.non_branch_cases)
+      [ Glitch_emu.Fault_model.And; Glitch_emu.Fault_model.Or ]
+
+let fig2_workload_sweeps =
+  (4 * List.length Glitch_emu.Testcase.all_conditional_branches)
+  + (2 * List.length Glitch_emu.Testcase.non_branch_cases)
+
+(* Runs the fig2 workload at --jobs 1, 2, 4 and 8 (a fresh pool per
+   leg), checks every leg's tables bit-identical to the sequential one,
+   and writes all four PERF rows to BENCH_6.json. With the shared memo
+   store the executed counter must NOT grow with the job count — that
+   counter parity, not wall-clock on a core-starved CI container, is
+   the evidence that the old duplicated-execution inversion is gone. *)
+let scaling () =
+  section "scaling - fig2 sweep kernel at --jobs 1,2,4,8 (writes BENCH_6.json)";
+  let records = ref [] in
+  let emit r =
+    records := !records @ [ r ];
+    Fmt.pr "@.%a@.%s@." Stats.Perf.pp r (Stats.Perf.machine_line r)
+  in
+  let leg jobs =
+    let with_p pool =
+      Option.iter Runtime.Pool.reset_stats pool;
+      let results, perf =
+        Stats.Perf.time ~label:"fig2" ~jobs
+          ~items:(fig2_workload_sweeps * 65536) (fun () ->
+            fig2_workload ?pool ())
+      in
+      let executed, memoized =
+        List.fold_left
+          (fun (e, m) (r : Glitch_emu.Campaign.result) ->
+            (e + r.stats.executed, m + r.stats.memoized))
+          (0, 0) results
+      in
+      emit
+        (with_pool_perf ?pool
+           (Stats.Perf.with_memo ~executed ~memoized perf));
+      results
+    in
+    if jobs = 1 then with_p None
+    else Runtime.Pool.with_pool ~jobs (fun p -> with_p (Some p))
+  in
+  let baseline = leg 1 in
+  let identical =
+    List.for_all
+      (fun jobs ->
+        List.for_all2
+          (fun (a : Glitch_emu.Campaign.result)
+               (b : Glitch_emu.Campaign.result) ->
+            a.by_weight = b.by_weight && a.totals = b.totals)
+          baseline (leg jobs))
+      [ 2; 4; 8 ]
+  in
+  if identical then
+    Fmt.pr "@.tables bit-identical across --jobs 1, 2, 4, 8@."
+  else Fmt.pr "@.WARNING: tables diverge across job counts@.";
+  write_json "BENCH_6.json" !records
 
 (* --- Section V-B: locating optimal parameters --------------------------------- *)
 
@@ -488,7 +611,8 @@ let table6 ?pool ~quick () =
     scenarios)
   in
   emit_perf
-    { perf with Stats.Perf.items = !total_attempts; executed = !total_attempts };
+    (with_pool_perf ?pool
+       { perf with Stats.Perf.items = !total_attempts; executed = !total_attempts });
   paper_note "while(!a): single 0.00928%%/0.00371%% success, 98-100%% detected;";
   paper_note "long 0.263%%/0.267%% success with 79.2%%/71.2%% detection;";
   paper_note "if(a==SUCCESS): best attack 0.00557%% (All) / 0.0449%% (All\\Delay)."
@@ -716,8 +840,8 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|fig2|table1|table2|table3|tables|tuner|table4|table5|table6|table7|analysis|fuzz|micro] \
-     [--quick] [--jobs N]"
+     [all|fig2|table1|table2|table3|tables|scaling|tuner|table4|table5|table6|table7|analysis|fuzz|micro] \
+     [--quick] [--jobs N] [--cache-dir DIR]"
 
 (* Pull "--jobs N" out of the raw argument list. *)
 let rec extract_jobs = function
@@ -735,25 +859,40 @@ let rec extract_jobs = function
     let jobs, args = extract_jobs rest in
     (jobs, a :: args)
 
+(* Pull "--cache-dir DIR" out of the raw argument list. *)
+let rec extract_cache_dir = function
+  | [] -> (None, [])
+  | "--cache-dir" :: dir :: rest when dir <> "" ->
+    (Some dir, snd (extract_cache_dir rest))
+  | [ "--cache-dir" ] | "--cache-dir" :: _ ->
+    prerr_endline "--cache-dir expects a directory path";
+    exit 2
+  | a :: rest ->
+    let d, args = extract_cache_dir rest in
+    (d, a :: args)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let jobs, args = extract_jobs args in
+  let cache_dir, args = extract_cache_dir args in
+  let cache = Option.map (fun dir -> Cache.open_dir dir) cache_dir in
   let jobs = Option.value jobs ~default:(Runtime.Pool.default_jobs ()) in
   let args = List.filter (fun a -> a <> "--quick" && a <> "--") args in
   (* jobs = 1 keeps every experiment on the original sequential path *)
   let pool = if jobs > 1 then Some (Runtime.Pool.create ~jobs ()) else None in
   let experiments =
-    [ ("fig2", fig2 ?pool); ("fig2x", fig2x ?pool); ("table1", table1 ?pool);
+    [ ("fig2", fig2 ?pool ?cache); ("fig2x", fig2x ?pool);
+      ("table1", table1 ?pool);
       ("table2", table2 ?pool); ("table3", table3 ?pool);
-      ("tables", tables ?pool); ("tuner", tuner);
+      ("tables", tables ?pool); ("scaling", scaling); ("tuner", tuner);
       ("table4", table45); ("table5", table45);
       ("table6", table6 ?pool ~quick); ("table7", table7);
       ("ablation", ablation ?pool ~quick); ("analysis", analysis);
       ("fuzz", fuzz ~quick); ("micro", micro) ]
   in
   let run_all () =
-    fig2 ?pool ();
+    fig2 ?pool ?cache ();
     fig2x ?pool ();
     table1 ?pool ();
     table2 ?pool ();

@@ -13,7 +13,9 @@
                                      Table I/II/III hardware sweep
      glitchctl tune not_a            Section V-B parameter search
      glitchctl lint fw.c --defenses all --json
-                                     static glitch-surface + defense audit *)
+                                     static glitch-surface + defense audit
+     glitchctl serve --cache-dir .cache --jobs 4
+                                     JSON-lines batch audit service *)
 
 open Cmdliner
 
@@ -76,20 +78,50 @@ let config_arg =
 
 let with_sensitive config sensitive = { config with Resistor.Config.sensitive }
 
-let jobs_arg =
+(* [chunks] clamps the default to the command's parallel work-item
+   count: a table sweep has only 8-11 items, so domains beyond that
+   would just spin. Note the recommended domain count reflects the
+   host's cores — in a CPU-limited CI container, pass --jobs
+   explicitly. *)
+let jobs_arg ?chunks () =
   Arg.(
     value
-    & opt int (Runtime.Pool.default_jobs ())
+    & opt int (Runtime.Pool.default_jobs ?chunks ())
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Worker domains for campaign sweeps (default: the recommended \
-           domain count). Results are bit-identical at any job count; 1 \
-           takes the sequential code path.")
+           domain count, clamped to the command's work-item count). \
+           Results are bit-identical at any job count; 1 takes the \
+           sequential code path.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent result cache (created if missing). Sweeps whose \
+           (snippet, fault model, parameters, code version) key is \
+           already cached are served without executing anything; \
+           corrupted entries are treated as misses.")
 
 (* jobs = 1 must not spawn domains: it is the original sequential path *)
 let with_jobs jobs f =
   if jobs > 1 then Runtime.Pool.with_pool ~jobs (fun pool -> f (Some pool))
   else f None
+
+(* Fold the pool's queue-wait/utilization accounting into a PERF
+   record, so pool overhead shows up in the machine lines instead of
+   having to be inferred from scaling curves. *)
+let with_pool_perf ~jobs pool perf =
+  match pool with
+  | None -> perf
+  | Some pool ->
+    let st = Runtime.Pool.stats pool in
+    Stats.Perf.with_pool_stats
+      ~wait_s:(Runtime.Pool.stats_wait ~jobs st)
+      ~utilization:(Runtime.Pool.stats_utilization ~jobs st)
+      perf
 
 (* --- asm ------------------------------------------------------------------- *)
 
@@ -182,7 +214,7 @@ let emulate_cmd =
       & opt (enum [ ("thumb", `Thumb); ("riscv", `Riscv) ]) `Thumb
       & info [ "isa" ] ~docv:"ISA" ~doc:"thumb (exhaustive) or riscv (sampled).")
   in
-  let run branch model isa jobs =
+  let run branch model isa jobs cache_dir =
     match isa with
     | `Thumb -> (
       match
@@ -195,9 +227,11 @@ let emulate_cmd =
         exit_input
       | Some cond ->
         let case = Glitch_emu.Testcase.conditional_branch cond in
-        let result =
+        let result, status =
           with_jobs jobs (fun pool ->
-              Glitch_emu.Campaign.run_case ?pool
+              let cache = Option.map Cache.open_dir cache_dir in
+              let svc = Service.create ?pool ?cache () in
+              Service.run_case svc
                 (Glitch_emu.Campaign.default_config model)
                 case)
         in
@@ -209,6 +243,10 @@ let emulate_cmd =
               (Glitch_emu.Campaign.category_name cat)
               (Glitch_emu.Campaign.category_percent result cat))
           Glitch_emu.Campaign.categories;
+        if cache_dir <> None then
+          Fmt.pr "cache: %s (%d executed, %d memoized)@."
+            (Service.status_name status)
+            result.stats.executed result.stats.memoized;
         0)
     | `Riscv -> (
       match
@@ -236,8 +274,11 @@ let emulate_cmd =
   in
   Cmd.v
     (Cmd.info "emulate"
-       ~doc:"Exhaustive bit-flip campaign against one conditional branch.")
-    Term.(const run $ branch $ model $ isa $ jobs_arg)
+       ~doc:
+         "Exhaustive bit-flip campaign against one conditional branch. \
+          With $(b,--cache-dir), Thumb results are cached persistently \
+          and warm runs execute nothing.")
+    Term.(const run $ branch $ model $ isa $ jobs_arg () $ cache_dir_arg)
 
 (* --- compile -------------------------------------------------------------------- *)
 
@@ -331,6 +372,7 @@ let attack_cmd =
                 Resistor.Evaluate.run_image ?pool ~sweep_step:step
                   compiled.image attack)
           in
+          let perf = with_pool_perf ~jobs pool perf in
           (let n = o.Resistor.Evaluate.attempts in
            ({ perf with Stats.Perf.items = n; executed = n }, o)))
     with
@@ -358,7 +400,7 @@ let attack_cmd =
        ~doc:
          "Sweep the glitch-parameter plane against a firmware (it must call \
           __trigger_high() and set attack_success = 170 on compromise).")
-    Term.(const run $ file $ config_arg $ sensitive_arg $ attack $ step $ jobs_arg)
+    Term.(const run $ file $ config_arg $ sensitive_arg $ attack $ step $ jobs_arg ())
 
 (* --- table ------------------------------------------------------------------------ *)
 
@@ -381,12 +423,13 @@ let table_cmd =
       & info [ "guard" ] ~docv:"GUARD" ~doc:"not_a, a, or ne.")
   in
   let run n guard jobs =
-    let perf_line label jobs (s : Hw.Attack.sweep) perf =
+    let perf_line label jobs pool (s : Hw.Attack.sweep) perf =
       let perf =
         Stats.Perf.with_cycles ~booted:s.emulated_cycles
           ~replayed:s.replayed_cycles
           { perf with Stats.Perf.items = s.attempts; executed = s.attempts }
       in
+      let perf = with_pool_perf ~jobs pool perf in
       Fmt.pr "%s@." (Stats.Perf.machine_line { perf with Stats.Perf.label; jobs })
     in
     with_jobs jobs (fun pool ->
@@ -407,7 +450,7 @@ let table_cmd =
               in
               Fmt.pr "  cycle %d: %4d successes  %s@." cycle c.successes values)
             t.per_cycle;
-          perf_line "table1" jobs t.sweep1 perf
+          perf_line "table1" jobs pool t.sweep1 perf
         | 2 ->
           let t, perf =
             Stats.Perf.time ~label:"table2" ~jobs ~items:0 (fun () ->
@@ -419,7 +462,7 @@ let table_cmd =
             (fun cycle p ->
               Fmt.pr "  cycle %d: partial %4d  full %4d@." cycle p t.full.(cycle))
             t.partial;
-          perf_line "table2" jobs t.sweep2 perf
+          perf_line "table2" jobs pool t.sweep2 perf
         | _ ->
           let t, perf =
             Stats.Perf.time ~label:"table3" ~jobs ~items:0 (fun () ->
@@ -430,7 +473,7 @@ let table_cmd =
           List.iter
             (fun (last, s) -> Fmt.pr "  cycles 0-%d: %4d successes@." last s)
             t.windows;
-          perf_line "table3" jobs t.sweep3 perf);
+          perf_line "table3" jobs pool t.sweep3 perf);
     0
   in
   Cmd.v
@@ -438,7 +481,7 @@ let table_cmd =
        ~doc:
          "Run one of the paper's hardware sweeps (Table I, II or III) via the \
           snapshot-replay kernel and print per-cycle counts plus a PERF line.")
-    Term.(const run $ n $ guard $ jobs_arg)
+    Term.(const run $ n $ guard $ jobs_arg ~chunks:8 ())
 
 (* --- tune ------------------------------------------------------------------------- *)
 
@@ -673,6 +716,38 @@ let fuzz_cmd =
          :: Cmd.Exit.defaults))
     Term.(const run $ count $ seed $ corpus $ properties $ sabotage $ replay)
 
+(* --- serve ----------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run jobs cache_dir =
+    let cache = Option.map Cache.open_dir cache_dir in
+    with_jobs jobs (fun pool ->
+        let svc = Service.create ?pool ?cache () in
+        let rec loop () =
+          match input_line stdin with
+          | exception End_of_file -> 0
+          | line when String.trim line = "" -> loop ()
+          | line ->
+            print_endline (Service.handle_line svc line);
+            flush stdout;
+            loop ()
+        in
+        loop ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batch audit service: read JSON-lines requests on stdin (e.g. \
+          $(b,{\"id\":1,\"case\":\"beq\",\"model\":\"and\"})) and stream one \
+          JSON result per line. One worker pool, one set of shared sweep \
+          memos, and one persistent cache ($(b,--cache-dir)) are shared \
+          across all requests, so repeated audits of the same snippet are \
+          served without executing a single sweep case (the response's \
+          $(i,cache) field says hit, warm or miss; $(i,executed) counts \
+          emulated cases). Malformed requests produce an \
+          $(b,{\"ok\":false}) response, not a crash. Exits 0 at EOF.")
+    Term.(const run $ jobs_arg () $ cache_dir_arg)
+
 let () =
   let doc = "glitching attack and defense toolkit (Glitching Demystified, DSN'21)" in
   let info = Cmd.info "glitchctl" ~version:"1.0.0" ~doc in
@@ -680,4 +755,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
-            table_cmd; tune_cmd; lint_cmd; fuzz_cmd ]))
+            table_cmd; tune_cmd; lint_cmd; fuzz_cmd; serve_cmd ]))

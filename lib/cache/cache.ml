@@ -1,0 +1,131 @@
+(* A persistent content-addressed result cache.
+
+   Entries are files named by the hex digest of their key under a
+   two-character fan-out directory (aa/aabbcc...), in the format
+
+     glitch-cache <format_version>
+     <payload bytes, verbatim>
+     DIGEST <md5 hex of the payload>
+
+   The trailing digest makes corruption detectable: a truncated file
+   loses the DIGEST line, a bit-flipped payload no longer matches it.
+   Every load failure — missing file, bad header, bad or absent
+   digest, unreadable entry — is reported as a miss, never an
+   exception: a cache must not be able to take the tool down.
+
+   Writes go through a temp file in the same directory followed by
+   [Sys.rename], so readers (including concurrent processes) only ever
+   see complete entries. *)
+
+type t = { dir : string }
+
+let format_version = 1
+let magic = "glitch-cache"
+
+let mkdir_p dir =
+  let rec make d =
+    if not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let open_dir dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let key ~parts =
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let is_hex_key k =
+  String.length k = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) k
+
+let path t ~key =
+  if not (is_hex_key key) then invalid_arg "Cache.path: not a cache key";
+  Filename.concat (Filename.concat t.dir (String.sub key 0 2)) key
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let header = Printf.sprintf "%s %d\n" magic format_version
+let digest_prefix = "DIGEST "
+
+(* Split "header \n payload \n DIGEST hex\n" back into the payload,
+   verifying both ends. The payload's own trailing newline (if any) is
+   part of the payload: we search for the last "\nDIGEST " boundary. *)
+let parse_entry raw =
+  let hlen = String.length header in
+  if String.length raw < hlen || String.sub raw 0 hlen <> header then None
+  else
+    let body = String.sub raw hlen (String.length raw - hlen) in
+    match String.rindex_opt body '\n' with
+    | None -> None
+    | Some _ ->
+      (* the digest line is the final line of the file *)
+      let body_len = String.length body in
+      let last_line_start =
+        match String.rindex_from_opt body (body_len - 2) '\n' with
+        | Some i when body_len >= 2 -> i + 1
+        | _ -> 0
+      in
+      if body_len = 0 || body.[body_len - 1] <> '\n' then None
+      else
+        let last_line =
+          String.sub body last_line_start (body_len - last_line_start - 1)
+        in
+        let plen = String.length digest_prefix in
+        if
+          String.length last_line <= plen
+          || String.sub last_line 0 plen <> digest_prefix
+        then None
+        else
+          let stored = String.sub last_line plen (String.length last_line - plen) in
+          let payload =
+            (* drop the '\n' that separates payload from the digest line *)
+            if last_line_start = 0 then None
+            else Some (String.sub body 0 (last_line_start - 1))
+          in
+          match payload with
+          | None -> None
+          | Some payload ->
+            if String.equal stored (Digest.to_hex (Digest.string payload)) then
+              Some payload
+            else None
+
+let load t ~key =
+  (* validate the key outside the catch-all: a malformed key is caller
+     error, not cache corruption *)
+  let p = path t ~key in
+  match read_file p with
+  | raw -> parse_entry raw
+  | exception _ -> None
+
+let store t ~key payload =
+  let final = path t ~key in
+  mkdir_p (Filename.dirname final);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ()) (Hashtbl.hash key)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc header;
+     output_string oc payload;
+     output_char oc '\n';
+     output_string oc digest_prefix;
+     output_string oc (Digest.to_hex (Digest.string payload));
+     output_char oc '\n';
+     close_out oc;
+     Sys.rename tmp final
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with _ -> ());
+     raise e)
+
+let mem t ~key = load t ~key <> None

@@ -1,0 +1,37 @@
+(** A persistent content-addressed result cache.
+
+    Keys are hex digests derived from the parts that determine a
+    result (image bytes, fault model, sweep parameters, code version —
+    see {!key}); values are opaque payload strings. Entries carry an
+    integrity digest and are written atomically (temp file + rename),
+    and {e any} load problem — missing, truncated, bit-flipped,
+    malformed — is a miss, never an exception: corrupting the cache
+    directory must not be able to crash or mislead the tools. *)
+
+type t
+
+val open_dir : string -> t
+(** Open (creating if needed, like [mkdir -p]) a cache rooted at the
+    given directory. *)
+
+val dir : t -> string
+
+val key : parts:string list -> string
+(** The cache key for a list of determining parts: a hex digest over
+    the NUL-joined parts. Callers must include a code-version part so
+    that semantically incompatible toolkit revisions never share
+    entries. *)
+
+val store : t -> key:string -> string -> unit
+(** Atomically persist a payload under a key (overwriting any previous
+    entry). Raises on I/O errors — failing to {e write} the cache is a
+    real error, unlike failing to read it. [Invalid_argument] if [key]
+    did not come from {!key}. *)
+
+val load : t -> key:string -> string option
+(** The payload stored under the key, or [None] on a miss — including
+    every corruption case. [Invalid_argument] if [key] did not come
+    from {!key}. *)
+
+val mem : t -> key:string -> bool
+(** Whether {!load} would hit (entry present {e and} intact). *)

@@ -167,30 +167,46 @@ let make_tally () =
   { by_weight = Array.init (width + 1) (fun _ -> Array.make ncat 0);
     totals = Array.make ncat 0 }
 
-(* Per-worker memo and work counters. [memo.(word)] is the category
-   index already established for a perturbed word, or -1. The And/Or
+(* The word-outcome memo. [store] slot [word] is the category index
+   already established for a perturbed word, or empty. The And/Or
    fault models are many-to-one (e.g. AND can only produce subsets of
    the target's set bits), so a 65,536-mask sweep visits only a few
    hundred to a few thousand distinct words — every revisit is a table
-   lookup instead of an emulation. *)
+   lookup instead of an emulation.
+
+   The store is SHARED between worker domains (it used to be
+   worker-private, which made N workers re-execute every word up to N
+   times and inverted the parallel speedup). Sharing is sound because
+   the outcome is a pure function of (config, case, word): racing
+   workers can only publish identical values, and a stale read of
+   "empty" merely re-executes — see [Runtime.Store]. The counters stay
+   per-worker (merged after the region), so hit rates remain
+   observable without contended atomics on the hot path.
+
+   A store is only valid for the (config, case) pair it was filled
+   under — the outcome depends on the whole snippet, not just the
+   perturbed word — so callers passing [?store] must key it by both. *)
 type memo = {
-  table : int array;
+  store : Runtime.Store.t;
   mutable executed : int;
   mutable memoized : int;
 }
 
-let make_memo () =
-  { table = Array.make 0x10000 (-1); executed = 0; memoized = 0 }
+let make_store () = Runtime.Store.create ~slots:0x10000
+
+let make_memo ?store () =
+  let store = match store with Some s -> s | None -> make_store () in
+  { store; executed = 0; memoized = 0 }
 
 let classify_word config rig memo ~word =
-  let c = memo.table.(word) in
+  let c = Runtime.Store.get memo.store word in
   if c >= 0 then begin
     memo.memoized <- memo.memoized + 1;
     c
   end
   else begin
     let c = category_index (run_word config rig ~word) in
-    memo.table.(word) <- c;
+    Runtime.Store.set memo.store word c;
     memo.executed <- memo.executed + 1;
     c
   end
@@ -212,29 +228,32 @@ let merge_into dst (src : tally) =
   Array.iteri (fun i n -> dst.totals.(i) <- dst.totals.(i) + n) src.totals
 
 (* The single-domain path: one rig, one memo, masks in weight order. *)
-let run_case_seq config (case : Testcase.t) =
+let run_case_seq ?store config (case : Testcase.t) =
   let rig = make_rig case in
-  let memo = make_memo () in
+  let memo = make_memo ?store () in
   let t = make_tally () in
   Bitmask.iter_all ~width (fun ~weight:_ ~mask -> record config rig memo t ~mask);
   { case; config; by_weight = t.by_weight; totals = t.totals;
     stats = { executed = memo.executed; memoized = memo.memoized } }
 
 (* The parallel path: the 2^16 mask space is cut into contiguous
-   slices; each worker domain drains slices into a private rig, memo
-   and tally, and per-worker tallies are summed. Classification depends
-   only on (config, case, mask), so the merged counts equal the
-   sequential ones exactly; the memos are worker-private, so a word
-   seen by several workers is executed once per worker (reflected in
-   the summed stats). *)
-let run_case_in pool config (case : Testcase.t) =
+   slices; each worker domain drains slices into a private rig and
+   tally but a SHARED word-outcome store, and per-worker tallies are
+   summed. Classification depends only on (config, case, mask), so the
+   merged counts equal the sequential ones exactly whatever the races
+   on the store resolve to; the executed/memoized split, by contrast,
+   is schedule-dependent (a word raced by two workers on a cold slot
+   counts as two executions), so only executed + memoized and the
+   tables themselves are deterministic. *)
+let run_case_in ?store pool config (case : Testcase.t) =
   let q =
     Runtime.Chunk.queue ~lo:0 ~hi:(1 lsl width) ~jobs:(Runtime.Pool.jobs pool) ()
   in
+  let store = match store with Some s -> s | None -> make_store () in
   let parts =
     Runtime.Pool.map_workers pool (fun _wid ->
         let rig = make_rig case in
-        let memo = make_memo () in
+        let memo = make_memo ~store () in
         let t = make_tally () in
         let rec drain () =
           match Runtime.Chunk.take q with
@@ -259,13 +278,14 @@ let run_case_in pool config (case : Testcase.t) =
   { case; config; by_weight = t.by_weight; totals = t.totals;
     stats = { executed = !executed; memoized = !memoized } }
 
-let run_case ?pool ?(jobs = 1) config case =
+let run_case ?pool ?(jobs = 1) ?store config case =
   match pool with
-  | Some pool when Runtime.Pool.jobs pool > 1 -> run_case_in pool config case
-  | Some _ -> run_case_seq config case
+  | Some pool when Runtime.Pool.jobs pool > 1 -> run_case_in ?store pool config case
+  | Some _ -> run_case_seq ?store config case
   | None ->
-    if jobs <= 1 then run_case_seq config case
-    else Runtime.Pool.with_pool ~jobs (fun pool -> run_case_in pool config case)
+    if jobs <= 1 then run_case_seq ?store config case
+    else
+      Runtime.Pool.with_pool ~jobs (fun pool -> run_case_in ?store pool config case)
 
 let run_all ?pool ?jobs config cases =
   List.map (run_case ?pool ?jobs config) cases
@@ -286,9 +306,10 @@ let sweep config (case : Testcase.t) =
   in
   { categories;
     by_word =
-      Array.map
-        (fun c -> if c < 0 then None else Some (category_of_index c))
-        memo.table;
+      Array.init (1 lsl width) (fun word ->
+          match Runtime.Store.get memo.store word with
+          | -1 -> None
+          | c -> Some (category_of_index c));
     sweep_stats = { executed = memo.executed; memoized = memo.memoized } }
 
 let categories_by_mask config case = (sweep config case).categories

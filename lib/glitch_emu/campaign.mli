@@ -55,9 +55,12 @@ type sweep_stats = {
   executed : int;  (** perturbed words actually emulated *)
   memoized : int;  (** masks served from the per-word outcome memo *)
 }
-(** [executed + memoized] equals the number of masks processed. In a
-    parallel sweep the memo is worker-private, so [executed] may count
-    the same word once per worker that encountered it. *)
+(** [executed + memoized] equals the number of masks processed. The
+    memo store is shared between workers, so in a parallel sweep
+    [executed] stays close to the number of distinct perturbed words;
+    the exact executed/memoized split is schedule-dependent (two
+    workers racing on a cold slot both count an execution) — only the
+    sum and the resulting tables are deterministic. *)
 
 type result = {
   case : Testcase.t;
@@ -76,16 +79,31 @@ val run_one : config -> Testcase.t -> mask:int -> category
     memoization. This is the oracle that differential tests pin the
     memoized sweep kernel against. *)
 
-val run_case : ?pool:Runtime.Pool.t -> ?jobs:int -> config -> Testcase.t -> result
+val make_store : unit -> Runtime.Store.t
+(** A fresh empty word-outcome store ([2^16] slots). A store caches
+    word classifications for exactly one [(config, case)] pair — the
+    outcome depends on the whole snippet, not just the perturbed word —
+    so callers keeping stores warm across calls must key them by
+    both. *)
+
+val run_case :
+  ?pool:Runtime.Pool.t -> ?jobs:int -> ?store:Runtime.Store.t ->
+  config -> Testcase.t -> result
 (** Run all [2^16] masks against the case's target instruction.
 
     With [pool] (or [jobs > 1], which spins up a transient pool) the
     mask space is split into contiguous chunks drained by worker
     domains, each against a private rig whose memory map and CPU are
-    reused across masks. Per-domain counts are merged with plain
+    reused across masks, all sharing one lock-free word-outcome store
+    ({!Runtime.Store}). Per-domain counts are merged with plain
     integer addition — commutative — so [by_weight] and [totals] are
     bit-identical to the sequential sweep for every domain count. The
-    default ([jobs = 1], no pool) takes the single-domain code path. *)
+    default ([jobs = 1], no pool) takes the single-domain code path.
+
+    [store] supplies a warm store from a previous run of the {e same}
+    [(config, case)] pair (see {!make_store}); words already present
+    are served without emulation, so a fully warm store yields
+    [stats.executed = 0]. *)
 
 val run_all : ?pool:Runtime.Pool.t -> ?jobs:int -> config -> Testcase.t list -> result list
 

@@ -209,18 +209,56 @@ type rig = {
   boot_cycles : int;
 }
 
-let boot_rig ?(max_cycles = 300) program =
+(* The boot, separated from the rig so it can be shared: the snapshot
+   and baseline are deep copies ([Memory.snapshot] copies every region,
+   [Cpu.copy] the registers) that are only ever read afterwards —
+   [Board.restore] and baseline validity checks blit/compare FROM them
+   — so handing the same boot to several worker domains is sound. Each
+   worker still needs a private [Board.t] (boards mutate on every
+   attempt), but materializing one is an assemble-and-load, not the
+   boot emulation plus up-to-[max_cycles] baseline recording that
+   booting per worker used to cost. *)
+type boot = {
+  b_program : string;
+  b_snap : Board.snapshot;
+  b_baseline : Glitcher.baseline;
+  b_max_cycles : int;
+  b_boot_cycles : int;
+  b_board : Board.t;  (* the board that booted; claimable by one rig *)
+}
+
+let boot_once ?(max_cycles = 300) program =
   let board = Board.create (Board.Asm program) in
   if not (Board.run_until_trigger board ~max_cycles) then
-    invalid_arg "Attack.boot_rig: program never raises its trigger";
+    invalid_arg "Attack.boot_once: program never raises its trigger";
   let snap = Board.snapshot board in
   let boot_cycles = Board.cycles board in
   let baseline = Glitcher.baseline ~max_cycles board ~from:snap in
-  { rig_board = board;
-    rig_snap = snap;
-    rig_baseline = baseline;
-    rig_max_cycles = max_cycles;
-    boot_cycles }
+  { b_program = program;
+    b_snap = snap;
+    b_baseline = baseline;
+    b_max_cycles = max_cycles;
+    b_boot_cycles = boot_cycles;
+    b_board = board }
+
+(* A fresh board for the shared boot. Attempts restore the snapshot
+   before executing anything, so the board only has to have the same
+   memory map as the booted one — which [Board.create] on the same
+   program guarantees. *)
+let rig_of_boot boot =
+  { rig_board = Board.create (Board.Asm boot.b_program);
+    rig_snap = boot.b_snap;
+    rig_baseline = boot.b_baseline;
+    rig_max_cycles = boot.b_max_cycles;
+    boot_cycles = boot.b_boot_cycles }
+
+let boot_rig ?max_cycles program =
+  let boot = boot_once ?max_cycles program in
+  { rig_board = boot.b_board;
+    rig_snap = boot.b_snap;
+    rig_baseline = boot.b_baseline;
+    rig_max_cycles = boot.b_max_cycles;
+    boot_cycles = boot.b_boot_cycles }
 
 let boot_cycles rig = rig.boot_cycles
 let rig_board rig = rig.rig_board
@@ -229,14 +267,21 @@ let attempt ?config ?nonce rig schedule =
   Glitcher.run ?config ~max_cycles:rig.rig_max_cycles ?nonce
     ~from:rig.rig_snap ~baseline:rig.rig_baseline rig.rig_board schedule
 
-type sweep = { attempts : int; emulated_cycles : int; replayed_cycles : int }
+type sweep = {
+  attempts : int;
+  emulated_cycles : int;
+  replayed_cycles : int;
+  boots : int;
+}
 
-let sweep_zero = { attempts = 0; emulated_cycles = 0; replayed_cycles = 0 }
+let sweep_zero =
+  { attempts = 0; emulated_cycles = 0; replayed_cycles = 0; boots = 0 }
 
 let sweep_add a b =
   { attempts = a.attempts + b.attempts;
     emulated_cycles = a.emulated_cycles + b.emulated_cycles;
-    replayed_cycles = a.replayed_cycles + b.replayed_cycles }
+    replayed_cycles = a.replayed_cycles + b.replayed_cycles;
+    boots = a.boots + b.boots }
 
 let full_parameter_sweep ?config rig ~make_schedule ~classify =
   let attempts = ref 0 and emulated = ref 0 and replayed = ref 0 in
@@ -252,7 +297,8 @@ let full_parameter_sweep ?config rig ~make_schedule ~classify =
   done;
   { attempts = !attempts;
     emulated_cycles = !emulated;
-    replayed_cycles = !replayed }
+    replayed_cycles = !replayed;
+    boots = 0 }
 
 (* --- Table I ---------------------------------------------------------------- *)
 
@@ -268,17 +314,18 @@ type table1 = {
 (* Every attempt rewinds the board to the same trigger snapshot, so a
    cycle's statistics depend only on (program, cycle, fault config) —
    never on which board object ran it or in what order. The parallel
-   paths exploit this: each work item boots a private rig and the
-   per-item results are reassembled by index, bit-identical to the
-   sequential sweep. *)
-let map_cycles ?pool ~make_rig f =
+   paths exploit this: the boot happens ONCE, each work item gets a
+   private board sharing the boot's snapshot/baseline (see [boot]),
+   and per-item results are reassembled by index, bit-identical to
+   the sequential sweep. *)
+let map_cycles ?pool ~boot f =
   match pool with
   | Some pool when Runtime.Pool.jobs pool > 1 ->
     Runtime.Pool.map_array pool
-      (fun cycle -> f (make_rig ()) cycle)
+      (fun cycle -> f (rig_of_boot boot) cycle)
       (Array.init loop_cycles Fun.id)
   | Some _ | None ->
-    let rig = make_rig () in
+    let rig = rig_of_boot boot in
     Array.init loop_cycles (f rig)
 
 let run_table1 ?pool ?config guard =
@@ -304,12 +351,10 @@ let run_table1 ?pool ?config guard =
           |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1) },
       sweep )
   in
-  let cells =
-    map_cycles ?pool
-      ~make_rig:(fun () -> boot_rig (single_loop_program guard))
-      run_cycle
-  in
+  let boot = boot_once (single_loop_program guard) in
+  let cells = map_cycles ?pool ~boot run_cycle in
   let sweep = Array.fold_left (fun acc (_, s) -> sweep_add acc s) sweep_zero cells in
+  let sweep = { sweep with boots = 1 } in
   { guard;
     per_cycle = Array.map fst cells;
     attempts_per_cycle = sweep.attempts / loop_cycles;
@@ -340,14 +385,12 @@ let run_table2 ?pool ?config guard =
     in
     (!partial, !full, sweep)
   in
-  let cells =
-    map_cycles ?pool
-      ~make_rig:(fun () -> boot_rig ~max_cycles:500 (double_loop_program guard))
-      run_cycle
-  in
+  let boot = boot_once ~max_cycles:500 (double_loop_program guard) in
+  let cells = map_cycles ?pool ~boot run_cycle in
   let sweep =
     Array.fold_left (fun acc (_, _, s) -> sweep_add acc s) sweep_zero cells
   in
+  let sweep = { sweep with boots = 1 } in
   { guard2 = guard;
     partial = Array.map (fun (p, _, _) -> p) cells;
     full = Array.map (fun (_, f, _) -> f) cells;
@@ -376,21 +419,22 @@ let run_table3 ?pool ?config guard =
     in
     (last_cycle, !successes, sweep)
   in
-  let make_rig () = boot_rig ~max_cycles:800 (long_glitch_program guard) in
+  let boot = boot_once ~max_cycles:800 (long_glitch_program guard) in
   let windows = [| 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 |] in
   let rows =
     match pool with
     | Some pool when Runtime.Pool.jobs pool > 1 ->
       Runtime.Pool.map_array pool
-        (fun last_cycle -> run_window (make_rig ()) last_cycle)
+        (fun last_cycle -> run_window (rig_of_boot boot) last_cycle)
         windows
     | Some _ | None ->
-      let rig = make_rig () in
+      let rig = rig_of_boot boot in
       Array.map (run_window rig) windows
   in
   let sweep =
     Array.fold_left (fun acc (_, _, s) -> sweep_add acc s) sweep_zero rows
   in
+  let sweep = { sweep with boots = 1 } in
   { guard3 = guard;
     windows = Array.to_list rows |> List.map (fun (w, s, _) -> (w, s));
     attempts_per_window = sweep.attempts / Array.length windows;

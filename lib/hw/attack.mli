@@ -50,7 +50,25 @@ val boot_rig : ?max_cycles:int -> string -> rig
 (** Assemble the program, boot it to its trigger edge, snapshot, and
     record the baseline. [max_cycles] (default 300) is the per-attempt
     cycle budget every subsequent sweep on this rig runs under.
-    [Invalid_argument] if the program never raises the trigger. *)
+    [Invalid_argument] if the program never raises the trigger.
+    Equivalent to [rig_of_boot (boot_once program)] but reuses the
+    booted board. *)
+
+type boot
+(** The shareable product of booting: trigger snapshot, unglitched
+    baseline, and boot metadata. Snapshot and baseline are deep copies
+    that are only read afterwards, so one [boot] may back rigs on many
+    worker domains concurrently — the boot emulation and baseline
+    recording happen once per table instead of once per worker. *)
+
+val boot_once : ?max_cycles:int -> string -> boot
+(** Boot the program once, as {!boot_rig} does, keeping the shareable
+    parts. *)
+
+val rig_of_boot : boot -> rig
+(** A rig on a {e fresh} private board (assemble + load only — no
+    emulation) backed by the shared snapshot/baseline. Sound because
+    every {!attempt} restores the snapshot before executing. *)
 
 val attempt :
   ?config:Susceptibility.config ->
@@ -68,10 +86,17 @@ val boot_cycles : rig -> int
 val rig_board : rig -> Board.t
 (** The rig's board, for post-mortem inspection after {!attempt}. *)
 
-(** What a sweep cost: attempts issued, cycles actually emulated, and
+(** What a sweep cost: attempts issued, cycles actually emulated,
     cycles served by snapshot restore (boot replay + dead-schedule
-    cutoff) that the reset-per-attempt workflow would have emulated. *)
-type sweep = { attempts : int; emulated_cycles : int; replayed_cycles : int }
+    cutoff) that the reset-per-attempt workflow would have emulated,
+    and boots performed (1 per table since the boot is shared across
+    workers; it was once per worker before). *)
+type sweep = {
+  attempts : int;
+  emulated_cycles : int;
+  replayed_cycles : int;
+  boots : int;
+}
 
 val sweep_zero : sweep
 val sweep_add : sweep -> sweep -> sweep
@@ -90,9 +115,10 @@ type table1 = {
 val run_table1 :
   ?pool:Runtime.Pool.t -> ?config:Susceptibility.config -> guard -> table1
 (** With [pool], the 8 per-cycle sweeps run on worker domains, each
-    against a private rig; every attempt restores the same trigger
-    snapshot, so the table is bit-identical to the sequential run.
-    Likewise for {!run_table2} and {!run_table3}. *)
+    against a private board backed by the one shared {!boot}; every
+    attempt restores the same trigger snapshot, so the table is
+    bit-identical to the sequential run. Likewise for {!run_table2}
+    and {!run_table3}. *)
 
 type table2 = {
   guard2 : guard;

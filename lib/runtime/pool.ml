@@ -12,9 +12,23 @@ type t = {
   mutable stopping : bool;
   mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable domains : unit Domain.t list;
+  mutable stat_regions : int;
+  mutable stat_wall : float;  (* caller-side wall time inside regions *)
+  mutable stat_busy : float;  (* summed per-worker time inside job fns *)
 }
 
-let default_jobs () = Domain.recommended_domain_count ()
+type stats = { regions : int; wall_s : float; busy_s : float }
+
+(* [recommended_domain_count] reports the host's cores, which points
+   the wrong way on both ends: CI containers often pin the process to
+   one or two cores while the host reports many more, and a sweep with
+   fewer work chunks than cores leaves the surplus domains spinning on
+   an empty queue. Clamping to the chunk count fixes the second; the
+   first is the caller's CPU quota and can only be fixed by an explicit
+   [--jobs]. *)
+let default_jobs ?chunks () =
+  let n = Domain.recommended_domain_count () in
+  match chunks with None -> n | Some c -> max 1 (min n c)
 
 let record_failure t e bt =
   Mutex.lock t.mutex;
@@ -42,9 +56,12 @@ let worker_loop t wid =
     | Some j ->
       Mutex.unlock t.mutex;
       last_generation := j.generation;
+      let t0 = Unix.gettimeofday () in
       (try j.f wid
        with e -> record_failure t e (Printexc.get_raw_backtrace ()));
+      let dt = Unix.gettimeofday () -. t0 in
       Mutex.lock t.mutex;
+      t.stat_busy <- t.stat_busy +. dt;
       t.running <- t.running - 1;
       if t.running = 0 then Condition.broadcast t.work_done;
       Mutex.unlock t.mutex;
@@ -65,7 +82,10 @@ let create ?jobs () =
       in_region = false;
       stopping = false;
       failure = None;
-      domains = [] }
+      domains = [];
+      stat_regions = 0;
+      stat_wall = 0.;
+      stat_busy = 0. }
   in
   t.domains <-
     List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
@@ -77,7 +97,15 @@ let run t f =
   if t.jobs = 1 then begin
     if t.in_region then invalid_arg "Pool.run: nested parallel region";
     t.in_region <- true;
-    Fun.protect ~finally:(fun () -> t.in_region <- false) (fun () -> f 0)
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        t.stat_regions <- t.stat_regions + 1;
+        t.stat_wall <- t.stat_wall +. dt;
+        t.stat_busy <- t.stat_busy +. dt;
+        t.in_region <- false)
+      (fun () -> f 0)
   end
   else begin
     Mutex.lock t.mutex;
@@ -94,13 +122,18 @@ let run t f =
     t.generation <- t.generation + 1;
     t.job <- Some { f; generation = t.generation };
     t.running <- t.jobs - 1;
+    let t0 = Unix.gettimeofday () in
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
     (try f 0 with e -> record_failure t e (Printexc.get_raw_backtrace ()));
+    let caller_busy = Unix.gettimeofday () -. t0 in
     Mutex.lock t.mutex;
     while t.running > 0 do
       Condition.wait t.work_done t.mutex
     done;
+    t.stat_regions <- t.stat_regions + 1;
+    t.stat_wall <- t.stat_wall +. (Unix.gettimeofday () -. t0);
+    t.stat_busy <- t.stat_busy +. caller_busy;
     t.job <- None;
     t.in_region <- false;
     let failure = t.failure in
@@ -138,6 +171,28 @@ let map_array t f input =
       (function Some r -> r | None -> assert false (* queue covers 0..n-1 *))
       results
   end
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { regions = t.stat_regions; wall_s = t.stat_wall; busy_s = t.stat_busy } in
+  Mutex.unlock t.mutex;
+  s
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  t.stat_regions <- 0;
+  t.stat_wall <- 0.;
+  t.stat_busy <- 0.;
+  Mutex.unlock t.mutex
+
+(* With [jobs] workers available for [wall_s] seconds, anything not
+   spent inside job functions is queue wait + scheduling overhead. *)
+let stats_wait ~jobs s =
+  Float.max 0. ((float_of_int jobs *. s.wall_s) -. s.busy_s)
+
+let stats_utilization ~jobs s =
+  let capacity = float_of_int jobs *. s.wall_s in
+  if capacity <= 0. then 1. else Float.min 1. (s.busy_s /. capacity)
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -13,8 +13,15 @@
 
 type t
 
-val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()], the [--jobs] default. *)
+val default_jobs : ?chunks:int -> unit -> int
+(** [Domain.recommended_domain_count ()], the [--jobs] default,
+    clamped to [chunks] (the number of parallel work items) when
+    given: surplus domains beyond the chunk count can only spin on an
+    empty queue. Caveat: the recommended count is the {e host}'s core
+    count — in a CI container pinned to one or two cores it can both
+    over-report (cgroup quota below the host cores) and legitimately
+    report 1, so benchmarks should always pass an explicit
+    [--jobs]. *)
 
 val create : ?jobs:int -> unit -> t
 (** [jobs] defaults to {!default_jobs}; values below 1 are clamped
@@ -38,6 +45,23 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]: items are claimed one at a time from a shared
     queue, so uneven item costs balance across workers. Result slots
     match input order. *)
+
+type stats = { regions : int; wall_s : float; busy_s : float }
+(** Accumulated parallel-region accounting: [regions] completed,
+    caller-observed wall seconds inside regions, and the sum over all
+    workers of seconds spent inside job functions. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val stats_wait : jobs:int -> stats -> float
+(** Worker-seconds of capacity not spent in job functions —
+    queue wait plus wake-up/barrier overhead. *)
+
+val stats_utilization : jobs:int -> stats -> float
+(** [busy / (jobs * wall)], clamped to [0, 1]. [1.] when no region has
+    run. *)
 
 val shutdown : t -> unit
 (** Join the worker domains. Idempotent; the pool is unusable

@@ -1,0 +1,28 @@
+(** A minimal JSON codec for the audit service's line protocol — the
+    dependency set has no JSON library. Covers all of JSON except that
+    numbers are split into [Int] (exact 63-bit integers) and [Float],
+    and [\u]-escapes outside the BMP are not recombined into surrogate
+    pairs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; anything but trailing whitespace
+    after it is an error. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val string_value : t -> string option
+val int_value : t -> int option
+val bool_value : t -> bool option

@@ -7,6 +7,8 @@ type t = {
   memoized : int;
   booted_cycles : int;
   replayed_cycles : int;
+  wait_s : float;
+  utilization : float;
 }
 
 let time ~label ~jobs ~items f =
@@ -21,12 +23,16 @@ let time ~label ~jobs ~items f =
       executed = items;
       memoized = 0;
       booted_cycles = 0;
-      replayed_cycles = 0 } )
+      replayed_cycles = 0;
+      wait_s = 0.;
+      utilization = 1. } )
 
 let with_memo ~executed ~memoized t = { t with executed; memoized }
 
 let with_cycles ~booted ~replayed t =
   { t with booted_cycles = booted; replayed_cycles = replayed }
+
+let with_pool_stats ~wait_s ~utilization t = { t with wait_s; utilization }
 
 let throughput t =
   if t.elapsed_s <= 0. then 0. else float_of_int t.items /. t.elapsed_s
@@ -47,17 +53,24 @@ let machine_line t =
       t.label t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
       (hit_rate t)
   in
-  if t.booted_cycles = 0 && t.replayed_cycles = 0 then base
+  let base =
+    if t.booted_cycles = 0 && t.replayed_cycles = 0 then base
+    else
+      Printf.sprintf "%s booted_cycles=%d replayed_cycles=%d replay_rate=%.4f"
+        base t.booted_cycles t.replayed_cycles (replay_rate t)
+  in
+  if t.wait_s = 0. && t.utilization = 1. then base
   else
-    Printf.sprintf "%s booted_cycles=%d replayed_cycles=%d replay_rate=%.4f"
-      base t.booted_cycles t.replayed_cycles (replay_rate t)
+    Printf.sprintf "%s wait_s=%.3f utilization=%.4f" base t.wait_s
+      t.utilization
 
 let to_json t =
   Printf.sprintf
-    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f,"booted_cycles":%d,"replayed_cycles":%d,"replay_rate":%.6f}|}
+    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f,"booted_cycles":%d,"replayed_cycles":%d,"replay_rate":%.6f,"wait_s":%.6f,"utilization":%.6f}|}
     (String.escaped t.label)
     t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
-    (hit_rate t) t.booted_cycles t.replayed_cycles (replay_rate t)
+    (hit_rate t) t.booted_cycles t.replayed_cycles (replay_rate t) t.wait_s
+    t.utilization
 
 let pp ppf t =
   Fmt.pf ppf "%s: %d items in %.2fs (%.0f items/s, %d job%s" t.label t.items
@@ -71,4 +84,7 @@ let pp ppf t =
     Fmt.pf ppf ", %d cycles emulated / %d replayed = %.1f%% replay"
       t.booted_cycles t.replayed_cycles
       (100. *. replay_rate t);
+  if t.wait_s > 0. || t.utilization < 1. then
+    Fmt.pf ppf ", %.2fs wait, %.0f%% utilization" t.wait_s
+      (100. *. t.utilization);
   Fmt.pf ppf ")"

@@ -24,6 +24,13 @@ type t = {
       (** board cycles served by snapshot replay — pre-trigger boots and
           dead-schedule tails the hardware sweeps no longer emulate
           (default: 0) *)
+  wait_s : float;
+      (** worker-seconds of pool capacity spent waiting on the work
+          queue or region barriers rather than in job functions
+          (default: 0) *)
+  utilization : float;
+      (** fraction of [jobs * wall] spent inside job functions, in
+          [0, 1] (default: 1) *)
 }
 
 val time : label:string -> jobs:int -> items:int -> (unit -> 'a) -> 'a * t
@@ -37,6 +44,11 @@ val with_memo : executed:int -> memoized:int -> t -> t
 val with_cycles : booted:int -> replayed:int -> t -> t
 (** Attach booted-vs-replayed board-cycle counters after the fact (the
     hardware-leg analogue of {!with_memo}). *)
+
+val with_pool_stats : wait_s:float -> utilization:float -> t -> t
+(** Attach pool-overhead counters after the fact; compute them from
+    {!Runtime.Pool.stats} with [Pool.stats_wait] /
+    [Pool.stats_utilization]. *)
 
 val replay_rate : t -> float
 (** [replayed / (booted + replayed)] in [0, 1]; 0 when no cycles were

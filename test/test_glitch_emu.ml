@@ -428,6 +428,71 @@ let memo_saves_most_executions () =
   Alcotest.(check bool) "memo serves the large majority" true
     (stats.Campaign.memoized > 60000)
 
+(* --- shared store --------------------------------------------------------- *)
+
+let shared_store_warm_run_executes_nothing () =
+  (* A store kept warm across run_case calls of the same (config, case)
+     pair serves every word: the second run classifies all 65,536 masks
+     without executing a single instruction, sequentially and on a
+     pool. *)
+  let config = Campaign.default_config Fault_model.And in
+  let store = Campaign.make_store () in
+  let cold = Campaign.run_case ~store config beq_case in
+  Alcotest.(check bool) "cold run executes" true
+    (cold.stats.Campaign.executed > 0);
+  let warm = Campaign.run_case ~store config beq_case in
+  check_same_result "warm = cold" cold warm;
+  Alcotest.(check int) "warm run executes nothing" 0
+    warm.stats.Campaign.executed;
+  Alcotest.(check int) "warm run serves every mask" 65536
+    warm.stats.Campaign.memoized;
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      let par = Campaign.run_case ~pool ~store config beq_case in
+      check_same_result "warm parallel = cold" cold par;
+      Alcotest.(check int) "warm parallel executes nothing" 0
+        par.stats.Campaign.executed)
+
+let parallel_stats_conserve_masks () =
+  (* The executed/memoized split of a parallel sweep is schedule-
+     dependent (two workers racing on a cold slot both execute), but
+     every mask is accounted for, every distinct word is executed at
+     least once, and a worker never executes the same word twice — so
+     executed is bounded by jobs x distinct words, not by the mask
+     count. *)
+  let config = Campaign.default_config Fault_model.And in
+  let distinct = 1 lsl Bitmask.popcount (Testcase.target_word beq_case) in
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      let r = Campaign.run_case ~pool config beq_case in
+      Alcotest.(check int) "executed+memoized" 65536
+        (r.stats.Campaign.executed + r.stats.Campaign.memoized);
+      Alcotest.(check bool) "every distinct word executed" true
+        (r.stats.Campaign.executed >= distinct);
+      Alcotest.(check bool) "bounded by jobs x distinct words" true
+        (r.stats.Campaign.executed <= 4 * distinct))
+
+let prop_shared_store_matches_private_oracle =
+  (* The sequential run (one fresh private store, the pre-sharing
+     semantics) is the oracle: a parallel run over the shared store and
+     a warm-store rerun must reproduce its tables bit for bit. *)
+  QCheck.Test.make
+    ~name:"shared-store sweeps match the private-store oracle" ~count:6
+    QCheck.(
+      pair
+        (int_bound (Array.length diff_cases - 1))
+        (int_bound (List.length golden_configs - 1)))
+    (fun (ci, ki) ->
+      let case = diff_cases.(ci) in
+      let _, config, _ = List.nth golden_configs ki in
+      let oracle = Campaign.run_case config case in
+      let store = Campaign.make_store () in
+      Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+          let shared = Campaign.run_case ~pool ~store config case in
+          let warm = Campaign.run_case ~store config case in
+          oracle.Campaign.by_weight = shared.Campaign.by_weight
+          && oracle.Campaign.totals = shared.Campaign.totals
+          && oracle.Campaign.by_weight = warm.Campaign.by_weight
+          && warm.Campaign.stats.Campaign.executed = 0))
+
 let prop_flipped_bits_match_apply =
   (* flipped_bits reports the number of bit positions a mask can change:
      under XOR apply flips exactly those bits of any word; under AND/OR
@@ -463,7 +528,7 @@ let () =
   let campaign_props =
     List.map Qseed.to_alcotest
       [ prop_fast_kernel_matches_reference; prop_memo_agrees_with_categories;
-        prop_flipped_bits_match_apply ]
+        prop_shared_store_matches_private_oracle; prop_flipped_bits_match_apply ]
   in
   Alcotest.run "glitch_emu"
     [ ("bitmask",
@@ -507,5 +572,9 @@ let () =
        [ Alcotest.test_case "stats account for every mask" `Slow
            sweep_stats_account_for_every_mask;
          Alcotest.test_case "AND memo saves most executions" `Slow
-           memo_saves_most_executions ]);
+           memo_saves_most_executions;
+         Alcotest.test_case "warm shared store executes nothing" `Slow
+           shared_store_warm_run_executes_nothing;
+         Alcotest.test_case "parallel stats conserve masks" `Slow
+           parallel_stats_conserve_masks ]);
       ("campaign-properties", campaign_props) ]

@@ -173,6 +173,120 @@ let nested_run_rejected () =
             | exception Invalid_argument _ -> nested := Some true);
       Alcotest.(check (option bool)) "nested run raises" (Some true) !nested)
 
+(* --- shared store --------------------------------------------------------- *)
+
+let store_starts_empty () =
+  let s = Runtime.Store.create ~slots:64 in
+  Alcotest.(check int) "length" 64 (Runtime.Store.length s);
+  for i = 0 to 63 do
+    Alcotest.(check int) (Printf.sprintf "slot %d empty" i) (-1)
+      (Runtime.Store.get s i)
+  done;
+  Alcotest.(check int) "occupancy" 0 (Runtime.Store.occupancy s)
+
+let store_set_get_roundtrip () =
+  let s = Runtime.Store.create ~slots:300 in
+  (* the full representable value range, including the extremes *)
+  for i = 0 to 254 do
+    Runtime.Store.set s i i
+  done;
+  for i = 0 to 254 do
+    Alcotest.(check int) (Printf.sprintf "slot %d" i) i (Runtime.Store.get s i)
+  done;
+  Alcotest.(check int) "untouched slot still empty" (-1)
+    (Runtime.Store.get s 255);
+  Alcotest.(check int) "occupancy counts filled slots" 255
+    (Runtime.Store.occupancy s)
+
+let store_rejects_bad_values () =
+  let s = Runtime.Store.create ~slots:4 in
+  Alcotest.check_raises "value 255 reserved"
+    (Invalid_argument "Store.set: value out of range") (fun () ->
+      Runtime.Store.set s 0 255);
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Store.set: value out of range") (fun () ->
+      Runtime.Store.set s 0 (-1));
+  Alcotest.check_raises "no slots"
+    (Invalid_argument "Store.create: non-positive slot count") (fun () ->
+      ignore (Runtime.Store.create ~slots:0))
+
+let store_concurrent_publication () =
+  (* Racing writers all publish the same (deterministic) value per
+     slot — the campaign-sweep contract — so after the region every
+     slot must hold exactly that value. *)
+  let slots = 10_000 in
+  let s = Runtime.Store.create ~slots in
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      Runtime.Pool.run pool (fun _wid ->
+          for i = 0 to slots - 1 do
+            match Runtime.Store.get s i with
+            | -1 -> Runtime.Store.set s i (i land 0x7F)
+            | v -> if v <> i land 0x7F then failwith "torn read"
+          done));
+  for i = 0 to slots - 1 do
+    if Runtime.Store.get s i <> i land 0x7F then
+      Alcotest.failf "slot %d holds %d" i (Runtime.Store.get s i)
+  done;
+  Alcotest.(check int) "all slots published" slots (Runtime.Store.occupancy s)
+
+(* --- pool stats ----------------------------------------------------------- *)
+
+let default_jobs_clamped_to_chunks () =
+  Alcotest.(check int) "one chunk, one job" 1
+    (Runtime.Pool.default_jobs ~chunks:1 ());
+  Alcotest.(check int) "zero chunks still one job" 1
+    (Runtime.Pool.default_jobs ~chunks:0 ());
+  Alcotest.(check bool) "never above the chunk count" true
+    (Runtime.Pool.default_jobs ~chunks:2 () <= 2);
+  Alcotest.(check bool) "always at least one" true
+    (Runtime.Pool.default_jobs () >= 1)
+
+let pool_stats_account_regions () =
+  Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+      let s0 = Runtime.Pool.stats pool in
+      Alcotest.(check int) "starts at zero regions" 0 s0.Runtime.Pool.regions;
+      for _ = 1 to 3 do
+        Runtime.Pool.run pool (fun _ -> ignore (Sys.opaque_identity 0))
+      done;
+      let s = Runtime.Pool.stats pool in
+      Alcotest.(check int) "three regions" 3 s.Runtime.Pool.regions;
+      Alcotest.(check bool) "wall is non-negative" true (s.Runtime.Pool.wall_s >= 0.);
+      Alcotest.(check bool) "busy is non-negative" true (s.Runtime.Pool.busy_s >= 0.);
+      Runtime.Pool.reset_stats pool;
+      let s = Runtime.Pool.stats pool in
+      Alcotest.(check int) "reset clears regions" 0 s.Runtime.Pool.regions;
+      Alcotest.(check (float 0.)) "reset clears wall" 0. s.Runtime.Pool.wall_s)
+
+let pool_stats_derived_measures () =
+  (* wait = jobs*wall - busy (clamped at 0); utilization = busy/(jobs*wall),
+     and 1.0 on a pool that has run nothing. *)
+  let s = { Runtime.Pool.regions = 1; wall_s = 2.0; busy_s = 3.0 } in
+  Alcotest.(check (float 1e-9)) "wait" 1.0 (Runtime.Pool.stats_wait ~jobs:2 s);
+  Alcotest.(check (float 1e-9)) "utilization" 0.75
+    (Runtime.Pool.stats_utilization ~jobs:2 s);
+  let over = { Runtime.Pool.regions = 1; wall_s = 1.0; busy_s = 3.0 } in
+  Alcotest.(check (float 1e-9)) "wait clamped at zero" 0.
+    (Runtime.Pool.stats_wait ~jobs:2 over);
+  Alcotest.(check (float 1e-9)) "utilization clamped at one" 1.0
+    (Runtime.Pool.stats_utilization ~jobs:2 over);
+  let idle = { Runtime.Pool.regions = 0; wall_s = 0.; busy_s = 0. } in
+  Alcotest.(check (float 1e-9)) "idle pool reads fully utilized" 1.0
+    (Runtime.Pool.stats_utilization ~jobs:4 idle)
+
+let pool_stats_busy_tracks_work () =
+  Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+      Runtime.Pool.run pool (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          while Unix.gettimeofday () -. t0 < 0.01 do
+            ignore (Sys.opaque_identity 0)
+          done);
+      let s = Runtime.Pool.stats pool in
+      (* two workers each spun ~10ms *)
+      Alcotest.(check bool) "busy covers both workers" true
+        (s.Runtime.Pool.busy_s >= 0.015);
+      Alcotest.(check bool) "busy bounded by jobs*wall" true
+        (s.Runtime.Pool.busy_s <= (2. *. s.Runtime.Pool.wall_s) +. 1e-6))
+
 let () =
   let props = List.map Qseed.to_alcotest [ prop_split_tiles_range ] in
   Alcotest.run "runtime"
@@ -197,4 +311,19 @@ let () =
            worker_exception_propagates;
          Alcotest.test_case "nested regions rejected" `Quick nested_run_rejected;
          Alcotest.test_case "concurrent drain partitions range" `Quick
-           concurrent_drain_partitions_range ]) ]
+           concurrent_drain_partitions_range ]);
+      ("store",
+       [ Alcotest.test_case "starts empty" `Quick store_starts_empty;
+         Alcotest.test_case "set/get roundtrip" `Quick store_set_get_roundtrip;
+         Alcotest.test_case "rejects bad values" `Quick store_rejects_bad_values;
+         Alcotest.test_case "concurrent publication" `Quick
+           store_concurrent_publication ]);
+      ("stats",
+       [ Alcotest.test_case "default_jobs clamped to chunks" `Quick
+           default_jobs_clamped_to_chunks;
+         Alcotest.test_case "regions accounted and reset" `Quick
+           pool_stats_account_regions;
+         Alcotest.test_case "wait and utilization math" `Quick
+           pool_stats_derived_measures;
+         Alcotest.test_case "busy tracks work" `Quick
+           pool_stats_busy_tracks_work ]) ]

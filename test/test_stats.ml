@@ -64,6 +64,27 @@ let perf_cycle_counters () =
      in
      go 0)
 
+let contains haystack needle =
+  let n = String.length needle and l = String.length haystack in
+  let rec go i = i + n <= l && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let perf_pool_counters () =
+  let (), p = Stats.Perf.time ~label:"t" ~jobs:4 ~items:10 (fun () -> ()) in
+  (* the default (no pool accounting) keeps the PERF line in its
+     original shape *)
+  Alcotest.(check bool) "no pool keys by default" false
+    (contains (Stats.Perf.machine_line p) "wait_s=");
+  let p = Stats.Perf.with_pool_stats ~wait_s:1.25 ~utilization:0.75 p in
+  let line = Stats.Perf.machine_line p in
+  Alcotest.(check bool) "wait in PERF line" true (contains line "wait_s=1.250");
+  Alcotest.(check bool) "utilization in PERF line" true
+    (contains line "utilization=0.7500");
+  let json = Stats.Perf.to_json p in
+  Alcotest.(check bool) "wait in json" true (contains json "\"wait_s\":1.250");
+  Alcotest.(check bool) "utilization in json" true
+    (contains json "\"utilization\":0.7500")
+
 let table_layout () =
   let out =
     Stats.Table.render ~header:[ "A"; "Blong"; "C" ]
@@ -89,5 +110,7 @@ let () =
       ("rate",
        [ Alcotest.test_case "formatting" `Quick rate_formatting;
          Alcotest.test_case "pct" `Quick rate_pct ]);
-      ("perf", [ Alcotest.test_case "cycle counters" `Quick perf_cycle_counters ]);
+      ("perf",
+       [ Alcotest.test_case "cycle counters" `Quick perf_cycle_counters;
+         Alcotest.test_case "pool counters" `Quick perf_pool_counters ]);
       ("table", [ Alcotest.test_case "layout" `Quick table_layout ]) ]
