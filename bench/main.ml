@@ -493,6 +493,68 @@ let scaling () =
   else Fmt.pr "@.WARNING: tables diverge across job counts@.";
   write_json "BENCH_6.json" !records
 
+(* --- exhaust: trace-wide campaign across a jobs ladder ------------------------- *)
+
+(* The whole-image exhaustive injector on the undefended guard-loop
+   firmware at --jobs 1, 2, 4, 8 (a fresh pool per leg). Every leg's
+   per-function verdict tables are checked bit-identical to the
+   sequential one — the pruning all flows through one shared state map,
+   so the only schedule-dependent number is the pruned/executed split
+   (two workers racing a cold state both execute it). The PERF rows,
+   with the pruned counters, land in BENCH_7.json. *)
+let exhaust_bench () =
+  section
+    "exhaust - trace-wide fault campaign at --jobs 1,2,4,8 (writes BENCH_7.json)";
+  let compiled =
+    Resistor.Driver.compile Resistor.Config.none Resistor.Firmware.guard_loop
+  in
+  let spec = Exhaust.Campaign.spec_of_image ~name:"guard_loop" compiled.image in
+  let config = Exhaust.Campaign.default_config () in
+  let records = ref [] in
+  let emit r =
+    records := !records @ [ r ];
+    Fmt.pr "@.%a@.%s@." Stats.Perf.pp r (Stats.Perf.machine_line r)
+  in
+  let leg jobs =
+    let with_p pool =
+      let result, perf =
+        Stats.Perf.time ~label:"exhaust" ~jobs ~items:0 (fun () ->
+            Exhaust.Campaign.run ?pool spec config)
+      in
+      let perf =
+        { (with_pool_perf ?pool perf) with
+          Stats.Perf.items = result.Exhaust.Campaign.points }
+        |> Stats.Perf.with_pruned ~executed:result.Exhaust.Campaign.executed
+             ~pruned:result.Exhaust.Campaign.pruned
+      in
+      emit perf;
+      result
+    in
+    if jobs = 1 then with_p None
+    else Runtime.Pool.with_pool ~jobs (fun p -> with_p (Some p))
+  in
+  let base = leg 1 in
+  Fmt.pr
+    "@.%d injection points over %d cycles: %d faulted at the injected step,@."
+    base.Exhaust.Campaign.points base.trace_steps base.faulted;
+  Fmt.pr "%d continuations executed, %d pruned (%.1f%% shared), %d distinct states@."
+    base.executed base.pruned
+    (100. *. Exhaust.Campaign.prune_rate base)
+    base.states;
+  let identical =
+    List.for_all
+      (fun jobs ->
+        let r = leg jobs in
+        r.Exhaust.Campaign.rows = base.rows
+        && r.totals = base.totals && r.points = base.points
+        && r.faulted = base.faulted && r.states = base.states)
+      [ 2; 4; 8 ]
+  in
+  if identical then
+    Fmt.pr "@.verdict tables bit-identical across --jobs 1, 2, 4, 8@."
+  else Fmt.pr "@.WARNING: verdict tables diverge across job counts@.";
+  write_json "BENCH_7.json" !records
+
 (* --- Section V-B: locating optimal parameters --------------------------------- *)
 
 let tuner () =
@@ -840,7 +902,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|fig2|table1|table2|table3|tables|scaling|tuner|table4|table5|table6|table7|analysis|fuzz|micro] \
+     [all|fig2|table1|table2|table3|tables|scaling|exhaust|tuner|table4|table5|table6|table7|analysis|fuzz|micro] \
      [--quick] [--jobs N] [--cache-dir DIR]"
 
 (* Pull "--jobs N" out of the raw argument list. *)
@@ -885,7 +947,8 @@ let () =
     [ ("fig2", fig2 ?pool ?cache); ("fig2x", fig2x ?pool);
       ("table1", table1 ?pool);
       ("table2", table2 ?pool); ("table3", table3 ?pool);
-      ("tables", tables ?pool); ("scaling", scaling); ("tuner", tuner);
+      ("tables", tables ?pool); ("scaling", scaling);
+      ("exhaust", exhaust_bench); ("tuner", tuner);
       ("table4", table45); ("table5", table45);
       ("table6", table6 ?pool ~quick); ("table7", table7);
       ("ablation", ablation ?pool ~quick); ("analysis", analysis);

@@ -14,6 +14,8 @@
      glitchctl tune not_a            Section V-B parameter search
      glitchctl lint fw.c --defenses all --json
                                      static glitch-surface + defense audit
+     glitchctl exhaust fw.c --jobs 4 --cache-dir .cache
+                                     trace-wide exhaustive fault campaign
      glitchctl serve --cache-dir .cache --jobs 4
                                      JSON-lines batch audit service *)
 
@@ -519,7 +521,16 @@ let lint_cmd =
              passes): the Table VII witness — the signature audit comes \
              back clean while every guard stays direction-flippable.")
   in
-  let run file config sensitive json cfcss =
+  let exhaust =
+    Arg.(
+      value & flag
+      & info [ "exhaust" ]
+          ~doc:
+            "Also run the trace-wide exhaustive fault campaign on the image \
+             and report per-function agreement between the static surface \
+             scores and the dynamic verdict tables.")
+  in
+  let run file config sensitive json cfcss exhaust jobs =
     let target () =
       if Filename.check_suffix file ".s" then
         Analysis.Lint.of_instrs (Thumb.Asm.assemble (read_file file))
@@ -549,8 +560,30 @@ let lint_cmd =
     match target () with
     | target ->
       let report = Analysis.Lint.run target in
-      if json then print_endline (Analysis.Lint.to_json report)
-      else Fmt.pr "%a@." Analysis.Lint.pp report;
+      let agreement =
+        if not exhaust then None
+        else
+          let spec =
+            Exhaust.Campaign.spec_of_image ~name:(Filename.basename file)
+              target.Analysis.Lint.image
+          in
+          let result =
+            with_jobs jobs (fun pool ->
+                Exhaust.Campaign.run ?pool spec
+                  (Exhaust.Campaign.default_config ()))
+          in
+          Some (Exhaust.Agreement.of_result report.Analysis.Lint.surface result)
+      in
+      (match (json, agreement) with
+      | true, None -> print_endline (Analysis.Lint.to_json report)
+      | true, Some a ->
+        Printf.printf {|{"lint":%s,"agreement":%s}|}
+          (Analysis.Lint.to_json report)
+          (Exhaust.Agreement.to_json a);
+        print_newline ()
+      | false, None -> Fmt.pr "%a@." Analysis.Lint.pp report
+      | false, Some a ->
+        Fmt.pr "%a@.%a" Analysis.Lint.pp report Exhaust.Agreement.pp a);
       if Analysis.Lint.errors report <> [] then exit_findings else 0
     | exception Thumb.Asm.Parse_error e ->
       Fmt.epr "%s: %a@." file Thumb.Asm.pp_error e;
@@ -578,7 +611,164 @@ let lint_cmd =
          :: Cmd.Exit.info exit_findings
               ~doc:"on Error-severity lint findings."
          :: Cmd.Exit.defaults))
-    Term.(const run $ file $ config_arg $ sensitive_arg $ json $ cfcss)
+    Term.(
+      const run $ file $ config_arg $ sensitive_arg $ json $ cfcss $ exhaust
+      $ jobs_arg ())
+
+(* --- exhaust ---------------------------------------------------------------------- *)
+
+let cycles_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when 0 <= lo && lo < hi -> Ok (lo, hi)
+      | _ -> Error (`Msg (Printf.sprintf "bad cycle window %S (want LO:HI)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad cycle window %S (want LO:HI)" s))
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, fun ppf (lo, hi) -> Fmt.pf ppf "%d:%d" lo hi)))
+        None
+    & info [ "cycles" ] ~docv:"LO:HI"
+        ~doc:
+          "Restrict injection to baseline cycles [LO, HI) instead of the \
+           whole trace.")
+
+let exhaust_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("transient", Exhaust.Campaign.Transient);
+             ("persistent", Exhaust.Campaign.Persistent) ])
+        Exhaust.Campaign.Transient
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "transient: execute the perturbed word once, flash untouched; \
+           persistent: write it to flash before the fetch.")
+
+let exhaust_config mode max_trace cycles =
+  { (Exhaust.Campaign.default_config ()) with
+    Exhaust.Campaign.mode;
+    max_trace;
+    cycles }
+
+let run_exhaust ~label compiled mode max_trace cycles jobs cache_dir =
+  let spec = Exhaust.Campaign.spec_of_image ~name:label compiled.Resistor.Driver.image in
+  let config = exhaust_config mode max_trace cycles in
+  with_jobs jobs (fun pool ->
+      let cache = Option.map Cache.open_dir cache_dir in
+      let (result, hit), perf =
+        Stats.Perf.time ~label:"exhaust" ~jobs ~items:0 (fun () ->
+            Exhaust.Campaign.run_cached ?pool ?cache spec config)
+      in
+      let perf =
+        { (with_pool_perf ~jobs pool perf) with
+          Stats.Perf.items = result.Exhaust.Campaign.points }
+        |> Stats.Perf.with_pruned ~executed:result.Exhaust.Campaign.executed
+             ~pruned:result.Exhaust.Campaign.pruned
+      in
+      (result, hit, perf))
+
+let pp_exhaust_result ppf (r : Exhaust.Campaign.result) =
+  Fmt.pf ppf "%s, %s mode: %d trace cycles (%s), settle %d@." r.spec_name
+    (Exhaust.Campaign.mode_name r.mode)
+    r.trace_steps
+    (match r.baseline_stop with
+    | None -> "still running"
+    | Some s -> Fmt.str "%a" Machine.Exec.pp_stop s)
+    r.settle;
+  Fmt.pf ppf "cycles [%d, %d): %d injection points, %d distinct states@."
+    r.cycle_lo r.cycle_hi r.points r.states;
+  let header = "function" :: List.map Exhaust.Campaign.verdict_name Exhaust.Campaign.verdicts in
+  let cell_of_counts counts =
+    List.map
+      (fun v -> string_of_int counts.(Exhaust.Campaign.verdict_index v))
+      Exhaust.Campaign.verdicts
+  in
+  let body =
+    List.map
+      (fun (row : Exhaust.Campaign.row) -> row.fname :: cell_of_counts row.counts)
+      r.rows
+    @ [ "TOTAL" :: cell_of_counts r.totals ]
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w cells -> max w (String.length (List.nth cells i)))
+          (String.length h) body)
+      header
+  in
+  let pp_row cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i = 0 then Fmt.pf ppf "  %-*s" w cell else Fmt.pf ppf "  %*s" w cell)
+      cells;
+    Fmt.pf ppf "@."
+  in
+  pp_row header;
+  List.iter pp_row body;
+  Fmt.pf ppf
+    "%d faulted at the injected step; continuations: %d executed, %d pruned \
+     (%.1f%% shared)@."
+    r.faulted r.executed r.pruned
+    (100. *. Exhaust.Campaign.prune_rate r)
+
+let exhaust_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let max_trace =
+    Arg.(
+      value & opt int 2048
+      & info [ "max-trace" ] ~docv:"N"
+          ~doc:"Baseline window: cycles traced (and injected into) from reset.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON on stdout.")
+  in
+  let run file config sensitive mode max_trace cycles json jobs cache_dir =
+    let config = with_sensitive config sensitive in
+    match Resistor.Driver.compile config (read_file file) with
+    | compiled ->
+      let result, hit, perf =
+        run_exhaust ~label:(Filename.basename file) compiled mode max_trace
+          cycles jobs cache_dir
+      in
+      if json then print_endline (Exhaust.Campaign.to_json result)
+      else begin
+        Fmt.pr "%a" pp_exhaust_result result;
+        if cache_dir <> None then
+          Fmt.pr "cache: %s@." (if hit then "hit" else "miss");
+        Fmt.pr "%s@." (Stats.Perf.machine_line perf)
+      end;
+      0
+    | exception Minic.Parser.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Parser.pp_error e;
+      exit_input
+    | exception Minic.Sema.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Sema.pp_error e;
+      exit_input
+    | exception Lower.Layout.Error e ->
+      Fmt.epr "%s: %a@." file Lower.Layout.pp_error e;
+      exit_input
+    | exception Lower.Codegen.Error e ->
+      Fmt.epr "%s: %a@." file Lower.Codegen.pp_error e;
+      exit_input
+  in
+  Cmd.v
+    (Cmd.info "exhaust"
+       ~doc:
+         "Trace-wide exhaustive fault campaign against a Mini-C firmware: \
+          every (cycle, fault model, mask) injection point along the \
+          baseline execution, classified against the pristine run. \
+          Continuations reaching an already-seen machine state are pruned \
+          through a shared state-hash map, so the per-function verdict \
+          tables are bit-identical at any $(b,--jobs).")
+    Term.(
+      const run $ file $ config_arg $ sensitive_arg $ exhaust_mode_arg
+      $ max_trace $ cycles_arg $ json $ jobs_arg () $ cache_dir_arg)
 
 (* --- fuzz ------------------------------------------------------------------------- *)
 
@@ -755,4 +945,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
-            table_cmd; tune_cmd; lint_cmd; fuzz_cmd; serve_cmd ]))
+            table_cmd; tune_cmd; lint_cmd; exhaust_cmd; fuzz_cmd; serve_cmd ]))

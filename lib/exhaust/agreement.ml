@@ -1,0 +1,121 @@
+(* Static-vs-dynamic agreement: Analysis.Surface scores every function
+   by the fraction of 1/2-bit perturbations it classifies Control,
+   with no execution at all; the exhaustive campaign measures, for the
+   same image, how often a perturbation observably diverts the actual
+   run. This report puts the two per-function columns side by side so
+   `glitchctl lint` can be judged against dynamic ground truth. *)
+
+type row = {
+  fname : string;
+  static_control : float;  (** Surface score: Control fraction of flips *)
+  static_fault : float;  (** Surface: undecodable fraction of flips *)
+  dyn_effect : float;
+      (** campaign: fraction of executed points with any observable
+          divergence (everything but No_effect and Invalid) *)
+  dyn_fault : float;  (** campaign: Invalid fraction *)
+  points : int;
+}
+
+type t = {
+  rows : row list;
+  concordance : float;
+      (** fraction of function pairs ranked the same way by
+          [static_control] and [dyn_effect] (ties concordant) *)
+  disagreements : string list;
+}
+
+let frac num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let of_result (surface : Analysis.Surface.t) (r : Campaign.result) =
+  let static_of fname =
+    List.find_opt
+      (fun (f : Analysis.Surface.func_surface) -> f.fname = fname)
+      surface.funcs
+  in
+  let rows =
+    List.filter_map
+      (fun (row : Campaign.row) ->
+        match static_of row.fname with
+        | None -> None
+        | Some f ->
+          let points = Array.fold_left ( + ) 0 row.counts in
+          let no_effect = row.counts.(Campaign.verdict_index No_effect) in
+          let invalid = row.counts.(Campaign.verdict_index Invalid) in
+          let flips = f.insns * (Analysis.Surface.flips1 + Analysis.Surface.flips2) in
+          Some
+            { fname = row.fname;
+              static_control = f.score;
+              static_fault = frac (f.fault1 + f.fault2) flips;
+              dyn_effect = frac (points - no_effect - invalid) points;
+              dyn_fault = frac invalid points;
+              points })
+      r.rows
+  in
+  let pairs = ref 0 and concordant = ref 0 in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if j > i then begin
+            incr pairs;
+            if
+              (a.static_control -. b.static_control)
+              *. (a.dyn_effect -. b.dyn_effect)
+              >= 0.
+            then incr concordant
+          end)
+        rows)
+    rows;
+  let disagreements =
+    List.filter_map
+      (fun row ->
+        if row.static_control < 0.05 && row.dyn_effect > 0.25 then
+          Some
+            (Printf.sprintf
+               "%s: static control %.1f%% but dynamic effect %.1f%%"
+               row.fname
+               (100. *. row.static_control)
+               (100. *. row.dyn_effect))
+        else if row.static_control > 0.5 && row.dyn_effect = 0. && row.points > 0
+        then
+          Some
+            (Printf.sprintf
+               "%s: static control %.1f%% but no dynamic effect over %d points"
+               row.fname
+               (100. *. row.static_control)
+               row.points)
+        else None)
+      rows
+  in
+  { rows;
+    concordance = (if !pairs = 0 then 1. else frac !concordant !pairs);
+    disagreements }
+
+let pp ppf t =
+  Fmt.pf ppf "static vs dynamic glitch surface (per function):@.";
+  Fmt.pf ppf "  %-24s %9s %9s %9s %9s %8s@." "function" "st.ctrl" "st.fault"
+    "dyn.eff" "dyn.fault" "points";
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "  %-24s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8d@." row.fname
+        (100. *. row.static_control)
+        (100. *. row.static_fault)
+        (100. *. row.dyn_effect)
+        (100. *. row.dyn_fault)
+        row.points)
+    t.rows;
+  Fmt.pf ppf "  rank concordance: %.0f%%@." (100. *. t.concordance);
+  List.iter (fun d -> Fmt.pf ppf "  disagreement: %s@." d) t.disagreements
+
+let to_json t =
+  let row_json row =
+    Printf.sprintf
+      {|{"fname":"%s","static_control":%.6f,"static_fault":%.6f,"dyn_effect":%.6f,"dyn_fault":%.6f,"points":%d}|}
+      (String.escaped row.fname) row.static_control row.static_fault
+      row.dyn_effect row.dyn_fault row.points
+  in
+  Printf.sprintf {|{"rows":[%s],"concordance":%.6f,"disagreements":[%s]}|}
+    (String.concat "," (List.map row_json t.rows))
+    t.concordance
+    (String.concat ","
+       (List.map (fun d -> "\"" ^ String.escaped d ^ "\"") t.disagreements))

@@ -1,0 +1,24 @@
+(** Static-vs-dynamic agreement report: {!Analysis.Surface} scores next
+    to exhaustive-campaign ground truth, per function. *)
+
+type row = {
+  fname : string;
+  static_control : float;
+  static_fault : float;
+  dyn_effect : float;
+  dyn_fault : float;
+  points : int;
+}
+
+type t = {
+  rows : row list;
+  concordance : float;
+  disagreements : string list;
+}
+
+val of_result : Analysis.Surface.t -> Campaign.result -> t
+(** Join the two per-function views (functions present in both; the
+    campaign must have run with the built-in classifier). *)
+
+val pp : t Fmt.t
+val to_json : t -> string

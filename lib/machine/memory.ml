@@ -10,6 +10,15 @@ type region =
   | Ram of { base : int; data : Bytes.t }
   | Device of { base : int; size : int; read : int -> int; write : int -> int -> unit }
 
+(* A write journal records (address, previous byte) pairs for every RAM
+   byte store, packed as [(addr lsl 8) lor old] — addresses are below
+   2^32 and OCaml ints are 63-bit, so the packing is exact. The
+   exhaustive fault campaigns attach one journal per rig: undoing to a
+   mark costs only the bytes actually dirtied since, instead of a
+   whole-address-space snapshot blit, and the recorded pre-images are
+   how the rig learns each byte's pristine value for state hashing. *)
+type journal = { mutable packed : int array; mutable len : int }
+
 (* [cache_lo, cache_hi) is the span of the most recently hit RAM region,
    backed by [cache_data] (address [a] lives at offset [a - cache_lo]).
    An empty cache is encoded as [cache_hi = 0], which no address
@@ -22,10 +31,33 @@ type t = {
   mutable cache_lo : int;
   mutable cache_hi : int;
   mutable cache_data : Bytes.t;
+  mutable journal : journal option;
 }
 
 let create () =
-  { regions = []; cache_lo = 0; cache_hi = 0; cache_data = Bytes.empty }
+  { regions = []; cache_lo = 0; cache_hi = 0; cache_data = Bytes.empty;
+    journal = None }
+
+let journal_create () = { packed = Array.make 256 0; len = 0 }
+
+let journal_note j addr old =
+  let n = j.len in
+  if n = Array.length j.packed then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit j.packed 0 bigger 0 n;
+    j.packed <- bigger
+  end;
+  j.packed.(n) <- (addr lsl 8) lor old;
+  j.len <- n + 1
+
+let attach_journal t j = t.journal <- Some j
+let detach_journal t = t.journal <- None
+let journal_length j = j.len
+
+let journal_entry j i =
+  if i < 0 || i >= j.len then invalid_arg "Memory.journal_entry";
+  let p = j.packed.(i) in
+  (p lsr 8, p land 0xFF)
 
 let invalidate_cache t =
   t.cache_lo <- 0;
@@ -96,9 +128,31 @@ let byte_read t addr =
 
 let byte_write t addr v =
   match find t addr with
-  | Some (Ram { base; data }) -> Bytes.set_uint8 data (addr - base) (v land 0xFF)
+  | Some (Ram { base; data }) ->
+    (match t.journal with
+    | None -> ()
+    | Some j -> journal_note j addr (Bytes.get_uint8 data (addr - base)));
+    Bytes.set_uint8 data (addr - base) (v land 0xFF)
   | Some (Device { base; write; _ }) -> write (addr - base) (v land 0xFF)
   | None -> raise (Fault (Unmapped addr))
+
+(* Undo-side byte store: must not itself be journaled. *)
+let poke_raw t addr v =
+  if addr >= t.cache_lo && addr < t.cache_hi then
+    Bytes.set_uint8 t.cache_data (addr - t.cache_lo) v
+  else
+    match find t addr with
+    | Some (Ram { base; data }) -> Bytes.set_uint8 data (addr - base) v
+    | Some (Device _) | None -> invalid_arg "Memory.undo_to: not RAM"
+
+let undo_to t j mark =
+  if mark < 0 || mark > j.len then invalid_arg "Memory.undo_to";
+  (* newest first, so overlapping writes unwind to the oldest pre-image *)
+  for i = j.len - 1 downto mark do
+    let p = j.packed.(i) in
+    poke_raw t (p lsr 8) (p land 0xFF)
+  done;
+  j.len <- mark
 
 (* Unboxed accessors: check the cache, fall back to the slow path. *)
 
@@ -108,8 +162,13 @@ let read_u8_exn t addr =
   else byte_read t addr
 
 let write_u8_exn t addr v =
-  if addr >= t.cache_lo && addr < t.cache_hi then
+  if addr >= t.cache_lo && addr < t.cache_hi then begin
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+      journal_note j addr (Bytes.get_uint8 t.cache_data (addr - t.cache_lo)));
     Bytes.set_uint8 t.cache_data (addr - t.cache_lo) (v land 0xFF)
+  end
   else byte_write t addr v
 
 let read_u16_exn t addr =
@@ -124,8 +183,15 @@ let read_u16_exn t addr =
 
 let write_u16_exn t addr v =
   if addr land 1 <> 0 then raise (Fault (Unaligned addr))
-  else if addr >= t.cache_lo && addr + 2 <= t.cache_hi then
+  else if addr >= t.cache_lo && addr + 2 <= t.cache_hi then begin
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+      let off = addr - t.cache_lo in
+      journal_note j addr (Bytes.get_uint8 t.cache_data off);
+      journal_note j (addr + 1) (Bytes.get_uint8 t.cache_data (off + 1)));
     Bytes.set_uint16_le t.cache_data (addr - t.cache_lo) (v land 0xFFFF)
+  end
   else begin
     byte_write t addr v;
     byte_write t (addr + 1) (v lsr 8)
@@ -146,8 +212,16 @@ let read_u32_exn t addr =
 
 let write_u32_exn t addr v =
   if addr land 3 <> 0 then raise (Fault (Unaligned addr))
-  else if addr >= t.cache_lo && addr + 4 <= t.cache_hi then
+  else if addr >= t.cache_lo && addr + 4 <= t.cache_hi then begin
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+      let off = addr - t.cache_lo in
+      for k = 0 to 3 do
+        journal_note j (addr + k) (Bytes.get_uint8 t.cache_data (off + k))
+      done);
     Bytes.set_int32_le t.cache_data (addr - t.cache_lo) (Int32.of_int v)
+  end
   else begin
     byte_write t addr v;
     byte_write t (addr + 1) (v lsr 8);
@@ -179,6 +253,12 @@ let load_bytes t ~addr b =
   let len = Bytes.length b in
   match find t addr with
   | Some (Ram { base; data }) when addr + len <= base + Bytes.length data ->
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+      for i = 0 to len - 1 do
+        journal_note j (addr + i) (Bytes.get_uint8 data (addr - base + i))
+      done);
     Bytes.blit b 0 data (addr - base) len
   | _ ->
     (* Straddles regions or touches a device: byte-by-byte. *)

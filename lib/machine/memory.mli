@@ -72,3 +72,39 @@ val load_bytes : t -> addr:int -> bytes -> unit
 (** Bulk store for program loading; a single [Bytes.blit] when the
     range falls inside one RAM region. @raise Invalid_argument if any
     byte falls outside RAM mappings. *)
+
+(** {2 Write journal}
+
+    An attached journal records the pre-image byte of every RAM store
+    (devices are not journaled — their handlers own their state), so a
+    campaign rig can rewind to a mark in time proportional to the bytes
+    actually dirtied instead of blitting whole-region snapshots, and
+    can recover each byte's pristine value from the oldest entry. The
+    journal sits on the write fast path as a single [option] check when
+    detached. [restore]/[clear] bypass the journal — don't mix them
+    with an attached one. *)
+
+type journal
+
+val journal_create : unit -> journal
+(** An empty journal, not yet attached to any memory. *)
+
+val attach_journal : t -> journal -> unit
+(** Record subsequent RAM stores into the journal (replacing any
+    previously attached one). *)
+
+val detach_journal : t -> unit
+
+val journal_length : journal -> int
+(** Entries recorded so far; positions [< length] are valid marks. *)
+
+val journal_entry : journal -> int -> int * int
+(** [(address, pre-image byte)] of entry [i], oldest first.
+    @raise Invalid_argument out of range. *)
+
+val undo_to : t -> journal -> int -> unit
+(** Rewind memory to its state at mark [m] (a previous
+    {!journal_length}) by replaying pre-images newest-first, then
+    truncate the journal to [m]. The undo stores are not themselves
+    journaled. @raise Invalid_argument if [m] is not a valid mark or a
+    journaled address is no longer RAM. *)

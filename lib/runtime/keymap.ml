@@ -1,0 +1,54 @@
+(* A lock-free hash map from canonical state-key strings to small
+   verdict integers, shared between worker domains.
+
+   This is [Store] lifted from a dense integer index space (perturbed
+   words) to sparse string keys (whole-machine states). The bucket
+   array is fixed; each bucket is an [Atomic.t] holding an immutable
+   list of entries, pushed with a CAS retry loop. Every entry keeps its
+   FULL key, and [find] compares keys with [String.equal] — two states
+   that merely collide on the bucket hash coexist in the list and are
+   never merged, which is what makes state-hash pruning sound (a hash
+   collision costs a list walk, never a wrong verdict).
+
+   Sharing between domains is sound under the same contract as [Store]:
+   the mapped value must be a deterministic function of the key, so
+   racing writers can only publish identical values. [add] re-checks
+   for the key when its CAS fails, so a raced key is inserted exactly
+   once and [count] is schedule-independent. *)
+
+type entry = { key : string; value : int }
+
+type t = { buckets : entry list Atomic.t array; mask : int; added : int Atomic.t }
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+let create ?(slots = 1 lsl 16) () =
+  if slots <= 0 then invalid_arg "Keymap.create";
+  let n = next_pow2 slots 1 in
+  { buckets = Array.init n (fun _ -> Atomic.make []);
+    mask = n - 1;
+    added = Atomic.make 0 }
+
+let bucket t key = t.buckets.(Hashtbl.hash key land t.mask)
+
+let rec find_in key = function
+  | [] -> None
+  | e :: rest -> if String.equal e.key key then Some e.value else find_in key rest
+
+let find t key = find_in key (Atomic.get (bucket t key))
+
+let add t key value =
+  if value < 0 then invalid_arg "Keymap.add: negative value";
+  let b = bucket t key in
+  let rec push () =
+    let old = Atomic.get b in
+    match find_in key old with
+    | Some _ -> ()  (* lost the race; the winner's value is identical *)
+    | None ->
+      if Atomic.compare_and_set b old ({ key; value } :: old) then
+        ignore (Atomic.fetch_and_add t.added 1)
+      else push ()
+  in
+  push ()
+
+let count t = Atomic.get t.added

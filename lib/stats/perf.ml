@@ -5,6 +5,7 @@ type t = {
   elapsed_s : float;
   executed : int;
   memoized : int;
+  pruned : int;
   booted_cycles : int;
   replayed_cycles : int;
   wait_s : float;
@@ -22,12 +23,15 @@ let time ~label ~jobs ~items f =
       elapsed_s;
       executed = items;
       memoized = 0;
+      pruned = 0;
       booted_cycles = 0;
       replayed_cycles = 0;
       wait_s = 0.;
       utilization = 1. } )
 
 let with_memo ~executed ~memoized t = { t with executed; memoized }
+
+let with_pruned ~executed ~pruned t = { t with executed; pruned }
 
 let with_cycles ~booted ~replayed t =
   { t with booted_cycles = booted; replayed_cycles = replayed }
@@ -45,6 +49,10 @@ let replay_rate t =
   let total = t.booted_cycles + t.replayed_cycles in
   if total = 0 then 0. else float_of_int t.replayed_cycles /. float_of_int total
 
+let prune_rate t =
+  let total = t.executed + t.pruned in
+  if total = 0 then 0. else float_of_int t.pruned /. float_of_int total
+
 let machine_line t =
   let base =
     Printf.sprintf
@@ -52,6 +60,11 @@ let machine_line t =
        memoized=%d hit_rate=%.4f"
       t.label t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
       (hit_rate t)
+  in
+  let base =
+    if t.pruned = 0 then base
+    else
+      Printf.sprintf "%s pruned=%d prune_rate=%.4f" base t.pruned (prune_rate t)
   in
   let base =
     if t.booted_cycles = 0 && t.replayed_cycles = 0 then base
@@ -66,11 +79,11 @@ let machine_line t =
 
 let to_json t =
   Printf.sprintf
-    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f,"booted_cycles":%d,"replayed_cycles":%d,"replay_rate":%.6f,"wait_s":%.6f,"utilization":%.6f}|}
+    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f,"pruned":%d,"prune_rate":%.6f,"booted_cycles":%d,"replayed_cycles":%d,"replay_rate":%.6f,"wait_s":%.6f,"utilization":%.6f}|}
     (String.escaped t.label)
     t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
-    (hit_rate t) t.booted_cycles t.replayed_cycles (replay_rate t) t.wait_s
-    t.utilization
+    (hit_rate t) t.pruned (prune_rate t) t.booted_cycles t.replayed_cycles
+    (replay_rate t) t.wait_s t.utilization
 
 let pp ppf t =
   Fmt.pf ppf "%s: %d items in %.2fs (%.0f items/s, %d job%s" t.label t.items
@@ -80,6 +93,9 @@ let pp ppf t =
     Fmt.pf ppf ", %d executed / %d memoized = %.1f%% memo hits" t.executed
       t.memoized
       (100. *. hit_rate t);
+  if t.pruned > 0 then
+    Fmt.pf ppf ", %d executed / %d pruned = %.1f%% pruned" t.executed t.pruned
+      (100. *. prune_rate t);
   if t.booted_cycles > 0 || t.replayed_cycles > 0 then
     Fmt.pf ppf ", %d cycles emulated / %d replayed = %.1f%% replay"
       t.booted_cycles t.replayed_cycles

@@ -19,6 +19,10 @@ type t = {
   elapsed_s : float;  (** wall-clock seconds *)
   executed : int;  (** items that did real work (default: [items]) *)
   memoized : int;  (** items served from a memo (default: 0) *)
+  pruned : int;
+      (** items whose outcome was proven equal to an already-executed
+          one — state-hash equivalence or dead-schedule cutoffs in the
+          exhaustive campaigns (default: 0) *)
   booted_cycles : int;  (** board cycles emulated step by step (default: 0) *)
   replayed_cycles : int;
       (** board cycles served by snapshot replay — pre-trigger boots and
@@ -41,6 +45,9 @@ val time : label:string -> jobs:int -> items:int -> (unit -> 'a) -> 'a * t
 val with_memo : executed:int -> memoized:int -> t -> t
 (** Attach memoization counters after the fact. *)
 
+val with_pruned : executed:int -> pruned:int -> t -> t
+(** Attach exhaustive-campaign pruning counters after the fact. *)
+
 val with_cycles : booted:int -> replayed:int -> t -> t
 (** Attach booted-vs-replayed board-cycle counters after the fact (the
     hardware-leg analogue of {!with_memo}). *)
@@ -59,6 +66,9 @@ val throughput : t -> float
 
 val hit_rate : t -> float
 (** [memoized / (executed + memoized)] in [0, 1]; 0 when no items. *)
+
+val prune_rate : t -> float
+(** [pruned / (executed + pruned)] in [0, 1]; 0 when no items. *)
 
 val machine_line : t -> string
 (** One [PERF key=value ...] line, no trailing newline. *)
