@@ -739,6 +739,91 @@ let ablation ?pool ~quick () =
   Fmt.pr "  DIRECTION of a legal branch - the complemented duplication@.";
   Fmt.pr "  checks remain GlitchResistor's differentiator.@."
 
+(* --- defenses: CFI backend overhead + efficacy ------------------------------------- *)
+
+(* The two post-paper CFI backends (Sigcfi = FIPAC-style running
+   signature, Domains = SCRAMBLE-CFI-style keyed clusters) measured the
+   same way as the paper's rows: Table IV/V overhead on boot_tick, then
+   the worst-case guard swept with 1/2-bit corruption next to the CFCSS
+   and None baselines. One PERF record per efficacy row lands in
+   BENCH_8.json; [items] counts sweep attempts. *)
+let defenses ?pool ~quick () =
+  section "defenses - CFI backend overhead + efficacy (writes BENCH_8.json)";
+  let records = ref [] in
+  let base = Resistor.Overhead.measure Resistor.Config.none ~label:"None" in
+  let pct v b =
+    Fmt.str "%.2f%%" (100. *. float_of_int (v - b) /. float_of_int b)
+  in
+  Stats.Table.print
+    ~header:[ "Defense"; "Boot cycles"; "cycles %"; "total bytes"; "bytes %" ]
+    (List.map
+       (fun (r : Resistor.Overhead.row) ->
+         [ r.label; string_of_int r.boot_cycles;
+           pct r.boot_cycles base.boot_cycles;
+           string_of_int r.total_bytes;
+           pct r.total_bytes base.total_bytes ])
+       (base
+       :: List.map
+            (fun (label, config) -> Resistor.Overhead.measure config ~label)
+            Resistor.Overhead.cfi_configurations));
+  let sweep_step = if quick then 4 else 2 in
+  Fmt.pr "@.(every %dth parameter point; single + windowed-10 attacks)@."
+    sweep_step;
+  let sensitive = [ "a" ] in
+  let source = Resistor.Evaluate.scenario_source Resistor.Evaluate.Worst_case in
+  let compile config = (Resistor.Driver.compile config source).image in
+  let images =
+    [ ("None", "none", compile Resistor.Config.none);
+      ("Sigcfi", "sigcfi", compile (Resistor.Config.only ~sigcfi:true ()));
+      ("Domains", "domains", compile (Resistor.Config.only ~domains:true ()));
+      ( "Sigcfi+Domains", "cfi",
+        compile (Resistor.Config.only ~sigcfi:true ~domains:true ()) );
+      ( "All\\Delay+Sigcfi+Domains", "all-cfi",
+        compile
+          { (Resistor.Config.all_but_delay ~sensitive ()) with
+            sigcfi = true; domains = true } );
+      ( "CFCSS (baseline)", "cfcss",
+        fst (Resistor.Cfcss.compile source) ) ]
+  in
+  Stats.Table.print
+    ~header:
+      [ "Defense"; "Single succ"; "Single det"; "Windowed succ"; "Windowed det" ]
+    (List.map
+       (fun (label, slug, image) ->
+         let (single, windowed), perf =
+           Stats.Perf.time
+             ~label:("defenses-" ^ slug)
+             ~jobs:(pool_jobs pool) ~items:0
+             (fun () ->
+               ( Resistor.Evaluate.run_image ?pool ~sweep_step image
+                   Resistor.Evaluate.Single,
+                 Resistor.Evaluate.run_image ?pool ~sweep_step image
+                   Resistor.Evaluate.Windowed ))
+         in
+         let attempts = single.attempts + windowed.attempts in
+         let perf =
+           with_pool_perf ?pool
+             { perf with Stats.Perf.items = attempts; executed = attempts }
+         in
+         records := !records @ [ perf ];
+         Fmt.pr "@.%a@.%s@." Stats.Perf.pp perf (Stats.Perf.machine_line perf);
+         [ label;
+           Fmt.str "%d (%a)" single.successes Stats.Rate.pp_pct
+             (Resistor.Evaluate.success_rate single);
+           string_of_int single.detections;
+           Fmt.str "%d (%a)" windowed.successes Stats.Rate.pp_pct
+             (Resistor.Evaluate.success_rate windowed);
+           string_of_int windowed.detections ])
+       images);
+  Fmt.pr "@.Reading the CFI rows:@.";
+  Fmt.pr "- Both backends detect illegal-edge arrivals (a skipped guard@.";
+  Fmt.pr "  lands mid-chain with a stale signature / foreign domain key),@.";
+  Fmt.pr "  but neither re-checks the DIRECTION of a legal branch - the@.";
+  Fmt.pr "  Table VII residue the complemented duplication checks cover.@.";
+  Fmt.pr "- Stacked on All\\Delay they close that gap at roughly the CFCSS@.";
+  Fmt.pr "  dilation cost.@.";
+  write_json "BENCH_8.json" !records
+
 (* --- Table VII: qualitative comparison -------------------------------------------- *)
 
 let table7 () =
@@ -902,7 +987,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|fig2|table1|table2|table3|tables|scaling|exhaust|tuner|table4|table5|table6|table7|analysis|fuzz|micro] \
+     [all|fig2|table1|table2|table3|tables|scaling|exhaust|tuner|table4|table5|table6|table7|ablation|defenses|analysis|fuzz|micro] \
      [--quick] [--jobs N] [--cache-dir DIR]"
 
 (* Pull "--jobs N" out of the raw argument list. *)
@@ -951,7 +1036,8 @@ let () =
       ("exhaust", exhaust_bench); ("tuner", tuner);
       ("table4", table45); ("table5", table45);
       ("table6", table6 ?pool ~quick); ("table7", table7);
-      ("ablation", ablation ?pool ~quick); ("analysis", analysis);
+      ("ablation", ablation ?pool ~quick);
+      ("defenses", defenses ?pool ~quick); ("analysis", analysis);
       ("fuzz", fuzz ~quick); ("micro", micro) ]
   in
   let run_all () =
@@ -965,6 +1051,7 @@ let () =
     table6 ?pool ~quick ();
     table7 ();
     ablation ?pool ~quick ();
+    defenses ?pool ~quick ();
     analysis ();
     fuzz ~quick ();
     micro ()

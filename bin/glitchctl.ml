@@ -39,6 +39,10 @@ let read_file path =
 
 (* --- shared argument parsers -------------------------------------------- *)
 
+let known_defense_sets =
+  [ "none"; "all"; "all-but-delay"; "branches"; "loops"; "integrity";
+    "returns"; "delay"; "sigcfi"; "domains"; "cfi"; "all-cfi" ]
+
 let defenses_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -50,7 +54,18 @@ let defenses_conv =
     | "integrity" -> Ok (Resistor.Config.only ~integrity:true ())
     | "returns" -> Ok (Resistor.Config.only ~returns:true ~enums:true ())
     | "delay" -> Ok (Resistor.Config.only ~delay:true ())
-    | other -> Error (`Msg (Printf.sprintf "unknown defense set %S" other))
+    | "sigcfi" -> Ok (Resistor.Config.only ~sigcfi:true ())
+    | "domains" -> Ok (Resistor.Config.only ~domains:true ())
+    | "cfi" -> Ok (Resistor.Config.only ~sigcfi:true ~domains:true ())
+    | "all-cfi" ->
+      Ok
+        { (Resistor.Config.all_but_delay ()) with
+          Resistor.Config.sigcfi = true; domains = true }
+    | other ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown defense set %S (known: %s)" other
+             (String.concat ", " known_defense_sets)))
   in
   Arg.conv (parse, fun ppf c -> Fmt.string ppf (Resistor.Config.name c))
 
@@ -76,7 +91,10 @@ let config_arg =
     value
     & opt defenses_conv Resistor.Config.none
     & info [ "defenses" ] ~docv:"SET"
-        ~doc:"none, all, all-but-delay, branches, loops, integrity, returns, delay.")
+        ~doc:
+          "none, all, all-but-delay, branches, loops, integrity, returns, \
+           delay, sigcfi, domains, cfi (both CFI passes), all-cfi \
+           (all-but-delay plus both CFI passes).")
 
 let with_sensitive config sensitive = { config with Resistor.Config.sensitive }
 
@@ -530,7 +548,26 @@ let lint_cmd =
              and report per-function agreement between the static surface \
              scores and the dynamic verdict tables.")
   in
-  let run file config sensitive json cfcss exhaust jobs =
+  let sabotage_cfi =
+    Arg.(
+      value & flag
+      & info [ "sabotage-cfi" ]
+          ~doc:
+            "Negative control: compile with the Sigcfi/Domains runtime \
+             checks stripped. A CFI-defended build must then draw \
+             Error-severity audit findings (exit 3); a clean report here \
+             means the audit itself is broken.")
+  in
+  let run file config sensitive json cfcss exhaust sabotage_cfi jobs =
+    if sabotage_cfi then begin
+      Resistor.Sigcfi.disable_checks := true;
+      Resistor.Domains.disable_checks := true
+    end;
+    Fun.protect
+      ~finally:(fun () ->
+        Resistor.Sigcfi.disable_checks := false;
+        Resistor.Domains.disable_checks := false)
+    @@ fun () ->
     let target () =
       if Filename.check_suffix file ".s" then
         Analysis.Lint.of_instrs (Thumb.Asm.assemble (read_file file))
@@ -613,7 +650,7 @@ let lint_cmd =
          :: Cmd.Exit.defaults))
     Term.(
       const run $ file $ config_arg $ sensitive_arg $ json $ cfcss $ exhaust
-      $ jobs_arg ())
+      $ sabotage_cfi $ jobs_arg ())
 
 (* --- exhaust ---------------------------------------------------------------------- *)
 
@@ -815,7 +852,17 @@ let fuzz_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-run one saved counterexample instead of fuzzing.")
   in
-  let run count seed corpus properties sabotage replay =
+  let max_skip_rate =
+    Arg.(
+      value & opt float 0.5
+      & info [ "max-skip-rate" ] ~docv:"RATE"
+          ~doc:
+            "Fail (exit 3) when a family skips more than this fraction of \
+             its cases: skipped preconditions are not evidence, and a \
+             generator drifting into a precondition desert would otherwise \
+             \"pass\" while exercising nothing.")
+  in
+  let run count seed corpus properties sabotage replay max_skip_rate =
     match replay with
     | Some path -> (
       match Gen.Corpus.load path with
@@ -875,9 +922,10 @@ let fuzz_cmd =
           (fun (r : Gen.Fuzz.family_run) ->
             match r.failure with
             | None ->
-              Fmt.pr "  %-14s %d checked, %d skipped: ok@."
+              Fmt.pr "  %-14s %d checked, %d skipped (%.0f%% skip): ok@."
                 (Gen.Fuzz.family_name r.family)
                 r.checked r.skipped
+                (100. *. Gen.Fuzz.skip_rate r)
             | Some f ->
               Fmt.pr "  %-14s FAILED after %d checks (%d shrink steps)@."
                 (Gen.Fuzz.family_name r.family)
@@ -887,7 +935,16 @@ let fuzz_cmd =
                 (fun p -> Fmt.pr "    counterexample saved to %s@." p)
                 f.corpus_path)
           summary.runs;
-        if Gen.Fuzz.ok summary then 0 else exit_findings)
+        let breaches = Gen.Fuzz.skip_breaches ~max_skip_rate summary in
+        List.iter
+          (fun (r : Gen.Fuzz.family_run) ->
+            Fmt.pr
+              "  %-14s skip rate %.0f%% exceeds --max-skip-rate %.0f%%@."
+              (Gen.Fuzz.family_name r.family)
+              (100. *. Gen.Fuzz.skip_rate r)
+              (100. *. max_skip_rate))
+          breaches;
+        if Gen.Fuzz.ok summary && breaches = [] then 0 else exit_findings)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -898,13 +955,16 @@ let fuzz_cmd =
           and the static analyzers; defended guards are swept with 1/2-bit \
           flash corruption. Failures shrink to replayable $(i,corpus/) \
           files. Exits 0 when every family passes, 3 on a property \
-          failure, 2 on invalid input."
+          failure or a skip-rate breach, 2 on invalid input."
        ~exits:
          (Cmd.Exit.info 0 ~doc:"when every property family passes."
          :: Cmd.Exit.info exit_input ~doc:"on invalid input."
-         :: Cmd.Exit.info exit_findings ~doc:"on a property failure."
+         :: Cmd.Exit.info exit_findings
+              ~doc:"on a property failure or a skip-rate breach."
          :: Cmd.Exit.defaults))
-    Term.(const run $ count $ seed $ corpus $ properties $ sabotage $ replay)
+    Term.(
+      const run $ count $ seed $ corpus $ properties $ sabotage $ replay
+      $ max_skip_rate)
 
 (* --- serve ----------------------------------------------------------------------- *)
 
@@ -941,8 +1001,18 @@ let serve_cmd =
 let () =
   let doc = "glitching attack and defense toolkit (Glitching Demystified, DSN'21)" in
   let info = Cmd.info "glitchctl" ~version:"1.0.0" ~doc in
+  (* Argument-parse failures (e.g. an unknown defense set fed to
+     [defenses_conv]) are usage errors and must exit 2 like every other
+     invalid input — cmdliner's [eval'] hardwires them to 124, so map
+     the eval result ourselves. *)
+  let group =
+    Cmd.group info
+      [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
+        table_cmd; tune_cmd; lint_cmd; exhaust_cmd; fuzz_cmd; serve_cmd ]
+  in
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
-            table_cmd; tune_cmd; lint_cmd; exhaust_cmd; fuzz_cmd; serve_cmd ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> exit_input
+    | Error `Exn -> Cmd.Exit.internal_error)

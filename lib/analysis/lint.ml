@@ -84,10 +84,34 @@ let detector_labels (f : Ir.func) =
       else None)
     f.blocks
 
-let is_check_block dets (b : Ir.block) =
+(* CFI edge-splitting (the Sigcfi glue) runs after the other passes and
+   inserts a pass-through block on every edge: a forwarder whose only
+   instructions are runtime-helper calls (and that is not itself a
+   detector arm) is transparent to the structural audit. *)
+let is_forwarder (b : Ir.block) =
+  (match b.term with Ir.Br _ -> true | _ -> false)
+  && List.for_all
+       (function
+         | Ir.Call { callee; _ } ->
+           callee <> Resistor.Detect.detected_fn
+           && String.length callee >= 4
+           && String.sub callee 0 4 = "__gr"
+         | _ -> false)
+       b.instrs
+
+let rec resolve_label (f : Ir.func) ?(depth = 4) l =
+  if depth = 0 then l
+  else
+    match Ir.find_block f l with
+    | Some ({ Ir.term = Ir.Br next; _ } as b) when is_forwarder b ->
+      resolve_label f ~depth:(depth - 1) next
+    | _ -> l
+
+let is_check_block f dets (b : Ir.block) =
   match b.term with
   | Ir.Cond_br { if_true; if_false; _ } ->
-    List.mem if_true dets || List.mem if_false dets
+    List.mem (resolve_label f if_true) dets
+    || List.mem (resolve_label f if_false) dets
   | _ -> false
 
 type protection =
@@ -169,7 +193,7 @@ let loop_exit_guards dets (f : Ir.func) =
   for v = 0 to n - 1 do
     let b = blocks.(v) in
     match b.Ir.term with
-    | Ir.Cond_br _ when in_cycle v && not (is_check_block dets b) ->
+    | Ir.Cond_br _ when in_cycle v && not (is_check_block f dets b) ->
       let exits =
         List.filter_map
           (fun w ->
@@ -184,15 +208,15 @@ let loop_exit_guards dets (f : Ir.func) =
 let audit_func (f : Ir.func) =
   let dets = detector_labels f in
   let is_check l =
-    match Ir.find_block f l with
-    | Some b -> is_check_block dets b
+    match Ir.find_block f (resolve_label f l) with
+    | Some b -> is_check_block f dets b
     | None -> false
   in
   let cond_blocks =
     List.filter
       (fun (b : Ir.block) ->
         (match b.term with Ir.Cond_br _ -> true | _ -> false)
-        && not (is_check_block dets b))
+        && not (is_check_block f dets b))
       f.blocks
   in
   if cond_blocks = [] then No_conditionals
@@ -530,6 +554,137 @@ let run (t : target) =
          yet every guard below remains direction-flippable along legal \
          edges (the Table VII limitation)"
         cr.blocks_signed cr.checks_inserted
+  | _ -> ());
+
+  (* --- sigcfi running signatures ------------------------------------ *)
+  (match (t.modul, t.reports) with
+  | Some m, Some { sigcfi_report = Some sr; _ } ->
+    let state = Resistor.Sigcfi.state_global in
+    if not (List.mem_assoc state t.image.global_addrs) then
+      diag "sigcfi-state" Error "<image>" 0
+        "state accumulator %s missing from the image" state;
+    if Ir.find_func m Resistor.Sigcfi.step_fn = None then
+      diag "sigcfi-state" Error "<module>" 0
+        "update helper %s missing from the module" Resistor.Sigcfi.step_fn;
+    let is_helper f =
+      String.length f >= 4 && String.sub f 0 4 = "__gr"
+    in
+    let bad = ref 0 in
+    List.iter
+      (fun (f : Ir.func) ->
+        if not (is_helper f.fname) then begin
+          let addr = fn_addr t.image f.fname in
+          (* the entry must re-seed the accumulator before anything else *)
+          (match f.blocks with
+          | { Ir.instrs = Ir.Store { dst = Ir.Global s; src = Ir.Const _; _ } :: _;
+              _ }
+            :: _
+            when s = state ->
+            ()
+          | _ ->
+            incr bad;
+            diag "sigcfi-seed" Error f.fname addr
+              "entry does not seed the running signature");
+          (* every return must be dominated by a signature check: all its
+             predecessors either load-and-compare the state or are the
+             detector-calling bad arm of such a check *)
+          let preds = Hashtbl.create 16 in
+          List.iter
+            (fun (b : Ir.block) ->
+              List.iter
+                (fun l ->
+                  Hashtbl.replace preds l
+                    (b.label
+                    :: Option.value ~default:[] (Hashtbl.find_opt preds l)))
+                (Ir.successors b.term))
+            f.blocks;
+          let checks_state (b : Ir.block) =
+            List.exists
+              (function
+                | Ir.Load { src = Ir.Global s; _ } -> s = state
+                | _ -> false)
+              b.instrs
+            && List.exists (function Ir.Icmp _ -> true | _ -> false) b.instrs
+          in
+          let is_detect_arm (b : Ir.block) =
+            List.exists
+              (function
+                | Ir.Call { callee; _ } -> callee = Resistor.Detect.detected_fn
+                | _ -> false)
+              b.instrs
+          in
+          List.iter
+            (fun (b : Ir.block) ->
+              match b.term with
+              | Ir.Ret _ ->
+                let ps = Option.value ~default:[] (Hashtbl.find_opt preds b.label) in
+                let guarded p =
+                  match Ir.find_block f p with
+                  | Some pb -> checks_state pb || is_detect_arm pb
+                  | None -> false
+                in
+                if ps = [] || not (List.for_all guarded ps) then begin
+                  incr bad;
+                  diag "sigcfi-sink" Error f.fname addr
+                    "return in block %s is not dominated by a signature check"
+                    b.label
+                end
+              | _ -> ())
+            f.blocks
+        end)
+      m.funcs;
+    if !bad = 0 then
+      diag "sigcfi-sink" Info "<module>" 0
+        "Sigcfi audit clean: %d block(s) signed, %d edge update(s), %d sink \
+         check(s) — an illegal edge still passes a sink with p~1/256 (8-bit \
+         state) and legal-edge direction flips stay invisible (the Table VII \
+         limitation)"
+        sr.blocks_signed sr.updates_inserted sr.checks_inserted
+  | _ -> ());
+
+  (* --- scramble domains --------------------------------------------- *)
+  (match (t.modul, t.reports) with
+  | Some m, Some { domains_report = Some dr; _ } ->
+    let reg = Resistor.Domains.domain_global in
+    if not (List.mem_assoc reg t.image.global_addrs) then
+      diag "domains-check" Error "<image>" 0
+        "domain register %s missing from the image" reg;
+    if Ir.find_func m Resistor.Domains.bridge_fn = None then
+      diag "domains-check" Error "<module>" 0
+        "bridge helper %s missing from the module" Resistor.Domains.bridge_fn;
+    let bad = ref 0 in
+    List.iter
+      (fun (fname, _cluster) ->
+        match Ir.find_func m fname with
+        | None ->
+          incr bad;
+          diag "domains-check" Error fname 0
+            "partitioned function disappeared from the module"
+        | Some f ->
+          let addr = fn_addr t.image fname in
+          let entry_checks =
+            match f.blocks with
+            | b :: _ ->
+              List.exists
+                (function
+                  | Ir.Load { src = Ir.Global s; _ } -> s = reg
+                  | _ -> false)
+                b.instrs
+              && List.exists (function Ir.Icmp _ -> true | _ -> false) b.instrs
+            | [] -> false
+          in
+          if not entry_checks then begin
+            incr bad;
+            diag "domains-check" Error fname addr
+              "entry does not compare %s against the cluster key" reg
+          end)
+      dr.domains;
+    if !bad = 0 then
+      diag "domains-check" Info "<module>" 0
+        "Domains audit clean: %d function(s) in %d cluster(s), %d bridge(s), \
+         %d check(s) — flow that stays inside its cluster is invisible to the \
+         domain register (Table VII-style residue)"
+        (List.length dr.domains) dr.clusters dr.bridges dr.checks_inserted
   | _ -> ());
 
   (* --- verifier lint findings -------------------------------------- *)

@@ -20,7 +20,8 @@ let config_to_string (c : Resistor.Config.t) =
     List.filter_map
       (fun (on, name) -> if on then Some name else None)
       [ (c.enums, "enums"); (c.returns, "returns"); (c.integrity, "integrity");
-        (c.branches, "branches"); (c.loops, "loops"); (c.delay, "delay") ]
+        (c.branches, "branches"); (c.loops, "loops"); (c.delay, "delay");
+        (c.sigcfi, "sigcfi"); (c.domains, "domains") ]
   in
   String.concat "," flags
 
@@ -30,7 +31,8 @@ let config_of_string ~sensitive s =
   in
   Resistor.Config.only ~enums:(has "enums") ~returns:(has "returns")
     ~integrity:(has "integrity") ~branches:(has "branches")
-    ~loops:(has "loops") ~delay:(has "delay") ~sensitive ()
+    ~loops:(has "loops") ~delay:(has "delay") ~sigcfi:(has "sigcfi")
+    ~domains:(has "domains") ~sensitive ()
 
 let one_line s =
   String.map (function '\n' | '\r' -> ' ' | ch -> ch) s

@@ -140,8 +140,12 @@ let semantics_configs prog =
     Config.only ~loops:true ();
     Config.only ~integrity:true ~sensitive:sens ();
     Config.only ~delay:true ();
+    Config.only ~sigcfi:true ();
+    Config.only ~domains:true ();
     Config.all_but_delay ~sensitive:sens ();
-    Config.all ~sensitive:sens () ]
+    Config.all ~sensitive:sens ();
+    { (Config.all_but_delay ~sensitive:sens ()) with sigcfi = true;
+      domains = true } ]
 
 let check_semantics (case : Ast_gen.case) =
   guard_check @@ fun () ->
@@ -227,9 +231,14 @@ let check_semantics (case : Ast_gen.case) =
 (* ------------------------------------------------------------------ *)
 (* family 3: efficacy generalization under the 1/2-bit sweep           *)
 
+(* Every config here must protect branch *directions* (Branches/Loops):
+   the CFI passes alone leave legal-edge flips invisible (Table VII),
+   so they ride on top of the redundancy passes, never alone. *)
 let defended_configs prog =
   [ Config.only ~branches:true ~loops:true ();
-    Config.all_but_delay ~sensitive:(source_globals prog) () ]
+    Config.all_but_delay ~sensitive:(source_globals prog) ();
+    { (Config.all_but_delay ~sensitive:(source_globals prog) ()) with
+      sigcfi = true; domains = true } ]
 
 (* Boot-relative cycle budget plus the pristine-image sanity run. *)
 let sweep_setup cname (compiled : Resistor.Driver.compiled) =
@@ -458,6 +467,17 @@ type summary = {
 }
 
 let ok s = List.for_all (fun r -> r.failure = None) s.runs
+
+let skip_rate (r : family_run) =
+  if r.checked = 0 then 0.
+  else float_of_int r.skipped /. float_of_int r.checked
+
+(* [Check_skipped] cases used to drain into silent QCheck passes: a
+   generator drifting into a precondition desert (capacity limit,
+   sema-check misses) could "pass" a family while exercising nothing.
+   Callers now get the per-family rate and a budget to enforce. *)
+let skip_breaches ~max_skip_rate s =
+  List.filter (fun r -> skip_rate r > max_skip_rate) s.runs
 
 let corpus_config family prog =
   match family with

@@ -340,7 +340,17 @@ let resolve ctx =
     match !bad with
     | None -> (items, offsets, islands, total_len)
     | Some (bad_idx, boff, l, toff) ->
-      if attempt >= 64 then
+      (* Every out-of-range branch may need its own stub (and a stub's
+         own branch may need one more), so the give-up cap scales with
+         the branch count instead of a flat constant — a heavily
+         instrumented function can legitimately need hundreds. *)
+      let cap =
+        64
+        + 2
+          * List.length
+              (List.filter (function Bto _ -> true | _ -> false) items)
+      in
+      if attempt >= cap then
         fail ctx "branch to %s out of range (%d halfwords, unable to relax)" l
           (toff - (boff + 2));
       let lo = min boff toff and hi = max boff toff in

@@ -53,6 +53,19 @@ let table =
       backward_compatible = false; constant_diversification = false;
       data_integrity = false; control_flow_hardening = true;
       random_delay = false };
+    (* Post-paper signature CFI schemes modelled by the Sigcfi and
+       Domains passes: both harden control flow generically from source
+       (compiler passes, no code changes), with keyed state that doubles
+       as constant diversification; neither touches data integrity or
+       timing. *)
+    { name = "FIPAC"; generic = true; extensible = false;
+      backward_compatible = true; constant_diversification = true;
+      data_integrity = false; control_flow_hardening = true;
+      random_delay = false };
+    { name = "SCRAMBLE-CFI"; generic = true; extensible = false;
+      backward_compatible = true; constant_diversification = true;
+      data_integrity = false; control_flow_hardening = true;
+      random_delay = false };
     glitch_resistor ]
 
 let render () =

@@ -14,7 +14,10 @@ type technique = {
 }
 
 val table : technique list
-(** All prior techniques plus GlitchResistor, in the paper's order. *)
+(** All prior techniques plus GlitchResistor, in the paper's order,
+    extended with rows for the post-paper signature-CFI schemes the
+    {!Sigcfi} (FIPAC-style) and {!Domains} (SCRAMBLE-CFI-style) passes
+    model. *)
 
 val glitch_resistor : technique
 

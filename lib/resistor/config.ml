@@ -12,6 +12,8 @@ type t = {
   branches : bool;
   loops : bool;
   delay : bool;
+  sigcfi : bool;
+  domains : bool;
   delay_scope : delay_scope;
   sensitive : string list;
   reaction : reaction;
@@ -24,6 +26,8 @@ let none =
     branches = false;
     loops = false;
     delay = false;
+    sigcfi = false;
+    domains = false;
     delay_scope = Delay_everywhere;
     sensitive = [];
     reaction = Spin }
@@ -41,19 +45,37 @@ let all ?(sensitive = []) () =
 let all_but_delay ?sensitive () = { (all ?sensitive ()) with delay = false }
 
 let only ?(enums = false) ?(returns = false) ?(integrity = false)
-    ?(branches = false) ?(loops = false) ?(delay = false) ?(sensitive = []) () =
-  { none with enums; returns; integrity; branches; loops; delay; sensitive }
+    ?(branches = false) ?(loops = false) ?(delay = false) ?(sigcfi = false)
+    ?(domains = false) ?(sensitive = []) () =
+  { none with
+    enums; returns; integrity; branches; loops; delay; sigcfi; domains;
+    sensitive }
 
+(* The paper's eight named configurations keep their historical names;
+   the post-paper CFI passes show up as "+Sigcfi"/"+Domains" suffixes so
+   every existing report row and golden is untouched. *)
 let name t =
-  match (t.enums, t.returns, t.integrity, t.branches, t.loops, t.delay) with
-  | false, false, false, false, false, false -> "None"
-  | true, true, true, true, true, true -> "All"
-  | true, true, true, true, true, false -> "All\\Delay"
-  | _ ->
-    let parts =
-      List.filter_map
-        (fun (on, label) -> if on then Some label else None)
-        [ (t.enums, "Enums"); (t.returns, "Returns"); (t.integrity, "Integrity");
-          (t.branches, "Branches"); (t.loops, "Loops"); (t.delay, "Delay") ]
-    in
-    String.concat "+" parts
+  let base =
+    match (t.enums, t.returns, t.integrity, t.branches, t.loops, t.delay) with
+    | false, false, false, false, false, false -> "None"
+    | true, true, true, true, true, true -> "All"
+    | true, true, true, true, true, false -> "All\\Delay"
+    | _ ->
+      let parts =
+        List.filter_map
+          (fun (on, label) -> if on then Some label else None)
+          [ (t.enums, "Enums"); (t.returns, "Returns");
+            (t.integrity, "Integrity"); (t.branches, "Branches");
+            (t.loops, "Loops"); (t.delay, "Delay") ]
+      in
+      String.concat "+" parts
+  in
+  let extras =
+    List.filter_map
+      (fun (on, label) -> if on then Some label else None)
+      [ (t.sigcfi, "Sigcfi"); (t.domains, "Domains") ]
+  in
+  match (base, extras) with
+  | base, [] -> base
+  | "None", extras -> String.concat "+" extras
+  | base, extras -> base ^ "+" ^ String.concat "+" extras

@@ -19,6 +19,8 @@ type t = {
   branches : bool;  (** conditional-branch duplication *)
   loops : bool;  (** loop-guard duplication *)
   delay : bool;  (** random timing injection *)
+  sigcfi : bool;  (** FIPAC-style keyed running-signature CFI (post-paper) *)
+  domains : bool;  (** SCRAMBLE-CFI-style keyed function clusters (post-paper) *)
   delay_scope : delay_scope;
   sensitive : string list;  (** globals protected by the integrity pass *)
   reaction : reaction;
@@ -28,16 +30,20 @@ val none : t
 (** Baseline: nothing enabled. *)
 
 val all : ?sensitive:string list -> unit -> t
-(** Every defense, delays everywhere, [Spin] reaction — the paper's
-    "All" configuration. *)
+(** Every paper defense, delays everywhere, [Spin] reaction — the
+    paper's "All" configuration. The post-paper CFI passes ([sigcfi],
+    [domains]) stay off so the paper's rows are reproducible; enable
+    them explicitly via {!only} or a record update. *)
 
 val all_but_delay : ?sensitive:string list -> unit -> t
 (** The paper's "All\Delay" configuration. *)
 
 val only :
   ?enums:bool -> ?returns:bool -> ?integrity:bool -> ?branches:bool ->
-  ?loops:bool -> ?delay:bool -> ?sensitive:string list -> unit -> t
+  ?loops:bool -> ?delay:bool -> ?sigcfi:bool -> ?domains:bool ->
+  ?sensitive:string list -> unit -> t
 (** Single defenses for the a-la-carte overhead rows of Tables IV/V. *)
 
 val name : t -> string
-(** "None", "Branches", "All\\Delay", ... for report rows. *)
+(** "None", "Branches", "All\\Delay", "All\\Delay+Sigcfi+Domains", ...
+    for report rows. *)

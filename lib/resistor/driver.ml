@@ -5,6 +5,8 @@ type reports = {
   branches_report : Branches.report option;
   loops_report : Loops.report option;
   delay_report : Delay.report option;
+  domains_report : Domains.report option;
+  sigcfi_report : Sigcfi.report option;
   verify_warnings : (string * Ir.Verify.violation) list;
       (* pass-tagged Ir.Verify.lint findings from the after-every-pass
          verification runs *)
@@ -42,8 +44,9 @@ let compile_modul (config : Config.t) source =
       | Some g -> g.sensitive <- true
       | None -> ())
     config.sensitive;
-  if config.integrity || config.branches || config.loops then
-    Detect.ensure config.reaction m;
+  if config.integrity || config.branches || config.loops || config.sigcfi
+     || config.domains
+  then Detect.ensure config.reaction m;
   let delay_report =
     if config.delay then Some (Delay.run ~scope:config.delay_scope m) else None
   in
@@ -59,11 +62,21 @@ let compile_modul (config : Config.t) source =
       Some (Integrity.run ~sensitive:config.sensitive config.reaction m)
     else None
   in
+  (* The CFI passes run last: their own check blocks must not be
+     re-instrumented by Branches/Loops, and Sigcfi after Domains means
+     the running signature also covers the domain-check blocks. *)
+  let domains_report =
+    if config.domains then Some (Domains.run config.reaction m) else None
+  in
+  let sigcfi_report =
+    if config.sigcfi then Some (Sigcfi.run config.reaction m) else None
+  in
   Ir.Verify.check_exn m;
   Pass.collect_warnings "final" m;
   ( m,
     { enum_report; returns_report; integrity_report; branches_report;
-      loops_report; delay_report; verify_warnings = Pass.drain_warnings () } )
+      loops_report; delay_report; domains_report; sigcfi_report;
+      verify_warnings = Pass.drain_warnings () } )
 
 let compile config source =
   let modul, reports = compile_modul config source in

@@ -10,6 +10,9 @@
     + {!Delay} (first, so its generator and init code are themselves
       protected by the passes that follow);
     + {!Returns}, {!Branches}, {!Loops}, {!Integrity};
+    + the post-paper CFI passes {!Domains} then {!Sigcfi} (last, so
+      their check blocks are not re-instrumented and the running
+      signature covers the domain checks);
     + verify, code-generate, link.
 
     Firmware may call the board intrinsics [__trigger_high()],
@@ -22,6 +25,8 @@ type reports = {
   branches_report : Branches.report option;
   loops_report : Loops.report option;
   delay_report : Delay.report option;
+  domains_report : Domains.report option;
+  sigcfi_report : Sigcfi.report option;
   verify_warnings : (string * Ir.Verify.violation) list;
       (** pass-tagged {!Ir.Verify.lint} findings (unreachable blocks,
           maybe-undefined temps) from the after-every-pass verifier *)

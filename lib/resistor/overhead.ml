@@ -9,7 +9,9 @@ type row = {
 
 let sensitive = [ "tick" ]
 
-let configurations =
+(* The paper's eight rows first (their order is pinned by goldens),
+   then the post-paper CFI rows the paper doesn't have. *)
+let paper_configurations =
   [ ("None", Config.none);
     ("Branches", Config.only ~branches:true ());
     ("Delay", Config.only ~delay:true ());
@@ -18,6 +20,15 @@ let configurations =
     ("Returns", Config.only ~returns:true ~enums:true ());
     ("All\\Delay", Config.all_but_delay ~sensitive ());
     ("All", Config.all ~sensitive ()) ]
+
+let cfi_configurations =
+  [ ("Sigcfi", Config.only ~sigcfi:true ());
+    ("Domains", Config.only ~domains:true ());
+    ("All\\Delay+Sigcfi+Domains",
+     { (Config.all_but_delay ~sensitive ()) with sigcfi = true; domains = true })
+  ]
+
+let configurations = paper_configurations @ cfi_configurations
 
 let flash_commit_cycles =
   (* subs + taken-branch per iteration, plus entry/exit *)

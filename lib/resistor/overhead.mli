@@ -12,10 +12,17 @@ type row = {
   total_bytes : int;
 }
 
-val configurations : (string * Config.t) list
+val paper_configurations : (string * Config.t) list
 (** The paper's rows: None, Branches, Delay, Integrity, Loops, Returns,
     All\Delay, All (enums ride along with Returns in size terms and are
     exercised by All). *)
+
+val cfi_configurations : (string * Config.t) list
+(** The post-paper CFI rows: Sigcfi, Domains, and All\Delay with both
+    CFI passes stacked on top. *)
+
+val configurations : (string * Config.t) list
+(** [paper_configurations @ cfi_configurations]. *)
 
 val measure : Config.t -> label:string -> row
 val all_rows : unit -> row list

@@ -19,15 +19,55 @@ type t = {
 
 type stats = { regions : int; wall_s : float; busy_s : float }
 
+(* cgroup v2 cpu.max: "QUOTA PERIOD" in microseconds, or "max PERIOD"
+   for unlimited. The effective core count is ceil(quota / period). *)
+let parse_cpu_max line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "max"; _ ] -> None
+  | [ quota; period ] -> (
+    match (int_of_string_opt quota, int_of_string_opt period) with
+    | Some q, Some p when q > 0 && p > 0 -> Some ((q + p - 1) / p)
+    | _ -> None)
+  | _ -> None
+
+(* cgroup v1 split the same quota over two files; a quota of -1 means
+   unlimited. *)
+let parse_cpu_cfs ~quota ~period =
+  match (int_of_string_opt (String.trim quota), int_of_string_opt (String.trim period)) with
+  | Some q, _ when q < 0 -> None
+  | Some q, Some p when q > 0 && p > 0 -> Some ((q + p - 1) / p)
+  | _ -> None
+
+let read_first_line path =
+  match open_in path with
+  | exception _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> match input_line ic with l -> Some l | exception _ -> None)
+
+let cgroup_cpu_limit () =
+  match read_first_line "/sys/fs/cgroup/cpu.max" with
+  | Some line -> parse_cpu_max line
+  | None -> (
+    match
+      ( read_first_line "/sys/fs/cgroup/cpu/cpu.cfs_quota_us",
+        read_first_line "/sys/fs/cgroup/cpu/cpu.cfs_period_us" )
+    with
+    | Some quota, Some period -> parse_cpu_cfs ~quota ~period
+    | _ -> None)
+
 (* [recommended_domain_count] reports the host's cores, which points
-   the wrong way on both ends: CI containers often pin the process to
-   one or two cores while the host reports many more, and a sweep with
-   fewer work chunks than cores leaves the surplus domains spinning on
-   an empty queue. Clamping to the chunk count fixes the second; the
-   first is the caller's CPU quota and can only be fixed by an explicit
-   [--jobs]. *)
+   the wrong way on both ends: CI containers often cap the process at
+   one or two cores via a cgroup CPU quota while the host reports many
+   more, and a sweep with fewer work chunks than cores leaves the
+   surplus domains spinning on an empty queue. Clamping to the cgroup
+   quota fixes the first (over-subscribed workers time-slice against
+   each other inside the quota); clamping to the chunk count fixes the
+   second. *)
 let default_jobs ?chunks () =
   let n = Domain.recommended_domain_count () in
+  let n = match cgroup_cpu_limit () with Some c -> max 1 (min n c) | None -> n in
   match chunks with None -> n | Some c -> max 1 (min n c)
 
 let record_failure t e bt =

@@ -14,14 +14,26 @@
 type t
 
 val default_jobs : ?chunks:int -> unit -> int
-(** [Domain.recommended_domain_count ()], the [--jobs] default,
-    clamped to [chunks] (the number of parallel work items) when
-    given: surplus domains beyond the chunk count can only spin on an
-    empty queue. Caveat: the recommended count is the {e host}'s core
-    count — in a CI container pinned to one or two cores it can both
-    over-report (cgroup quota below the host cores) and legitimately
-    report 1, so benchmarks should always pass an explicit
-    [--jobs]. *)
+(** [Domain.recommended_domain_count ()], the [--jobs] default, clamped
+    to the cgroup CPU quota ({!cgroup_cpu_limit}) and to [chunks] (the
+    number of parallel work items) when given: the recommended count is
+    the {e host}'s core count, so in a quota-limited CI container it
+    over-subscribes workers that then time-slice against each other,
+    and surplus domains beyond the chunk count can only spin on an
+    empty queue. *)
+
+val cgroup_cpu_limit : unit -> int option
+(** Effective CPU limit from the cgroup: v2 [/sys/fs/cgroup/cpu.max],
+    falling back to the v1 [cpu.cfs_quota_us]/[cpu.cfs_period_us] pair;
+    [None] when unlimited, unreadable, or malformed. *)
+
+val parse_cpu_max : string -> int option
+(** Parse a cgroup-v2 ["QUOTA PERIOD"] line (["max PERIOD"] =
+    unlimited) into [ceil(quota/period)] cores. Exposed for tests. *)
+
+val parse_cpu_cfs : quota:string -> period:string -> int option
+(** Parse the cgroup-v1 file pair ([-1] quota = unlimited). Exposed for
+    tests. *)
 
 val create : ?jobs:int -> unit -> t
 (** [jobs] defaults to {!default_jobs}; values below 1 are clamped

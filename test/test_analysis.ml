@@ -365,6 +365,61 @@ let lint_cfcss_witness () =
     "guards still flippable" true
     (has_rule ~severity:Lint.Error "guard-flippable" r)
 
+(* The same witness shape for the post-paper CFI passes: a defended
+   build audits clean (with the limitation cited), a sabotaged build —
+   checks suppressed via the negative-control hook — is flagged. *)
+let cfi_errors (r : Lint.report) =
+  List.filter
+    (fun (d : Lint.diag) ->
+      contains ~affix:"sigcfi" d.rule || contains ~affix:"domains" d.rule)
+    (Lint.errors r)
+  |> List.map (fun (d : Lint.diag) -> d.rule ^ ": " ^ d.message)
+
+let lint_sigcfi_audit () =
+  let config = Resistor.Config.only ~sigcfi:true () in
+  let r = lint config Resistor.Firmware.guard_loop in
+  (* sigcfi alone leaves branch directions unprotected (guard-flippable
+     errors are expected residue); its own audit must be clean *)
+  Alcotest.(check (list string)) "defended build clean" [] (cfi_errors r);
+  Alcotest.(check bool) "clean audit cites the limitation" true
+    (List.exists
+       (fun (d : Lint.diag) -> contains ~affix:"Table VII" d.message)
+       (find_rule "sigcfi-sink" r));
+  let sabotaged =
+    Fun.protect
+      ~finally:(fun () -> Resistor.Sigcfi.disable_checks := false)
+      (fun () ->
+        Resistor.Sigcfi.disable_checks := true;
+        lint config Resistor.Firmware.guard_loop)
+  in
+  Alcotest.(check bool) "sabotaged build flagged" true
+    (has_rule ~severity:Lint.Error "sigcfi-sink" sabotaged)
+
+let lint_domains_audit () =
+  let config = Resistor.Config.only ~domains:true () in
+  let r = lint config Resistor.Firmware.guard_loop in
+  Alcotest.(check (list string)) "defended build clean" [] (cfi_errors r);
+  Alcotest.(check bool) "clean audit leaves a witness" true
+    (has_rule ~severity:Lint.Info "domains-check" r);
+  let sabotaged =
+    Fun.protect
+      ~finally:(fun () -> Resistor.Domains.disable_checks := false)
+      (fun () ->
+        Resistor.Domains.disable_checks := true;
+        lint config Resistor.Firmware.guard_loop)
+  in
+  Alcotest.(check bool) "sabotaged build flagged" true
+    (has_rule ~severity:Lint.Error "domains-check" sabotaged)
+
+let lint_stacked_cfi_clean () =
+  let config =
+    { (Resistor.Config.all_but_delay ~sensitive:[ "a" ] ()) with
+      sigcfi = true; domains = true }
+  in
+  let r = lint config Resistor.Firmware.guard_loop in
+  Alcotest.(check (list string)) "stacked build clean" []
+    (List.map (fun (d : Lint.diag) -> d.rule ^ ": " ^ d.message) (Lint.errors r))
+
 (* --- structural audit units --------------------------------------------------- *)
 
 let build_plain_loop () =
@@ -477,6 +532,10 @@ let () =
             lint_enum_and_return_hamming;
           Alcotest.test_case "cfcss witness (Table VII)" `Quick
             lint_cfcss_witness;
+          Alcotest.test_case "sigcfi audit + sabotage" `Quick lint_sigcfi_audit;
+          Alcotest.test_case "domains audit + sabotage" `Quick
+            lint_domains_audit;
+          Alcotest.test_case "stacked cfi clean" `Quick lint_stacked_cfi_clean;
           Alcotest.test_case "json shape" `Quick json_shape ] );
       ( "audit",
         [ Alcotest.test_case "unguarded loop" `Quick audit_unguarded_loop;

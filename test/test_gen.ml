@@ -220,6 +220,57 @@ let test_fuzz_smoke () =
   | [ r ] -> Alcotest.(check int) "all 50 checked" 50 r.Gen.Fuzz.checked
   | _ -> Alcotest.fail "expected exactly one family run"
 
+(* --- skip accounting ------------------------------------------------------- *)
+
+(* A program past the 255-slot frame budget is a precondition miss, not
+   a pass: the semantics check must answer [Skip] (with the capacity
+   diagnostic), never [Pass], so the skip counters see it. *)
+let test_capacity_limit_skips () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "int main() {\n";
+  for i = 0 to 299 do
+    Buffer.add_string buf (Printf.sprintf "  int x%d;\n" i)
+  done;
+  for i = 0 to 299 do
+    Buffer.add_string buf (Printf.sprintf "  x%d = %d;\n" i i)
+  done;
+  Buffer.add_string buf "  return x299;\n}\n";
+  let prog = Minic.Parser.program (Buffer.contents buf) in
+  let case = { Gen.Ast_gen.shape = Gen.Ast_gen.Terminating; prog } in
+  match Gen.Fuzz.check Gen.Fuzz.Semantics case with
+  | Gen.Fuzz.Skip m ->
+    Alcotest.(check bool)
+      ("capacity diagnostic in: " ^ m)
+      true
+      (Gen.Fuzz.capacity_message m)
+  | Gen.Fuzz.Pass -> Alcotest.fail "over-capacity program silently passed"
+  | Gen.Fuzz.Fail m -> Alcotest.failf "capacity miss reported as failure: %s" m
+
+(* The rate arithmetic and the breach filter behind --max-skip-rate. *)
+let test_skip_rate_budget () =
+  let run family checked skipped =
+    { Gen.Fuzz.family; checked; skipped; failure = None }
+  in
+  let quiet = run Gen.Fuzz.Roundtrip 100 2 in
+  let desert = run Gen.Fuzz.Semantics 100 80 in
+  let empty = run Gen.Fuzz.Efficacy 0 0 in
+  let summary =
+    { Gen.Fuzz.seed = 0; count = 100; sabotage = false;
+      runs = [ quiet; desert; empty ] }
+  in
+  Alcotest.(check (float 1e-9)) "2% skip" 0.02 (Gen.Fuzz.skip_rate quiet);
+  Alcotest.(check (float 1e-9)) "80% skip" 0.8 (Gen.Fuzz.skip_rate desert);
+  Alcotest.(check (float 1e-9)) "empty run skips nothing" 0.
+    (Gen.Fuzz.skip_rate empty);
+  let breached max_skip_rate =
+    Gen.Fuzz.skip_breaches ~max_skip_rate summary
+    |> List.map (fun (r : Gen.Fuzz.family_run) -> Gen.Fuzz.family_name r.family)
+  in
+  Alcotest.(check (list string)) "half budget" [ "semantics" ] (breached 0.5);
+  Alcotest.(check (list string)) "tight budget" [ "roundtrip"; "semantics" ]
+    (breached 0.01);
+  Alcotest.(check (list string)) "loose budget" [] (breached 0.9)
+
 (* --- glitchctl exit-code matrix ------------------------------------------- *)
 
 (* The documented contract: 0 on success, 2 on invalid input, 3 on
@@ -268,6 +319,20 @@ let test_exit_codes () =
       ( "lint defended",
         [ "lint"; guarded; "--defenses=all-but-delay" ],
         0 );
+      (* unknown defense sets are usage errors (2), not cmdliner's
+         124 — and the CFI tokens must parse *)
+      ("lint unknown defense", [ "lint"; good; "--defenses=bogus" ], 2);
+      ("attack unknown defense", [ "attack"; good; "--defenses=bogus" ], 2);
+      ("lint cfi token", [ "lint"; good; "--defenses=cfi" ], 0);
+      ("lint all-cfi token", [ "lint"; guarded; "--defenses=all-cfi" ], 0);
+      ( "lint sabotaged cfi flagged",
+        [ "lint"; good; "--defenses=all-cfi"; "--sabotage-cfi" ],
+        3 );
+      ( "fuzz skip-rate breach",
+        [ "fuzz"; "--count"; "5"; "--seed"; "11"; "--properties"; "roundtrip";
+          "--max-skip-rate=-1";
+          "--corpus"; Filename.get_temp_dir_name () ],
+        3 );
       ( "fuzz roundtrip batch",
         [ "fuzz"; "--count"; "5"; "--seed"; "11"; "--properties"; "roundtrip";
           "--corpus"; Filename.get_temp_dir_name () ],
@@ -310,6 +375,9 @@ let () =
       ( "oracle",
         [ Alcotest.test_case "observer trace" `Quick test_observer_trace ] );
       ( "fuzz",
-        [ Alcotest.test_case "fixed-seed smoke" `Quick test_fuzz_smoke ] );
+        [ Alcotest.test_case "fixed-seed smoke" `Quick test_fuzz_smoke;
+          Alcotest.test_case "capacity limit skips, not passes" `Quick
+            test_capacity_limit_skips;
+          Alcotest.test_case "skip-rate budget" `Quick test_skip_rate_budget ] );
       ( "cli",
         [ Alcotest.test_case "exit-code matrix" `Quick test_exit_codes ] ) ]

@@ -65,7 +65,13 @@ let config_names () =
   Alcotest.(check string) "all but delay" "All\\Delay"
     (Config.name (Config.all_but_delay ()));
   Alcotest.(check string) "single" "Branches"
-    (Config.name (Config.only ~branches:true ()))
+    (Config.name (Config.only ~branches:true ()));
+  Alcotest.(check string) "sigcfi only" "Sigcfi"
+    (Config.name (Config.only ~sigcfi:true ()));
+  Alcotest.(check string) "both cfi" "Sigcfi+Domains"
+    (Config.name (Config.only ~sigcfi:true ~domains:true ()));
+  Alcotest.(check string) "stacked cfi" "All\\Delay+Sigcfi+Domains"
+    (Config.name { (Config.all_but_delay ()) with sigcfi = true; domains = true })
 
 (* --- enum rewriter --------------------------------------------------------- *)
 
@@ -379,6 +385,120 @@ let cfcss_detects_illegal_edge () =
   in
   Alcotest.(check bool) "check chains present" true has_chain
 
+(* --- sigcfi (FIPAC-style running-signature CFI) ------------------------------------ *)
+
+let sigcfi_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "sigcfi" (Config.only ~sigcfi:true ())
+    terminating_src
+
+let sigcfi_mechanics () =
+  let m, reports =
+    Driver.compile_modul (Config.only ~sigcfi:true ()) terminating_src
+  in
+  let r = Option.get reports.sigcfi_report in
+  Alcotest.(check bool) "blocks signed" true (r.blocks_signed > 5);
+  Alcotest.(check bool) "edges split" true (r.updates_inserted > 5);
+  Alcotest.(check bool) "sink checks" true (r.checks_inserted >= 4);
+  Alcotest.(check bool) "state global" true
+    (Ir.find_global m Sigcfi.state_global <> None);
+  (* clean run stays silent *)
+  let out = interp m in
+  Alcotest.(check int) "no detections" 0
+    (List.assoc Detect.counter_global out.globals);
+  (* the branchless step must agree with the field it models: it is
+     GF(2^8) multiplication by the generator, the same function the
+     compile-time patch constants are derived with *)
+  for x = 0 to 255 do
+    Alcotest.(check int)
+      (Printf.sprintf "step %d = gf256 mul by alpha" x)
+      (Reedsolomon.Gf256.mul x 2) (Sigcfi.step x)
+  done
+
+let sigcfi_detects_illegal_edge () =
+  (* Instrument by hand (like the cfcss test) and then simulate a PC
+     glitch: rewrite classify's terminators to bypass the edge-split
+     state updates. The running accumulator keeps the *source* block's
+     signature, so the sink check at the return must fire. *)
+  let m = compile Config.none terminating_src in
+  let (_ : Sigcfi.report) = Sigcfi.run Config.Record m in
+  let classify = Option.get (Ir.find_func m "classify") in
+  let is_glue l = String.length l >= 12 && String.sub l 0 12 = "gr.sigcfi.up" in
+  let glue_target l =
+    let b = List.find (fun (b : Ir.block) -> b.Ir.label = l) classify.blocks in
+    match b.term with Ir.Br t -> t | _ -> Alcotest.fail "glue without Br"
+  in
+  let bypass l = if is_glue l then glue_target l else l in
+  List.iter
+    (fun (b : Ir.block) ->
+      if not (is_glue b.Ir.label) then
+        b.term <-
+          (match b.term with
+          | Ir.Br l -> Ir.Br (bypass l)
+          | Ir.Cond_br { cond; if_true; if_false } ->
+            Ir.Cond_br
+              { cond; if_true = bypass if_true; if_false = bypass if_false }
+          | Ir.Switch { value; cases; default } ->
+            Ir.Switch
+              { value;
+                cases = List.map (fun (v, l) -> (v, bypass l)) cases;
+                default = bypass default }
+          | t -> t))
+    classify.blocks;
+  let b = Ir.Builder.create ~fname:"attack_entry" ~params:[] ~returns_value:true in
+  let r = Option.get (Ir.Builder.call b ~dst:true "classify" [ Ir.Const 20 ]) in
+  Ir.Builder.ret b (Some r);
+  m.funcs <- m.funcs @ [ Ir.Builder.func b ];
+  let out = interp ~entry:"attack_entry" m in
+  Alcotest.(check bool) "detection fired" true
+    (List.assoc Detect.counter_global out.globals > 0)
+
+(* --- domains (SCRAMBLE-CFI-style clusters) ----------------------------------------- *)
+
+let domains_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "domains" (Config.only ~domains:true ())
+    terminating_src
+
+let domains_mechanics () =
+  let m, reports =
+    Driver.compile_modul (Config.only ~domains:true ()) terminating_src
+  in
+  let r = Option.get reports.domains_report in
+  Alcotest.(check int) "clusters" 2 r.clusters;
+  Alcotest.(check int) "main anchors cluster 0" 0 (List.assoc "main" r.domains);
+  Alcotest.(check bool) "entry+return checks" true (r.checks_inserted >= 6);
+  Alcotest.(check bool) "domain register" true
+    (Ir.find_global m Domains.domain_global <> None);
+  (* cluster keys are distinct and nonzero, so no bridge is an identity *)
+  let keys = List.init r.clusters (Domains.cluster_key ~key:r.key) in
+  Alcotest.(check bool) "keys nonzero" true (List.for_all (fun k -> k <> 0) keys);
+  Alcotest.(check int) "keys distinct" r.clusters
+    (List.length (List.sort_uniq compare keys));
+  let out = interp m in
+  Alcotest.(check int) "no detections" 0
+    (List.assoc Detect.counter_global out.globals)
+
+let domains_detects_escape () =
+  (* A glitch that lands in another cluster without crossing a bridge
+     leaves the old key in the domain register: scribble on it and make
+     an un-bridged call, the callee's entry check must fire. *)
+  let config = { (Config.only ~domains:true ()) with reaction = Config.Record } in
+  let m = compile config terminating_src in
+  let b = Ir.Builder.create ~fname:"attack_entry" ~params:[] ~returns_value:true in
+  Ir.Builder.store ~volatile:true b (Ir.Global Domains.domain_global)
+    (Ir.Const 0);
+  let r = Option.get (Ir.Builder.call b ~dst:true "classify" [ Ir.Const 20 ]) in
+  Ir.Builder.ret b (Some r);
+  m.funcs <- m.funcs @ [ Ir.Builder.func b ];
+  let out = interp ~entry:"attack_entry" m in
+  Alcotest.(check bool) "detection fired" true
+    (List.assoc Detect.counter_global out.globals > 0)
+
+let cfi_stacked_semantics_preserved () =
+  same_behaviour ~globals:[ "flag" ] "stacked cfi"
+    { (Config.all ~sensitive:[ "flag"; "acc" ] ()) with
+      sigcfi = true; domains = true }
+    terminating_src
+
 (* --- driver + firmware ---------------------------------------------------------------- *)
 
 let all_firmware_compiles_under_all_configs () =
@@ -426,8 +546,15 @@ let overhead_ordering () =
     (delay.boot_cycles > 20 * none.boot_cycles);
   Alcotest.(check bool) "delay constant ~ flash commit" true
     (delay.boot_cycles - none.boot_cycles > Overhead.flash_commit_cycles / 2);
-  Alcotest.(check bool) "all is the largest image" true
-    (List.for_all (fun (r : Overhead.row) -> r.total_bytes <= all.total_bytes) rows);
+  let paper_labels = List.map fst Overhead.paper_configurations in
+  Alcotest.(check bool) "all is the largest paper image" true
+    (List.for_all
+       (fun (r : Overhead.row) ->
+         (not (List.mem r.label paper_labels)) || r.total_bytes <= all.total_bytes)
+       rows);
+  let stacked = find "All\\Delay+Sigcfi+Domains" in
+  Alcotest.(check bool) "stacked cfi larger than all\\delay" true
+    (stacked.total_bytes > all_nd.total_bytes);
   Alcotest.(check bool) "all\\delay cheaper than all" true
     (all_nd.boot_cycles < all.boot_cycles)
 
@@ -492,6 +619,16 @@ let () =
          Alcotest.test_case "all defenses behave" `Quick all_defended_behaviour_matches;
          Alcotest.test_case "boot rows" `Quick boot_fires_trigger_under_every_config;
          Alcotest.test_case "overhead ordering" `Quick overhead_ordering ]);
+      ("sigcfi",
+       [ Alcotest.test_case "semantics preserved" `Quick sigcfi_semantics_preserved;
+         Alcotest.test_case "mechanics" `Quick sigcfi_mechanics;
+         Alcotest.test_case "detects illegal edges" `Quick
+           sigcfi_detects_illegal_edge ]);
+      ("domains",
+       [ Alcotest.test_case "semantics preserved" `Quick domains_semantics_preserved;
+         Alcotest.test_case "mechanics" `Quick domains_mechanics;
+         Alcotest.test_case "detects domain escape" `Quick domains_detects_escape;
+         Alcotest.test_case "stacked with all" `Quick cfi_stacked_semantics_preserved ]);
       ("cfcss",
        [ Alcotest.test_case "semantics preserved" `Quick cfcss_semantics_preserved;
          Alcotest.test_case "mechanics" `Quick cfcss_mechanics;

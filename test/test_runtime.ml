@@ -241,6 +241,36 @@ let default_jobs_clamped_to_chunks () =
   Alcotest.(check bool) "always at least one" true
     (Runtime.Pool.default_jobs () >= 1)
 
+let cgroup_quota_parsers () =
+  let check_max name expect line =
+    Alcotest.(check (option int)) name expect (Runtime.Pool.parse_cpu_max line)
+  in
+  check_max "whole quota" (Some 2) "200000 100000";
+  check_max "fractional quota rounds up" (Some 2) "150000 100000";
+  check_max "sub-core quota keeps one" (Some 1) "50000 100000";
+  check_max "unlimited" None "max 100000";
+  check_max "trailing newline tolerated" (Some 4) "400000 100000\n";
+  check_max "malformed" None "banana";
+  check_max "missing period" None "200000";
+  check_max "zero period" None "200000 0";
+  check_max "negative quota" None "-1 100000";
+  let check_cfs name expect quota period =
+    Alcotest.(check (option int)) name expect
+      (Runtime.Pool.parse_cpu_cfs ~quota ~period)
+  in
+  check_cfs "v1 whole quota" (Some 3) "300000" "100000";
+  check_cfs "v1 ceil" (Some 2) "110000" "100000";
+  check_cfs "v1 unlimited" None "-1" "100000";
+  check_cfs "v1 malformed" None "lots" "100000";
+  (* default_jobs must respect whatever the live cgroup says *)
+  (match Runtime.Pool.cgroup_cpu_limit () with
+  | Some limit ->
+    Alcotest.(check bool) "default_jobs within cgroup quota" true
+      (Runtime.Pool.default_jobs () <= max 1 limit)
+  | None -> ());
+  Alcotest.(check bool) "always at least one" true
+    (Runtime.Pool.default_jobs () >= 1)
+
 let pool_stats_account_regions () =
   Runtime.Pool.with_pool ~jobs:2 (fun pool ->
       let s0 = Runtime.Pool.stats pool in
@@ -321,6 +351,7 @@ let () =
       ("stats",
        [ Alcotest.test_case "default_jobs clamped to chunks" `Quick
            default_jobs_clamped_to_chunks;
+         Alcotest.test_case "cgroup quota parsers" `Quick cgroup_quota_parsers;
          Alcotest.test_case "regions accounted and reset" `Quick
            pool_stats_account_regions;
          Alcotest.test_case "wait and utilization math" `Quick
