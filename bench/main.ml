@@ -555,6 +555,138 @@ let exhaust_bench () =
   else Fmt.pr "@.WARNING: verdict tables diverge across job counts@.";
   write_json "BENCH_7.json" !records
 
+(* --- absint: static pre-pruner + fault-flow prover ----------------------------- *)
+
+(* The abstract-interpretation layer end to end: the static pre-pruner
+   share of the guard-loop exhaust workload (with a jobs-1/4 parity
+   check — the statically proven verdicts are computed before any
+   worker runs, so the split is deterministic), the same floor on the
+   fig2 conditional-branch workload the issue names, the fault-flow
+   prover's wall time on the defended and undefended builds, and the
+   reachability-weighted agreement concordance next to the unweighted
+   one. PERF rows land in BENCH_9.json. *)
+let absint_bench () =
+  section
+    "absint - static pre-pruner + fault-flow prover (writes BENCH_9.json)";
+  let records = ref [] in
+  let emit r =
+    records := !records @ [ r ];
+    Fmt.pr "@.%a@.%s@." Stats.Perf.pp r (Stats.Perf.machine_line r)
+  in
+  (* static pre-pruner on the guard-loop exhaust workload *)
+  let compiled =
+    Resistor.Driver.compile Resistor.Config.none Resistor.Firmware.guard_loop
+  in
+  let spec = Exhaust.Campaign.spec_of_image ~name:"guard_loop" compiled.image in
+  let config =
+    { (Exhaust.Campaign.default_config ()) with
+      Exhaust.Campaign.max_trace = 256;
+      settle_steps = Some 64;
+      static_prune = true }
+  in
+  let leg label jobs config =
+    let run pool =
+      let result, perf =
+        Stats.Perf.time ~label ~jobs ~items:0 (fun () ->
+            Exhaust.Campaign.run ?pool spec config)
+      in
+      emit
+        ({ (with_pool_perf ?pool perf) with
+           Stats.Perf.items = result.Exhaust.Campaign.points }
+        |> Stats.Perf.with_pruned ~executed:result.Exhaust.Campaign.executed
+             ~pruned:result.Exhaust.Campaign.pruned
+             ~static_pruned:result.Exhaust.Campaign.static_pruned);
+      result
+    in
+    if jobs = 1 then run None
+    else Runtime.Pool.with_pool ~jobs (fun p -> run (Some p))
+  in
+  let plain =
+    leg "absint-off" 1 { config with Exhaust.Campaign.static_prune = false }
+  in
+  let seq = leg "absint-static" 1 config in
+  let par = leg "absint-static" 4 config in
+  Fmt.pr
+    "@.static pre-pruner: %d of %d points proven without emulation \
+     (%d executed vs %d without it)@."
+    seq.Exhaust.Campaign.static_pruned seq.points seq.executed plain.executed;
+  if seq.Exhaust.Campaign.static_pruned > 0 then
+    Fmt.pr "static pre-pruner floor holds: static_pruned > 0@."
+  else Fmt.pr "WARNING: static pre-pruner proved nothing on guard_loop@.";
+  if
+    seq.Exhaust.Campaign.rows = par.Exhaust.Campaign.rows
+    && seq.totals = par.totals && seq.verdicts = par.verdicts
+    && seq.static_pruned = par.static_pruned
+  then Fmt.pr "verdict tables bit-identical at --jobs 1 and 4@."
+  else Fmt.pr "WARNING: static-pruned tables diverge across job counts@.";
+  (* the fig2 conditional-branch workload: a terminating baseline *)
+  let case = Glitch_emu.Testcase.conditional_branch Thumb.Instr.EQ in
+  let fig2_spec = Exhaust.Campaign.spec_of_case case in
+  let fig2_config =
+    { (Exhaust.Campaign.default_config ()) with
+      Exhaust.Campaign.max_trace = 64;
+      static_prune = true }
+  in
+  let fig2, perf =
+    Stats.Perf.time ~label:"absint-fig2" ~jobs:1 ~items:0 (fun () ->
+        Exhaust.Campaign.run fig2_spec fig2_config)
+  in
+  emit
+    ({ perf with Stats.Perf.items = fig2.Exhaust.Campaign.points }
+    |> Stats.Perf.with_pruned ~executed:fig2.Exhaust.Campaign.executed
+         ~pruned:fig2.Exhaust.Campaign.pruned
+         ~static_pruned:fig2.Exhaust.Campaign.static_pruned);
+  if fig2.Exhaust.Campaign.static_pruned > 0 then
+    Fmt.pr "@.fig2 workload floor holds: static_pruned = %d > 0@."
+      fig2.Exhaust.Campaign.static_pruned
+  else Fmt.pr "@.WARNING: static pre-pruner proved nothing on fig2 workload@.";
+  (* fault-flow prover wall time, both builds *)
+  let prove label defenses =
+    let compiled = Resistor.Driver.compile defenses Resistor.Firmware.guard_loop in
+    let report, perf =
+      Stats.Perf.time ~label ~jobs:1 ~items:0 (fun () ->
+          Absint.Prove.run ~config:compiled.Resistor.Driver.config
+            ~reports:compiled.Resistor.Driver.reports
+            ~modul:compiled.Resistor.Driver.modul compiled.Resistor.Driver.image)
+    in
+    emit { perf with Stats.Perf.items = report.Absint.Prove.scenarios };
+    Fmt.pr
+      "%s: %d/%d guards reached, %d proven, %d escaping, %d unproven@." label
+      report.Absint.Prove.guards_reached report.Absint.Prove.guards_total
+      report.proven report.escapes report.unproven;
+    report
+  in
+  let undef = prove "prove-undefended" Resistor.Config.none in
+  let def =
+    prove "prove-defended" (Resistor.Config.all_but_delay ~sensitive:[ "a" ] ())
+  in
+  if undef.Absint.Prove.escapes > 0 && Absint.Prove.errors def = [] then
+    Fmt.pr "prover floors hold: undefended escapes, defended audit clean@."
+  else Fmt.pr "WARNING: prover floors violated@.";
+  (* reachability-weighted agreement on the fully defended build *)
+  let compiled =
+    Resistor.Driver.compile
+      (Resistor.Config.all ~sensitive:[ "a" ] ())
+      Resistor.Firmware.guard_loop
+  in
+  let spec = Exhaust.Campaign.spec_of_image ~name:"guard_loop" compiled.image in
+  let config = Exhaust.Campaign.default_config () in
+  let result = Exhaust.Campaign.run spec config in
+  let baseline, _ = Exhaust.Campaign.baseline spec config in
+  let surface =
+    Analysis.Surface.analyze (Analysis.Cfg.of_image compiled.image)
+  in
+  let agreement = Exhaust.Agreement.of_result ~baseline surface result in
+  Fmt.pr
+    "@.agreement on the fully defended build: weighted concordance %.0f%%, \
+     unweighted %.0f%%@."
+    (100. *. agreement.Exhaust.Agreement.concordance)
+    (100. *. agreement.Exhaust.Agreement.concordance_unweighted);
+  if agreement.Exhaust.Agreement.concordance > 0.5 then
+    Fmt.pr "agreement floor holds: weighted concordance > 50%%@."
+  else Fmt.pr "WARNING: weighted concordance did not beat 50%%@.";
+  write_json "BENCH_9.json" !records
+
 (* --- Section V-B: locating optimal parameters --------------------------------- *)
 
 let tuner () =
@@ -1033,7 +1165,7 @@ let () =
       ("table1", table1 ?pool);
       ("table2", table2 ?pool); ("table3", table3 ?pool);
       ("tables", tables ?pool); ("scaling", scaling);
-      ("exhaust", exhaust_bench); ("tuner", tuner);
+      ("exhaust", exhaust_bench); ("absint", absint_bench); ("tuner", tuner);
       ("table4", table45); ("table5", table45);
       ("table6", table6 ?pool ~quick); ("table7", table7);
       ("ablation", ablation ?pool ~quick);

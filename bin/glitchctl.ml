@@ -558,7 +558,19 @@ let lint_cmd =
              Error-severity audit findings (exit 3); a clean report here \
              means the audit itself is broken.")
   in
-  let run file config sensitive json cfcss exhaust sabotage_cfi jobs =
+  let absint =
+    Arg.(
+      value & flag
+      & info [ "absint" ]
+          ~doc:
+            "Re-grade the structural guard audit with the abstract \
+             fault-flow prover: a guard whose faulted continuations \
+             provably all end in detection is downgraded even without a \
+             duplicate, a structurally protected guard with a proven \
+             deterministic escape is upgraded to an error, and the \
+             prover's findings are merged into the report.")
+  in
+  let run file config sensitive json cfcss exhaust sabotage_cfi absint jobs =
     if sabotage_cfi then begin
       Resistor.Sigcfi.disable_checks := true;
       Resistor.Domains.disable_checks := true
@@ -597,6 +609,17 @@ let lint_cmd =
     match target () with
     | target ->
       let report = Analysis.Lint.run target in
+      let report =
+        if not absint then report
+        else
+          let prove =
+            Absint.Prove.run ?config:target.Analysis.Lint.config
+              ?reports:target.Analysis.Lint.reports
+              ?modul:target.Analysis.Lint.modul target.Analysis.Lint.image
+          in
+          { report with
+            Analysis.Lint.diags = Absint.Prove.refine_lint report prove }
+      in
       let agreement =
         if not exhaust then None
         else
@@ -604,12 +627,14 @@ let lint_cmd =
             Exhaust.Campaign.spec_of_image ~name:(Filename.basename file)
               target.Analysis.Lint.image
           in
+          let config = Exhaust.Campaign.default_config () in
           let result =
-            with_jobs jobs (fun pool ->
-                Exhaust.Campaign.run ?pool spec
-                  (Exhaust.Campaign.default_config ()))
+            with_jobs jobs (fun pool -> Exhaust.Campaign.run ?pool spec config)
           in
-          Some (Exhaust.Agreement.of_result report.Analysis.Lint.surface result)
+          let baseline, _stop = Exhaust.Campaign.baseline spec config in
+          Some
+            (Exhaust.Agreement.of_result ~baseline
+               report.Analysis.Lint.surface result)
       in
       (match (json, agreement) with
       | true, None -> print_endline (Analysis.Lint.to_json report)
@@ -650,7 +675,55 @@ let lint_cmd =
          :: Cmd.Exit.defaults))
     Term.(
       const run $ file $ config_arg $ sensitive_arg $ json $ cfcss $ exhaust
-      $ sabotage_cfi $ jobs_arg ())
+      $ sabotage_cfi $ absint $ jobs_arg ())
+
+(* --- prove ------------------------------------------------------------------------ *)
+
+let prove_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let run file config sensitive json =
+    match
+      Resistor.Driver.compile (with_sensitive config sensitive) (read_file file)
+    with
+    | compiled ->
+      let report =
+        Absint.Prove.run ~config:compiled.Resistor.Driver.config
+          ~reports:compiled.reports ~modul:compiled.modul compiled.image
+      in
+      if json then print_endline (Absint.Prove.to_json report)
+      else Fmt.pr "%a" Absint.Prove.pp report;
+      if Absint.Prove.errors report <> [] then exit_findings else 0
+    | exception Minic.Parser.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Parser.pp_error e;
+      exit_input
+    | exception Minic.Sema.Error e ->
+      Fmt.epr "%s: %a@." file Minic.Sema.pp_error e;
+      exit_input
+    | exception Lower.Layout.Error e ->
+      Fmt.epr "%s: %a@." file Lower.Layout.pp_error e;
+      exit_input
+    | exception Lower.Codegen.Error e ->
+      Fmt.epr "%s: %a@." file Lower.Codegen.pp_error e;
+      exit_input
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Abstract-interpretation fault-flow audit of a Mini-C firmware \
+          (compiled with $(b,--defenses)): for every conditional branch the \
+          pristine run reaches, explore the direction-flipped continuation \
+          and prove it detected/crashed, or exhibit an escape witness. \
+          Error-severity escapes exit 3; a fully proven build exits 0."
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"when no deterministic escape was found."
+         :: Cmd.Exit.info exit_input ~doc:"on unparsable or invalid input."
+         :: Cmd.Exit.info exit_findings
+              ~doc:"on a deterministic escape witness (Error severity)."
+         :: Cmd.Exit.defaults))
+    Term.(const run $ file $ config_arg $ sensitive_arg $ json)
 
 (* --- exhaust ---------------------------------------------------------------------- *)
 
@@ -685,15 +758,18 @@ let exhaust_mode_arg =
           "transient: execute the perturbed word once, flash untouched; \
            persistent: write it to flash before the fetch.")
 
-let exhaust_config mode max_trace cycles =
+let exhaust_config ?(static = false) ?settle mode max_trace cycles =
   { (Exhaust.Campaign.default_config ()) with
     Exhaust.Campaign.mode;
     max_trace;
-    cycles }
+    cycles;
+    settle_steps = settle;
+    static_prune = static }
 
-let run_exhaust ~label compiled mode max_trace cycles jobs cache_dir =
+let run_exhaust ?static ?settle ~label compiled mode max_trace cycles jobs
+    cache_dir =
   let spec = Exhaust.Campaign.spec_of_image ~name:label compiled.Resistor.Driver.image in
-  let config = exhaust_config mode max_trace cycles in
+  let config = exhaust_config ?static ?settle mode max_trace cycles in
   with_jobs jobs (fun pool ->
       let cache = Option.map Cache.open_dir cache_dir in
       let (result, hit), perf =
@@ -705,6 +781,7 @@ let run_exhaust ~label compiled mode max_trace cycles jobs cache_dir =
           Stats.Perf.items = result.Exhaust.Campaign.points }
         |> Stats.Perf.with_pruned ~executed:result.Exhaust.Campaign.executed
              ~pruned:result.Exhaust.Campaign.pruned
+             ~static_pruned:result.Exhaust.Campaign.static_pruned
       in
       (result, hit, perf))
 
@@ -752,7 +829,10 @@ let pp_exhaust_result ppf (r : Exhaust.Campaign.result) =
     "%d faulted at the injected step; continuations: %d executed, %d pruned \
      (%.1f%% shared)@."
     r.faulted r.executed r.pruned
-    (100. *. Exhaust.Campaign.prune_rate r)
+    (100. *. Exhaust.Campaign.prune_rate r);
+  if r.static_pruned > 0 then
+    Fmt.pf ppf "static pre-pruner: %d points proven without emulation@."
+      r.static_pruned
 
 let exhaust_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -765,13 +845,36 @@ let exhaust_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON on stdout.")
   in
-  let run file config sensitive mode max_trace cycles json jobs cache_dir =
+  let static =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Pre-prune injection points with the abstract fault-flow prover: \
+             points whose damage provably dies before the trace window ends \
+             are classified without emulation. Verdict tables are \
+             bit-identical either way; the soundness differential is \
+             enforced by $(b,glitchctl fuzz --properties absint).")
+  in
+  let settle =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "settle" ] ~docv:"N"
+          ~doc:
+            "Continuation budget after the injected step (default: \
+             auto-derived from the baseline). A budget below the trace \
+             window is what lets the static pre-pruner cover \
+             non-terminating baselines.")
+  in
+  let run file config sensitive mode max_trace cycles json static settle jobs
+      cache_dir =
     let config = with_sensitive config sensitive in
     match Resistor.Driver.compile config (read_file file) with
     | compiled ->
       let result, hit, perf =
-        run_exhaust ~label:(Filename.basename file) compiled mode max_trace
-          cycles jobs cache_dir
+        run_exhaust ~static ?settle ~label:(Filename.basename file) compiled
+          mode max_trace cycles jobs cache_dir
       in
       if json then print_endline (Exhaust.Campaign.to_json result)
       else begin
@@ -805,7 +908,8 @@ let exhaust_cmd =
           tables are bit-identical at any $(b,--jobs).")
     Term.(
       const run $ file $ config_arg $ sensitive_arg $ exhaust_mode_arg
-      $ max_trace $ cycles_arg $ json $ jobs_arg () $ cache_dir_arg)
+      $ max_trace $ cycles_arg $ json $ static $ settle $ jobs_arg ()
+      $ cache_dir_arg)
 
 (* --- fuzz ------------------------------------------------------------------------- *)
 
@@ -835,7 +939,7 @@ let fuzz_cmd =
       & info [ "properties" ] ~docv:"LIST"
           ~doc:
             "Comma-separated family subset: roundtrip, semantics, efficacy, \
-             static-dynamic.")
+             static-dynamic, absint.")
   in
   let sabotage =
     Arg.(
@@ -844,6 +948,16 @@ let fuzz_cmd =
           ~doc:
             "Negative control: disable the complemented re-check in the \
              Branches/Loops passes. The efficacy family must then fail.")
+  in
+  let sabotage_absint =
+    Arg.(
+      value & flag
+      & info [ "sabotage-absint" ]
+          ~doc:
+            "Negative control: break the abstract interpreter's fault-taint \
+             transfer function so it claims agreement without tracking \
+             flows. The absint family's soundness differential must then \
+             fail; a green run here means the differential is vacuous.")
   in
   let replay =
     Arg.(
@@ -862,7 +976,8 @@ let fuzz_cmd =
              generator drifting into a precondition desert would otherwise \
              \"pass\" while exercising nothing.")
   in
-  let run count seed corpus properties sabotage replay max_skip_rate =
+  let run count seed corpus properties sabotage sabotage_absint replay
+      max_skip_rate =
     match replay with
     | Some path -> (
       match Gen.Corpus.load path with
@@ -913,10 +1028,12 @@ let fuzz_cmd =
             Random.self_init ();
             Random.int 0x3FFFFFFF
         in
-        Fmt.pr "fuzz: seed %d, %d program(s) per family%s@." seed count
-          (if sabotage then " [sabotaged complement check]" else "");
+        Fmt.pr "fuzz: seed %d, %d program(s) per family%s%s@." seed count
+          (if sabotage then " [sabotaged complement check]" else "")
+          (if sabotage_absint then " [sabotaged abstract interpreter]" else "");
         let summary =
-          Gen.Fuzz.run ~dir:corpus ~families ~sabotage ~count ~seed ()
+          Gen.Fuzz.run ~dir:corpus ~families ~sabotage ~sabotage_absint ~count
+            ~seed ()
         in
         List.iter
           (fun (r : Gen.Fuzz.family_run) ->
@@ -963,8 +1080,8 @@ let fuzz_cmd =
               ~doc:"on a property failure or a skip-rate breach."
          :: Cmd.Exit.defaults))
     Term.(
-      const run $ count $ seed $ corpus $ properties $ sabotage $ replay
-      $ max_skip_rate)
+      const run $ count $ seed $ corpus $ properties $ sabotage
+      $ sabotage_absint $ replay $ max_skip_rate)
 
 (* --- serve ----------------------------------------------------------------------- *)
 
@@ -1008,7 +1125,8 @@ let () =
   let group =
     Cmd.group info
       [ asm_cmd; disasm_cmd; run_cmd; emulate_cmd; compile_cmd; attack_cmd;
-        table_cmd; tune_cmd; lint_cmd; exhaust_cmd; fuzz_cmd; serve_cmd ]
+        table_cmd; tune_cmd; lint_cmd; prove_cmd; exhaust_cmd; fuzz_cmd;
+        serve_cmd ]
   in
   exit
     (match Cmd.eval_value group with

@@ -1,0 +1,201 @@
+(* Abstract machine state for the whole-image fault-flow explorer: 16
+   registers and 4 flags as value sets, plus a word-granular map over
+   SRAM. The map starts from the linked image's initial memory (.data
+   initialisers, zeroed .bss), so an exploration from reset tracks the
+   firmware's globals concretely; an absent address means "any word"
+   (stack slots before their first store, device registers, havoced
+   regions).
+
+   States are compared with [leq] (pointwise subset) for subsumption
+   and combined with [widen] at re-visited program points; both respect
+   the map's Top-when-absent convention, so dropping a key is always a
+   sound way to lose precision. *)
+
+module Imap = Map.Make (Int)
+
+type flags = { n : Dom.vset; z : Dom.vset; c : Dom.vset; v : Dom.vset }
+
+type t = {
+  regs : Dom.aval array;  (** r0..r15; r15 is tracked by the explorer *)
+  flags : flags;
+  mem : Dom.aval Imap.t;  (** word-aligned address -> value; absent = Top *)
+  forks : int;  (** speculative branch decisions taken on this path *)
+}
+
+let bool_top = Dom.of_list [ 0; 1 ]
+let flags_top = { n = bool_top; z = bool_top; c = bool_top; v = bool_top }
+
+let copy st = { st with regs = Array.copy st.regs }
+
+let get st r = st.regs.(Thumb.Reg.to_int r)
+let set st r v = st.regs.(Thumb.Reg.to_int r) <- v
+
+(* --- initial memory ------------------------------------------------------ *)
+
+let word_aligned a = a land lnot 3
+
+let initial_mem (image : Lower.Layout.image) =
+  let add_section m (s : Lower.Layout.section) =
+    let rec go m a =
+      if a >= s.base + s.size then m
+      else go (Imap.add a (Dom.av_const 0) m) (a + 4)
+    in
+    go m s.base
+  in
+  let m = add_section (add_section Imap.empty image.data) image.bss in
+  List.fold_left
+    (fun m (a, v) -> Imap.add (word_aligned a) (Dom.av_const v) m)
+    m image.data_init
+
+let init (image : Lower.Layout.image) =
+  let regs = Array.make 16 Dom.av_top in
+  regs.(13) <- Dom.av_const image.stack_top;
+  { regs; flags = flags_top; mem = initial_mem image; forks = 0 }
+
+(* --- flash reads --------------------------------------------------------- *)
+
+let flash_halfword (image : Lower.Layout.image) addr =
+  let i = (addr - image.text.base) / 2 in
+  if addr land 1 = 0 && i >= 0 && i < Array.length image.words then
+    Some image.words.(i)
+  else None
+
+let flash_word image addr =
+  match (flash_halfword image addr, flash_halfword image (addr + 2)) with
+  | Some lo, Some hi -> Some (lo lor (hi lsl 16))
+  | _ -> None
+
+let in_flash (image : Lower.Layout.image) addr =
+  addr >= image.text.base && addr < image.text.base + image.text.size
+
+let in_sram addr =
+  addr >= Lower.Layout.sram_base
+  && addr < Lower.Layout.sram_base + Lower.Layout.sram_size
+
+(* --- memory access (word granularity; addr must be a singleton) ---------- *)
+
+let load_word image st addr =
+  if in_flash image addr then
+    match flash_word image addr with
+    | Some w -> Dom.av_const w
+    | None -> Dom.av_top
+  else if in_sram addr then
+    match Imap.find_opt (word_aligned addr) st.mem with
+    | Some v -> v
+    | None -> Dom.av_top
+  else Dom.av_top
+
+let store_word st addr v =
+  if in_sram addr then { st with mem = Imap.add (word_aligned addr) v st.mem }
+  else st (* flash / device stores don't enter the tracked map *)
+
+let havoc_mem st = { st with mem = Imap.empty }
+
+(* --- lattice ------------------------------------------------------------- *)
+
+let flags_leq a b =
+  Dom.subset a.n b.n && Dom.subset a.z b.z && Dom.subset a.c b.c
+  && Dom.subset a.v b.v
+
+let leq a b =
+  (* b over-approximates a: registers and flags pointwise, and every
+     constraint b keeps on memory is implied by a *)
+  let regs_ok = ref true in
+  for i = 0 to 15 do
+    if
+      not
+        (Dom.subset a.regs.(i).Dom.v b.regs.(i).Dom.v
+        && (a.regs.(i).Dom.t = Dom.Clean || b.regs.(i).Dom.t = Dom.Tainted))
+    then regs_ok := false
+  done;
+  !regs_ok && flags_leq a.flags b.flags
+  && Imap.for_all
+       (fun addr bv ->
+         match Imap.find_opt addr a.mem with
+         | Some av -> Dom.subset av.Dom.v bv.Dom.v
+         | None -> Dom.is_top bv.Dom.v)
+       b.mem
+
+let widen_flags a b =
+  { n = Dom.widen a.n b.n;
+    z = Dom.widen a.z b.z;
+    c = Dom.widen a.c b.c;
+    v = Dom.widen a.v b.v }
+
+let widen a b =
+  let regs = Array.init 16 (fun i -> Dom.av_widen a.regs.(i) b.regs.(i)) in
+  let mem =
+    (* keep only addresses constrained in both, widened *)
+    Imap.merge
+      (fun _ x y ->
+        match (x, y) with Some x, Some y -> Some (Dom.av_widen x y) | _ -> None)
+      a.mem b.mem
+  in
+  { regs; flags = widen_flags a.flags b.flags; mem;
+    forks = max a.forks b.forks }
+
+(* --- conditions ---------------------------------------------------------- *)
+
+let has n s = Dom.mem n s
+
+(* Possible outcomes of a condition under the current flag sets; the
+   correlation between flags is not tracked, so a compound condition
+   over imprecise flags reports both. *)
+let cond_outcomes fl (c : Thumb.Instr.cond) =
+  let may_t, may_f =
+    match c with
+    | Thumb.Instr.EQ -> (has 1 fl.z, has 0 fl.z)
+    | NE -> (has 0 fl.z, has 1 fl.z)
+    | CS -> (has 1 fl.c, has 0 fl.c)
+    | CC -> (has 0 fl.c, has 1 fl.c)
+    | MI -> (has 1 fl.n, has 0 fl.n)
+    | PL -> (has 0 fl.n, has 1 fl.n)
+    | VS -> (has 1 fl.v, has 0 fl.v)
+    | VC -> (has 0 fl.v, has 1 fl.v)
+    | HI -> (has 1 fl.c && has 0 fl.z, has 0 fl.c || has 1 fl.z)
+    | LS -> (has 0 fl.c || has 1 fl.z, has 1 fl.c && has 0 fl.z)
+    | GE ->
+      ( (has 0 fl.n && has 0 fl.v) || (has 1 fl.n && has 1 fl.v),
+        (has 0 fl.n && has 1 fl.v) || (has 1 fl.n && has 0 fl.v) )
+    | LT ->
+      ( (has 0 fl.n && has 1 fl.v) || (has 1 fl.n && has 0 fl.v),
+        (has 0 fl.n && has 0 fl.v) || (has 1 fl.n && has 1 fl.v) )
+    | GT ->
+      ( has 0 fl.z && ((has 0 fl.n && has 0 fl.v) || (has 1 fl.n && has 1 fl.v)),
+        has 1 fl.z || (has 0 fl.n && has 1 fl.v) || (has 1 fl.n && has 0 fl.v)
+      )
+    | LE ->
+      ( has 1 fl.z || (has 0 fl.n && has 1 fl.v) || (has 1 fl.n && has 0 fl.v),
+        has 0 fl.z && ((has 0 fl.n && has 0 fl.v) || (has 1 fl.n && has 1 fl.v))
+      )
+  in
+  (may_t, may_f)
+
+(* Refine the flag sets with "condition [c] evaluated to [holds]" —
+   only single-flag conditions carry a usable refinement; the rest
+   return the state unchanged (sound). *)
+let refine_cond st (c : Thumb.Instr.cond) holds =
+  let one = Dom.const 1 and zero = Dom.const 0 in
+  let fl = st.flags in
+  let fl =
+    match (c, holds) with
+    | Thumb.Instr.EQ, true | NE, false -> { fl with z = one }
+    | EQ, false | NE, true -> { fl with z = zero }
+    | CS, true | CC, false -> { fl with c = one }
+    | CS, false | CC, true -> { fl with c = zero }
+    | MI, true | PL, false -> { fl with n = one }
+    | MI, false | PL, true -> { fl with n = zero }
+    | VS, true | VC, false -> { fl with v = one }
+    | VS, false | VC, true -> { fl with v = zero }
+    | (HI | LS | GE | LT | GT | LE), _ -> fl
+  in
+  { st with flags = fl }
+
+let pp ppf st =
+  Fmt.pf ppf "regs:";
+  Array.iteri
+    (fun i a ->
+      if not (Dom.is_top a.Dom.v) then Fmt.pf ppf " r%d=%a" i Dom.pp_aval a)
+    st.regs;
+  Fmt.pf ppf " z=%a n=%a" Dom.pp st.flags.z Dom.pp st.flags.n;
+  Fmt.pf ppf " mem:%d words" (Imap.cardinal st.mem)

@@ -1,0 +1,134 @@
+(* The abstract domain: small value sets with widening, the two-point
+   fault-taint lattice, and abstract values carrying a value number so
+   flag provenance survives spills and reloads.
+
+   A value set is either Top (any 32-bit word) or a sorted array of at
+   most [max_card] distinct words. Bottom is the empty set: the value
+   of an expression on an unreachable path. Join is set union with a
+   cardinality cap; widening only ever grows a set, so any ascending
+   chain stabilises after at most [max_card] growths before collapsing
+   to Top — the termination argument the lattice-law tests pin. *)
+
+let max_card = 8
+
+type vset = Top | Set of int array
+
+let bot = Set [||]
+let top = Top
+
+let norm l =
+  let l = List.sort_uniq compare l in
+  if List.length l > max_card then Top else Set (Array.of_list l)
+
+let const n = Set [| n land 0xFFFFFFFF |]
+let of_list l = norm (List.map (fun n -> n land 0xFFFFFFFF) l)
+
+let is_bot = function Set [||] -> true | _ -> false
+let is_top = function Top -> true | _ -> false
+
+let mem n = function
+  | Top -> true
+  | Set a -> Array.exists (( = ) n) a
+
+let singleton = function Set [| n |] -> Some n | _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Top, Top -> true
+  | Set x, Set y -> x = y
+  | _ -> false
+
+let subset a b =
+  match (a, b) with
+  | _, Top -> true
+  | Top, _ -> false
+  | Set x, Set y -> Array.for_all (fun n -> Array.exists (( = ) n) y) x
+
+let join a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Set x, Set y -> norm (Array.to_list x @ Array.to_list y)
+
+(* Widening: keep [a] when nothing new arrived; otherwise take the join
+   (strictly larger, cardinality-capped). Chains a ⊑ widen a b ⊑ ... can
+   grow at most [max_card] times before the cap forces Top. *)
+let widen a b = if subset b a then a else join a b
+
+let lift1 f = function
+  | Top -> Top
+  | Set a -> norm (List.map (fun x -> f x land 0xFFFFFFFF) (Array.to_list a))
+
+let lift2 f a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Set [||], _ | _, Set [||] -> bot
+  | Set x, Set y ->
+    if Array.length x * Array.length y > 64 then Top
+    else
+      norm
+        (List.concat_map
+           (fun a ->
+             List.map (fun b -> f a b land 0xFFFFFFFF) (Array.to_list y))
+           (Array.to_list x))
+
+let pp ppf = function
+  | Top -> Fmt.string ppf "T"
+  | Set [||] -> Fmt.string ppf "_"
+  | Set a ->
+    Fmt.pf ppf "{%s}"
+      (String.concat ","
+         (List.map (Printf.sprintf "0x%x") (Array.to_list a)))
+
+(* --- taint -------------------------------------------------------------- *)
+
+type taint = Clean | Tainted
+
+let tjoin a b = if a = Tainted || b = Tainted then Tainted else Clean
+let is_tainted t = t = Tainted
+
+(* --- abstract values ---------------------------------------------------- *)
+
+(* A value number identifies "the same runtime value" across copies:
+   spilling a register and reloading it yields the same [sym], which is
+   what lets a complemented re-check be tied back to the guard it
+   shadows. Arithmetic produces fresh numbers (or none). *)
+type operand_id = Sym of int | Const of int
+
+type aval = { v : vset; t : taint; sym : int option }
+
+let av ?sym ?(t = Clean) v = { v; t; sym }
+let av_top = { v = Top; t = Clean; sym = None }
+let av_tainted = { v = Top; t = Tainted; sym = None }
+let av_const n = { v = const n; t = Clean; sym = None }
+
+let sym_counter = ref 0
+
+let fresh_sym () =
+  incr sym_counter;
+  !sym_counter
+
+let with_fresh_sym a = { a with sym = Some (fresh_sym ()) }
+
+let operand_of a =
+  match singleton a.v with
+  | Some n -> Some (Const n)
+  | None -> ( match a.sym with Some s -> Some (Sym s) | None -> None)
+
+let av_join a b =
+  { v = join a.v b.v;
+    t = tjoin a.t b.t;
+    sym = (match (a.sym, b.sym) with
+          | Some x, Some y when x = y -> Some x
+          | _ -> None) }
+
+let av_widen a b =
+  { v = widen a.v b.v;
+    t = tjoin a.t b.t;
+    sym = (match (a.sym, b.sym) with
+          | Some x, Some y when x = y -> Some x
+          | _ -> None) }
+
+let av_equal a b = equal a.v b.v && a.t = b.t && a.sym = b.sym
+
+let pp_aval ppf a =
+  Fmt.pf ppf "%a%s" pp a.v (if a.t = Tainted then "!" else "")

@@ -1,0 +1,621 @@
+(* The bounded abstract explorer: execute the recovered CFG over
+   {!Astate} with a worklist, widening at every revisited (address,
+   call-stack) pair so any loop stabilises, and classify how each path
+   ends. Two modes share the engine:
+
+   - reach mode ([sinks = false]) walks the pristine firmware from
+     reset and records the joined abstract state at every conditional
+     branch — the input the direction-flip prover starts from;
+   - scenario mode ([sinks = true]) walks a faulted continuation and
+     reports terminals: detection (a call into the [__gr_detected]
+     handler or a store to the detection counter), silent escape (an
+     observable user global is stored, the faulted region returns, or
+     the firmware halts normally), crash (trap, undefined encoding), or
+     unresolved (budget exhausted, computed flow the analysis cannot
+     follow).
+
+   Everything here over-approximates: extra paths cost precision (a
+   "proven" claim degrades to "unproven"), never soundness. *)
+
+type ctx = {
+  image : Lower.Layout.image;
+  insns : (int, Analysis.Cfg.insn) Hashtbl.t;
+  detect_counter : int option;  (** [__gr_detect_count] word address *)
+  detect_entry : int option;  (** [__gr_detected] entry address *)
+  observable : (int * string) list;  (** user-global word address -> name *)
+}
+
+(* Runtime bookkeeping globals — the detection counter, sigcfi/domains
+   state, integrity shadows — are not attacker-observable outputs; only
+   the program's own globals are. Shadows are named [g ^ "__integrity"],
+   so the prefix test alone does not exclude them. *)
+let internal_global name =
+  (String.length name >= 2 && String.sub name 0 2 = "__")
+  || Filename.check_suffix name "__integrity"
+
+let create (image : Lower.Layout.image) =
+  let cfg = Analysis.Cfg.of_image image in
+  let insns = Hashtbl.create 512 in
+  List.iter
+    (fun (i : Analysis.Cfg.insn) -> Hashtbl.replace insns i.addr i)
+    (Analysis.Cfg.reachable_insns cfg);
+  ( cfg,
+    { image;
+      insns;
+      detect_counter =
+        List.assoc_opt "__gr_detect_count" image.global_addrs
+        |> Option.map Astate.word_aligned;
+      detect_entry = List.assoc_opt "__gr_detected" image.symbols;
+      observable =
+        List.filter_map
+          (fun (name, addr) ->
+            if internal_global name then None
+            else Some (Astate.word_aligned addr, name))
+          image.global_addrs } )
+
+(* --- value helpers ------------------------------------------------------- *)
+
+let mask32 v = v land 0xFFFFFFFF
+let bit31 v = v land 0x80000000 <> 0
+let sign32 v = if bit31 v then v lor lnot 0xFFFFFFFF else v
+
+let bool_set b = Dom.const (if b then 1 else 0)
+
+let nz_of (rv : Dom.vset) =
+  ( Dom.lift1 (fun r -> (r lsr 31) land 1) rv,
+    Dom.lift1 (fun r -> if r = 0 then 1 else 0) rv )
+
+let with_nz st (rv : Dom.vset) =
+  let n, z = nz_of rv in
+  { st with Astate.flags = { st.Astate.flags with n; z } }
+
+(* a + b + cin with full NZCV, mirroring Exec.add_with_carry — exact
+   C/V only when every input is a singleton, Top otherwise. *)
+let add_with_carry st av bv (cin : Dom.vset) =
+  let sum c = Dom.lift2 (fun a b -> a + b + c) av bv in
+  let rv =
+    match Dom.singleton cin with
+    | Some c -> sum c
+    | None -> Dom.join (sum 0) (sum 1)
+  in
+  let c, v =
+    match (Dom.singleton av, Dom.singleton bv, Dom.singleton cin) with
+    | Some a, Some b, Some cin ->
+      let wide = a + b + cin in
+      let r = mask32 wide in
+      ( bool_set (wide > 0xFFFFFFFF),
+        bool_set (bit31 (lnot (a lxor b) land (a lxor r))) )
+    | _ -> (Astate.bool_top, Astate.bool_top)
+  in
+  let n, z = nz_of rv in
+  (rv, { st with Astate.flags = { n; z; c; v } })
+
+let adds st av bv = add_with_carry st av bv (Dom.const 0)
+
+let subs st av bv =
+  add_with_carry st av (Dom.lift1 (fun b -> lnot b) bv) (Dom.const 1)
+
+(* shift-by-immediate, with the architectural amount-0 special cases *)
+let shift_imm_value (op : Thumb.Instr.shift_op) v amount =
+  match (op, amount) with
+  | Thumb.Instr.Lsl, 0 -> v
+  | Lsl, n -> v lsl n
+  | Lsr, 0 -> 0
+  | Lsr, n -> v lsr n
+  | Asr, 0 -> if bit31 v then 0xFFFFFFFF else 0
+  | Asr, n -> sign32 v asr n
+
+let shift_imm_carry (op : Thumb.Instr.shift_op) v amount =
+  match (op, amount) with
+  | Thumb.Instr.Lsl, 0 -> None (* carry unchanged *)
+  | Lsl, n -> Some (v land (1 lsl (32 - n)) <> 0)
+  | Lsr, 0 | Asr, 0 -> Some (bit31 v)
+  | Lsr, n | Asr, n -> Some (v land (1 lsl (n - 1)) <> 0)
+
+let shift_reg_value (op : Thumb.Instr.alu_op) v amt =
+  let amt = amt land 0xFF in
+  if amt = 0 then v
+  else
+    match op with
+    | Thumb.Instr.LSLr -> if amt < 32 then mask32 (v lsl amt) else 0
+    | LSRr -> if amt < 32 then v lsr amt else 0
+    | ASRr ->
+      if amt < 32 then mask32 (sign32 v asr amt)
+      else if bit31 v then 0xFFFFFFFF
+      else 0
+    | _ ->
+      (* ROR *)
+      let n = amt land 31 in
+      if n = 0 then v else mask32 ((v lsr n) lor (v lsl (32 - n)))
+
+(* --- stepping ------------------------------------------------------------ *)
+
+type step =
+  | Fall of Astate.t
+  | Goto of Astate.t * int
+  | Branch of { cond : Thumb.Instr.cond; taken : int; fall : int }
+  | Call of { st : Astate.t; callee : int; ret : int }
+  | Exit of Astate.t * Dom.vset  (** bx / pop pc / mov pc: target value *)
+  | Halted
+  | Trapped
+  | Undef
+  | Stuck of string
+
+type event = Detect_store | Observable_store of string
+
+exception Stuck_exn of string
+
+let addr_singleton what (v : Dom.vset) =
+  match Dom.singleton v with
+  | Some a -> a
+  | None -> raise (Stuck_exn (what ^ " with an unresolved address"))
+
+let low_regs rlist =
+  List.filter
+    (fun i -> rlist land 0xFF land (1 lsl i) <> 0)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+(* Word-container read-modify-write for byte/halfword stores. *)
+let store_sub ctx st addr width value =
+  let base = Astate.word_aligned addr in
+  let old = Astate.load_word ctx.image st base in
+  let merged =
+    match (Dom.singleton old.Dom.v, Dom.singleton value.Dom.v) with
+    | Some w, Some v ->
+      let shift = (addr - base) * 8 in
+      let m = ((1 lsl width) - 1) lsl shift in
+      Dom.av_const (w land lnot m lor ((v lsl shift) land m))
+    | _ -> { Dom.av_top with Dom.t = Dom.tjoin old.Dom.t value.Dom.t }
+  in
+  Astate.store_word st base merged
+
+let load_sub ctx st addr width ~signed =
+  let base = Astate.word_aligned addr in
+  let w = Astate.load_word ctx.image st base in
+  match Dom.singleton w.Dom.v with
+  | Some word ->
+    let shift = (addr - base) * 8 in
+    let raw = (word lsr shift) land ((1 lsl width) - 1) in
+    Dom.av_const
+      (if signed && raw land (1 lsl (width - 1)) <> 0 then
+         mask32 (raw lor lnot ((1 lsl width) - 1))
+       else raw)
+  | None -> { Dom.av_top with Dom.t = w.Dom.t }
+
+(* A store to the detection counter is a defense success; a store to a
+   user-visible global is a silent-escape sink (in scenario mode). *)
+let store_events ctx addr =
+  let base = Astate.word_aligned addr in
+  if ctx.detect_counter = Some base then [ Detect_store ]
+  else
+    match List.assoc_opt base ctx.observable with
+    | Some name -> [ Observable_store name ]
+    | None -> []
+
+(* One instruction. Registers are mutated through the state's shared
+   array — the caller owns a fresh copy per dequeued path. *)
+let step_insn ctx st (insn : Analysis.Cfg.insn) : event list * step =
+  let addr = insn.addr in
+  let rdv r =
+    if Thumb.Reg.equal r Thumb.Reg.pc then Dom.av_const (addr + 4)
+    else Astate.get st r
+  in
+  let setr st r v =
+    Astate.set st r v;
+    st
+  in
+  let fall st = ([], Fall st) in
+  let store_full st a value =
+    ( store_events ctx a,
+      Fall (if Astate.in_sram a then Astate.store_word st a value else st) )
+  in
+  let store_narrow st a width value =
+    (store_events ctx a, Fall (store_sub ctx st a width value))
+  in
+  let load_into st rd (av : Dom.vset) ~width ~signed =
+    match Dom.singleton av with
+    | Some a ->
+      let v =
+        if width < 32 then load_sub ctx st a width ~signed
+        else Astate.load_word ctx.image st a
+      in
+      fall (setr st rd v)
+    | None -> fall (setr st rd Dom.av_top)
+  in
+  try
+    match insn.instr with
+    | Thumb.Instr.Shift (op, rd, rs, imm) ->
+      let a = rdv rs in
+      let rv = Dom.lift1 (fun x -> shift_imm_value op x imm) a.Dom.v in
+      let st = with_nz st rv in
+      let st =
+        match Dom.singleton a.Dom.v with
+        | Some x -> (
+          match shift_imm_carry op x imm with
+          | Some c ->
+            { st with Astate.flags = { st.Astate.flags with c = bool_set c } }
+          | None -> st)
+        | None ->
+          if op = Thumb.Instr.Lsl && imm = 0 then st
+          else
+            { st with
+              Astate.flags = { st.Astate.flags with c = Astate.bool_top } }
+      in
+      fall (setr st rd { a with Dom.v = rv; sym = None })
+    | Add_sub { sub; imm; rd; rs; operand } ->
+      let a = rdv rs in
+      let b =
+        if imm then Dom.av_const operand else rdv (Thumb.Reg.of_int operand)
+      in
+      let rv, st =
+        if sub then subs st a.Dom.v b.Dom.v else adds st a.Dom.v b.Dom.v
+      in
+      fall (setr st rd (Dom.av ~t:(Dom.tjoin a.Dom.t b.Dom.t) rv))
+    | Imm (MOVi, rd, imm) ->
+      fall (setr (with_nz st (Dom.const imm)) rd (Dom.av_const imm))
+    | Imm (CMPi, rd, imm) ->
+      let _, st = subs st (rdv rd).Dom.v (Dom.const imm) in
+      fall st
+    | Imm (ADDi, rd, imm) ->
+      let a = rdv rd in
+      let rv, st = adds st a.Dom.v (Dom.const imm) in
+      fall (setr st rd { a with Dom.v = rv; sym = None })
+    | Imm (SUBi, rd, imm) ->
+      let a = rdv rd in
+      let rv, st = subs st a.Dom.v (Dom.const imm) in
+      fall (setr st rd { a with Dom.v = rv; sym = None })
+    | Alu (op, rd, rs) -> (
+      let a = rdv rd and b = rdv rs in
+      let t = Dom.tjoin a.Dom.t b.Dom.t in
+      let logic rv = fall (setr (with_nz st rv) rd (Dom.av ~t rv)) in
+      match op with
+      | AND -> logic (Dom.lift2 ( land ) a.Dom.v b.Dom.v)
+      | EOR -> logic (Dom.lift2 ( lxor ) a.Dom.v b.Dom.v)
+      | ORR -> logic (Dom.lift2 ( lor ) a.Dom.v b.Dom.v)
+      | BIC -> logic (Dom.lift2 (fun x y -> x land lnot y) a.Dom.v b.Dom.v)
+      | MVN -> logic (Dom.lift1 lnot b.Dom.v)
+      | MUL -> logic (Dom.lift2 (fun x y -> mask32 (x * y)) a.Dom.v b.Dom.v)
+      | TST -> fall (with_nz st (Dom.lift2 ( land ) a.Dom.v b.Dom.v))
+      | NEG ->
+        let rv, st = subs st (Dom.const 0) b.Dom.v in
+        fall (setr st rd (Dom.av ~t rv))
+      | CMPr ->
+        let _, st = subs st a.Dom.v b.Dom.v in
+        fall st
+      | CMN ->
+        let _, st = adds st a.Dom.v b.Dom.v in
+        fall st
+      | ADC ->
+        let rv, st = add_with_carry st a.Dom.v b.Dom.v st.Astate.flags.c in
+        fall (setr st rd (Dom.av ~t rv))
+      | SBC ->
+        let rv, st =
+          add_with_carry st a.Dom.v (Dom.lift1 lnot b.Dom.v) st.Astate.flags.c
+        in
+        fall (setr st rd (Dom.av ~t rv))
+      | LSLr | LSRr | ASRr | ROR ->
+        let rv =
+          Dom.lift2 (fun v amt -> shift_reg_value op v amt) a.Dom.v b.Dom.v
+        in
+        let st = with_nz st rv in
+        let st =
+          { st with Astate.flags = { st.Astate.flags with c = Astate.bool_top } }
+        in
+        fall (setr st rd (Dom.av ~t rv)))
+    | Hi_add (rd, rm) when Thumb.Reg.equal rd Thumb.Reg.pc ->
+      ([], Exit (st, Dom.lift2 (fun a b -> a + b) (rdv rd).Dom.v (rdv rm).Dom.v))
+    | Hi_add (rd, rm) ->
+      let rv = Dom.lift2 (fun a b -> a + b) (rdv rd).Dom.v (rdv rm).Dom.v in
+      fall (setr st rd (Dom.av rv))
+    | Hi_cmp (rd, rm) ->
+      let _, st = subs st (rdv rd).Dom.v (rdv rm).Dom.v in
+      fall st
+    | Hi_mov (rd, rm) when Thumb.Reg.equal rd Thumb.Reg.pc ->
+      ([], Exit (st, (rdv rm).Dom.v))
+    | Hi_mov (rd, rm) -> fall (setr st rd (rdv rm))
+    | Bx rm -> ([], Exit (st, (rdv rm).Dom.v))
+    | Ldr_pc (rd, imm) ->
+      let a = ((addr + 4) land lnot 3) + (imm * 4) in
+      fall (setr st rd (Astate.load_word ctx.image st a))
+    | Mem_reg { load; byte; rd; rb; ro } ->
+      let av = Dom.lift2 (fun a b -> a + b) (rdv rb).Dom.v (rdv ro).Dom.v in
+      if load then load_into st rd av ~width:(if byte then 8 else 32) ~signed:false
+      else
+        let a = addr_singleton "store" av in
+        if byte then store_narrow st a 8 (rdv rd) else store_full st a (rdv rd)
+    | Mem_sign { op; rd; rb; ro } -> (
+      let av = Dom.lift2 (fun a b -> a + b) (rdv rb).Dom.v (rdv ro).Dom.v in
+      match op with
+      | STRH ->
+        let a = addr_singleton "store" av in
+        store_narrow st a 16 (rdv rd)
+      | LDRH -> load_into st rd av ~width:16 ~signed:false
+      | LDSB -> load_into st rd av ~width:8 ~signed:true
+      | LDSH -> load_into st rd av ~width:16 ~signed:true)
+    | Mem_imm { load; byte; rd; rb; imm } ->
+      let off = if byte then imm else imm * 4 in
+      let av = Dom.lift1 (fun b -> b + off) (rdv rb).Dom.v in
+      if load then load_into st rd av ~width:(if byte then 8 else 32) ~signed:false
+      else
+        let a = addr_singleton "store" av in
+        if byte then store_narrow st a 8 (rdv rd) else store_full st a (rdv rd)
+    | Mem_half { load; rd; rb; imm } ->
+      let av = Dom.lift1 (fun b -> b + (imm * 2)) (rdv rb).Dom.v in
+      if load then load_into st rd av ~width:16 ~signed:false
+      else
+        let a = addr_singleton "store" av in
+        store_narrow st a 16 (rdv rd)
+    | Mem_sp { load; rd; imm } ->
+      let av = Dom.lift1 (fun b -> b + (imm * 4)) (rdv Thumb.Reg.sp).Dom.v in
+      if load then load_into st rd av ~width:32 ~signed:false
+      else
+        let a = addr_singleton "store" av in
+        store_full st a (rdv rd)
+    | Load_addr { from_sp; rd; imm } ->
+      let base =
+        if from_sp then (rdv Thumb.Reg.sp).Dom.v
+        else Dom.const ((addr + 4) land lnot 3)
+      in
+      fall (setr st rd (Dom.av (Dom.lift1 (fun b -> b + (imm * 4)) base)))
+    | Sp_adjust words ->
+      let sp = Dom.lift1 (fun s -> s + (words * 4)) (rdv Thumb.Reg.sp).Dom.v in
+      fall (setr st Thumb.Reg.sp (Dom.av sp))
+    | Push { rlist; lr } ->
+      let regs = low_regs rlist in
+      let count = List.length regs + if lr then 1 else 0 in
+      let sp = addr_singleton "push" (rdv Thumb.Reg.sp).Dom.v in
+      let base = mask32 (sp - (4 * count)) in
+      let st, a =
+        List.fold_left
+          (fun (st, a) r ->
+            (Astate.store_word st a (rdv (Thumb.Reg.of_int r)), a + 4))
+          (st, base) regs
+      in
+      let st = if lr then Astate.store_word st a (rdv Thumb.Reg.lr) else st in
+      fall (setr st Thumb.Reg.sp (Dom.av_const base))
+    | Pop { rlist; pc = load_pc } ->
+      let regs = low_regs rlist in
+      let base = addr_singleton "pop" (rdv Thumb.Reg.sp).Dom.v in
+      let st, a =
+        List.fold_left
+          (fun (st, a) r ->
+            ( setr st (Thumb.Reg.of_int r) (Astate.load_word ctx.image st a),
+              a + 4 ))
+          (st, base) regs
+      in
+      if load_pc then
+        let target = Astate.load_word ctx.image st a in
+        ( [],
+          Exit
+            (setr st Thumb.Reg.sp (Dom.av_const (mask32 (a + 4))), target.Dom.v)
+        )
+      else fall (setr st Thumb.Reg.sp (Dom.av_const (mask32 a)))
+    | Stmia (rb, rlist) ->
+      let base = addr_singleton "stmia" (rdv rb).Dom.v in
+      let st, a =
+        List.fold_left
+          (fun (st, a) r ->
+            (Astate.store_word st a (rdv (Thumb.Reg.of_int r)), mask32 (a + 4)))
+          (st, base) (low_regs rlist)
+      in
+      fall (setr st rb (Dom.av_const a))
+    | Ldmia (rb, rlist) ->
+      let base = addr_singleton "ldmia" (rdv rb).Dom.v in
+      let st, a =
+        List.fold_left
+          (fun (st, a) r ->
+            ( setr st (Thumb.Reg.of_int r) (Astate.load_word ctx.image st a),
+              mask32 (a + 4) ))
+          (st, base) (low_regs rlist)
+      in
+      fall (setr st rb (Dom.av_const a))
+    | B_cond (cond, off) ->
+      ([], Branch { cond; taken = addr + 4 + (off * 2); fall = addr + 2 })
+    | B off -> ([], Goto (st, addr + 4 + (off * 2)))
+    | Bl_hi off -> (
+      (* the CFG folds a BL pair into its prefix insn (the suffix is
+         covered, not listed), so resolve the pair here *)
+      match
+        Option.map
+          (fun w -> Thumb.Decode.table.(w land 0xFFFF))
+          (Astate.flash_halfword ctx.image (addr + 2))
+      with
+      | Some (Thumb.Instr.Bl_lo lo) ->
+        let callee = mask32 (addr + 4 + (off lsl 12) + (lo lsl 1)) land lnot 1 in
+        ( [],
+          Call
+            { st = setr st Thumb.Reg.lr (Dom.av_const ((addr + 4) lor 1));
+              callee;
+              ret = addr + 4 } )
+      | _ ->
+        (* dangling prefix: just the architectural LR update *)
+        fall
+          (setr st Thumb.Reg.lr (Dom.av_const (mask32 (addr + 4 + (off lsl 12))))))
+    | Bl_lo off -> (
+      match Dom.singleton (rdv Thumb.Reg.lr).Dom.v with
+      | Some lr ->
+        let target = mask32 (lr + (off lsl 1)) land lnot 1 in
+        ( [],
+          Call
+            { st = setr st Thumb.Reg.lr (Dom.av_const ((addr + 2) lor 1));
+              callee = target;
+              ret = addr + 2 } )
+      | None -> ([], Stuck "bl with an unresolved high half"))
+    | Swi _ -> ([], Trapped)
+    | Bkpt _ -> ([], Halted)
+    | Undefined _ -> ([], Undef)
+  with Stuck_exn m -> ([], Stuck m)
+
+(* --- the explorer -------------------------------------------------------- *)
+
+type terminal =
+  | Detected of int
+  | Escaped of { addr : int; reason : string; forks : int }
+  | Crashed of { addr : int; reason : string }
+  | Unresolved of { addr : int; reason : string }
+
+type summary = {
+  terminals : terminal list;
+  steps_used : int;
+  complete : bool;  (** every path ended in a classified terminal *)
+}
+
+let terminal_addr = function
+  | Detected a -> a
+  | Escaped { addr; _ } | Crashed { addr; _ } | Unresolved { addr; _ } -> addr
+
+let pp_terminal ppf = function
+  | Detected a -> Fmt.pf ppf "detected@0x%x" a
+  | Escaped { addr; reason; forks } ->
+    Fmt.pf ppf "escape@0x%x (%s%s)" addr reason
+      (if forks > 0 then Fmt.str ", %d speculative branches" forks else "")
+  | Crashed { addr; reason } -> Fmt.pf ppf "crash@0x%x (%s)" addr reason
+  | Unresolved { addr; reason } -> Fmt.pf ppf "unresolved@0x%x (%s)" addr reason
+
+let max_terminals = 64
+let max_depth = 12
+
+(* Walk from [(state0, addr0)] with an empty call stack; return the
+   terminal summary and (for reach mode) the joined states observed at
+   each conditional branch, keyed by its address. *)
+let explore ctx ~sinks ~max_steps state0 addr0 =
+  let seen : (int * int list, Astate.t) Hashtbl.t = Hashtbl.create 256 in
+  let reach : (int, Astate.t) Hashtbl.t = Hashtbl.create 64 in
+  let terminals = ref [] in
+  let nterms = ref 0 in
+  let incomplete = ref false in
+  let steps = ref 0 in
+  let record t =
+    if !nterms >= max_terminals then incomplete := true
+    else begin
+      terminals := t :: !terminals;
+      incr nterms;
+      match t with Unresolved _ -> incomplete := true | _ -> ()
+    end
+  in
+  let queue = Queue.create () in
+  Queue.add (state0, addr0, []) queue;
+  while not (Queue.is_empty queue) do
+    let st, addr, stack = Queue.pop queue in
+    if !steps >= max_steps then incomplete := true
+    else begin
+      incr steps;
+      match Hashtbl.find_opt ctx.insns addr with
+      | None ->
+        if sinks then
+          record (Unresolved { addr; reason = "outside the recovered CFG" })
+        else incomplete := true
+      | Some insn -> (
+        let key = (addr, stack) in
+        let proceed =
+          match Hashtbl.find_opt seen key with
+          | Some prev when Astate.leq st prev -> None (* subsumed: cut *)
+          | Some prev ->
+            let w = Astate.widen prev st in
+            Hashtbl.replace seen key w;
+            Some w
+          | None ->
+            Hashtbl.replace seen key st;
+            Some st
+        in
+        match proceed with
+        | None -> ()
+        | Some st -> (
+          let events, s = step_insn ctx (Astate.copy st) insn in
+          if List.mem Detect_store events then begin
+            (* terminal in both modes: the defense reacted *)
+            if sinks then record (Detected addr)
+          end
+          else
+            let escape =
+              if sinks then
+                List.find_map
+                  (function Observable_store n -> Some n | _ -> None)
+                  events
+              else None
+            in
+            match escape with
+            | Some name ->
+              record
+                (Escaped
+                   { addr;
+                     reason = Fmt.str "stores to global %S" name;
+                     forks = st.Astate.forks })
+            | None -> (
+              match s with
+              | Fall st -> Queue.add (st, addr + 2, stack) queue
+              | Goto (st, t) -> Queue.add (st, t, stack) queue
+              | Branch { cond; taken; fall } ->
+                if not sinks then begin
+                  let joined =
+                    match Hashtbl.find_opt reach addr with
+                    | Some prev -> Astate.widen prev st
+                    | None -> st
+                  in
+                  Hashtbl.replace reach addr joined
+                end;
+                let may_t, may_f = Astate.cond_outcomes st.Astate.flags cond in
+                let speculative = may_t && may_f in
+                let go holds target =
+                  let st' = Astate.refine_cond (Astate.copy st) cond holds in
+                  let st' =
+                    if speculative then
+                      { st' with Astate.forks = st'.Astate.forks + 1 }
+                    else st'
+                  in
+                  Queue.add (st', target, stack) queue
+                in
+                if may_t then go true taken;
+                if may_f then go false fall
+                (* neither feasible: contradictory flags, path unreachable *)
+              | Call { st; callee; ret } ->
+                if ctx.detect_entry = Some callee then begin
+                  if sinks then record (Detected addr)
+                end
+                else if List.length stack >= max_depth then
+                  record (Unresolved { addr; reason = "call depth limit" })
+                else Queue.add (st, callee, ret :: stack) queue
+              | Exit (st, target) -> (
+                match Dom.singleton target with
+                | None ->
+                  if sinks then
+                    record
+                      (Unresolved { addr; reason = "computed branch target" })
+                  else incomplete := true
+                | Some t -> (
+                  let t = t land lnot 1 in
+                  match stack with
+                  | r :: rest when r = t -> Queue.add (st, t, rest) queue
+                  | [] ->
+                    if sinks then
+                      record
+                        (Escaped
+                           { addr;
+                             reason = "returns from the faulted region";
+                             forks = st.Astate.forks })
+                  | _ ->
+                    (* not the pending return address: follow it as a
+                       jump (tail call, computed dispatch) *)
+                    Queue.add (st, t, stack) queue))
+              | Halted ->
+                if sinks then
+                  record
+                    (Escaped
+                       { addr;
+                         reason = "halts normally with the fault in effect";
+                         forks = st.Astate.forks })
+              | Trapped ->
+                if sinks then record (Crashed { addr; reason = "swi trap" })
+              | Undef ->
+                if sinks then
+                  record (Crashed { addr; reason = "undefined instruction" })
+              | Stuck reason ->
+                if sinks then record (Unresolved { addr; reason })
+                else incomplete := true)))
+    end
+  done;
+  if !steps >= max_steps then incomplete := true;
+  ( { terminals = List.rev !terminals;
+      steps_used = !steps;
+      complete = not !incomplete },
+    reach )

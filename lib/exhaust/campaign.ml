@@ -136,6 +136,9 @@ type config = {
           [0, nverdicts) and be a pure function of the final machine
           state (it participates in state sharing) *)
   prune : bool;  (** [false] = the unpruned reference oracle *)
+  static_prune : bool;
+      (** prove continuations statically (Absint.Prune) before running
+          or sharing them; transient mode, built-in classifier only *)
   keep_points : bool;  (** retain the per-point verdict array *)
 }
 
@@ -149,6 +152,7 @@ let default_config () =
     cycles = None;
     classify = None;
     prune = true;
+    static_prune = false;
     keep_points = false }
 
 let mode_name = function Transient -> "transient" | Persistent -> "persistent"
@@ -316,6 +320,8 @@ type result = {
   faulted : int;  (** stopped at the injected step itself *)
   pruned : int;  (** continuations served by state-equivalence sharing *)
   executed : int;  (** continuations actually run *)
+  static_pruned : int;
+      (** continuations proven by the abstract fault-flow interpreter *)
   states : int;  (** distinct post-fault states (including seeds) *)
   rows : row list;  (** per-function verdict tables, address order *)
   totals : int array;
@@ -339,13 +345,13 @@ let to_json r =
       (String.escaped row.fname) row.faddr (ints row.counts)
   in
   Printf.sprintf
-    {|{"spec":"%s","mode":"%s","trace_steps":%d,"baseline_stop":%s,"settle":%d,"cycle_lo":%d,"cycle_hi":%d,"points":%d,"faulted":%d,"pruned":%d,"executed":%d,"states":%d,"prune_rate":%.6f,"verdict_names":[%s],"totals":%s,"rows":[%s]}|}
+    {|{"spec":"%s","mode":"%s","trace_steps":%d,"baseline_stop":%s,"settle":%d,"cycle_lo":%d,"cycle_hi":%d,"points":%d,"faulted":%d,"pruned":%d,"executed":%d,"static_pruned":%d,"states":%d,"prune_rate":%.6f,"verdict_names":[%s],"totals":%s,"rows":[%s]}|}
     (String.escaped r.spec_name) (mode_name r.mode) r.trace_steps
     (match r.baseline_stop with
     | None -> "null"
     | Some s -> Printf.sprintf "%S" (Fmt.str "%a" Exec.pp_stop s))
     r.settle r.cycle_lo r.cycle_hi r.points r.faulted r.pruned r.executed
-    r.states (prune_rate r)
+    r.static_pruned r.states (prune_rate r)
     (String.concat ","
        (List.map (fun v -> "\"" ^ verdict_name v ^ "\"") verdicts))
     (ints r.totals)
@@ -359,6 +365,7 @@ type shared = {
   tr : trace;
   points_per_cycle : (Glitch_emu.Fault_model.flip * int * int) array;
   keymap : Runtime.Keymap.t;
+  static_ctx : Absint.Prune.ctx option;
   sym_addrs : int array;  (** ascending *)
   sym_names : string array;
   cycle_lo : int;
@@ -381,6 +388,7 @@ type tally = {
   mutable faulted : int;
   mutable pruned : int;
   mutable executed : int;
+  mutable static_pruned : int;
 }
 
 let make_tally sh =
@@ -389,7 +397,8 @@ let make_tally sh =
     totals = Array.make nverdicts 0;
     faulted = 0;
     pruned = 0;
-    executed = 0 }
+    executed = 0;
+    static_pruned = 0 }
 
 let merge_tally dst src =
   Array.iteri
@@ -398,7 +407,8 @@ let merge_tally dst src =
   Array.iteri (fun v n -> dst.totals.(v) <- dst.totals.(v) + n) src.totals;
   dst.faulted <- dst.faulted + src.faulted;
   dst.pruned <- dst.pruned + src.pruned;
-  dst.executed <- dst.executed + src.executed
+  dst.executed <- dst.executed + src.executed;
+  dst.static_pruned <- dst.static_pruned + src.static_pruned
 
 (* Run the continuation after an injected step until it stops or the
    settle budget runs out. *)
@@ -425,10 +435,11 @@ let run_cycle sh tally rig scratch k =
   let flags = State.save_regs rig scratch in
   (* Same cycle + same perturbed word => same post-fault state: a
      per-cycle word table is the cheap front of the state-equivalence
-     memo (it never reaches the machine at all). It remembers whether
-     the first occurrence was a continuation or an immediate fault so
-     the counters stay truthful. *)
-  let word_memo : (int, int * bool) Hashtbl.t = Hashtbl.create 128 in
+     memo (it never reaches the machine at all). It remembers how the
+     first occurrence was served — immediate fault (0), continuation
+     (1), or static proof (2) — so the counters stay truthful. *)
+  let word_memo : (int, int * int) Hashtbl.t = Hashtbl.create 128 in
+  let memo_on = config.prune || config.static_prune in
   let npoints = Array.length sh.points_per_cycle in
   let base_index =
     match sh.verdicts with Some _ -> (k - sh.cycle_lo) * npoints | None -> 0
@@ -437,10 +448,11 @@ let run_cycle sh tally rig scratch k =
     let model, _bits, mask = sh.points_per_cycle.(p) in
     let w' = Glitch_emu.Fault_model.apply model ~mask w in
     let v =
-      match if config.prune then Hashtbl.find_opt word_memo w' else None with
-      | Some (v, was_continuation) ->
-        if was_continuation then tally.pruned <- tally.pruned + 1
-        else tally.faulted <- tally.faulted + 1;
+      match if memo_on then Hashtbl.find_opt word_memo w' else None with
+      | Some (v, kind) ->
+        (if kind = 1 then tally.pruned <- tally.pruned + 1
+         else if kind = 0 then tally.faulted <- tally.faulted + 1
+         else tally.static_pruned <- tally.static_pruned + 1);
         v
       | None ->
         (* inject: execute w' in place of the fetched word *)
@@ -456,42 +468,54 @@ let run_cycle sh tally rig scratch k =
             Memory.write_u16_exn mem pc w';
             exec_step ~zero_is_invalid mem cpu
         in
-        let v, was_continuation =
+        let v, kind =
           match step with
           | Exec.Stopped s ->
             (* the injected step itself faulted; no continuation *)
             tally.faulted <- tally.faulted + 1;
-            (classify_end sh.tr sh.spec.detect_addr config.classify rig s, false)
-          | Exec.Running ->
-            if config.prune then begin
-              let key = State.key rig in
-              match Runtime.Keymap.find sh.keymap key with
-              | Some v ->
-                tally.pruned <- tally.pruned + 1;
-                (v, true)
-              | None ->
+            (classify_end sh.tr sh.spec.detect_addr config.classify rig s, 0)
+          | Exec.Running -> (
+            let static_v =
+              match sh.static_ctx with
+              | Some ctx ->
+                Absint.Prune.prove ctx ~cycle:k ~base_key:sh.tr.state_keys.(k)
+                  ~fault_key:(State.key rig)
+              | None -> None
+            in
+            match static_v with
+            | Some v ->
+              tally.static_pruned <- tally.static_pruned + 1;
+              (v, 2)
+            | None ->
+              if config.prune then begin
+                let key = State.key rig in
+                match Runtime.Keymap.find sh.keymap key with
+                | Some v ->
+                  tally.pruned <- tally.pruned + 1;
+                  (v, 1)
+                | None ->
+                  let s =
+                    settle_run ~zero_is_invalid ~settle:sh.tr.settle mem cpu
+                  in
+                  let v =
+                    classify_end sh.tr sh.spec.detect_addr config.classify rig s
+                  in
+                  Runtime.Keymap.add sh.keymap key v;
+                  tally.executed <- tally.executed + 1;
+                  (v, 1)
+              end
+              else begin
                 let s =
                   settle_run ~zero_is_invalid ~settle:sh.tr.settle mem cpu
                 in
-                let v =
-                  classify_end sh.tr sh.spec.detect_addr config.classify rig s
-                in
-                Runtime.Keymap.add sh.keymap key v;
                 tally.executed <- tally.executed + 1;
-                (v, true)
-            end
-            else begin
-              let s =
-                settle_run ~zero_is_invalid ~settle:sh.tr.settle mem cpu
-              in
-              tally.executed <- tally.executed + 1;
-              ( classify_end sh.tr sh.spec.detect_addr config.classify rig s,
-                true )
-            end
+                ( classify_end sh.tr sh.spec.detect_addr config.classify rig s,
+                  1 )
+              end)
         in
         State.undo_to rig m0;
         State.restore_regs rig scratch flags;
-        if config.prune then Hashtbl.replace word_memo w' (v, was_continuation);
+        if memo_on then Hashtbl.replace word_memo w' (v, kind);
         v
     in
     frow.(v) <- frow.(v) + 1;
@@ -532,6 +556,24 @@ let run ?pool spec config =
   let keymap = Runtime.Keymap.create () in
   if config.prune then
     seed_baseline_states keymap tr spec.detect_addr config.classify rig;
+  (* The static pre-pruner needs the built-in classifier (it reasons
+     about its verdicts) and transient injection (persistent corruption
+     invalidates the decoded baseline instructions). *)
+  let static_ctx =
+    if config.static_prune && config.mode = Transient && config.classify = None
+    then
+      Some
+        (Absint.Prune.create ~steps:tr.steps
+           ~terminating:(tr.baseline_stop <> None)
+           ~settle:tr.settle
+           ~end_verdict:
+             (match tr.baseline_stop with
+             | Some s -> classify_end tr spec.detect_addr None rig s
+             | None -> 0)
+           ~no_effect_ok:(tr.final_det = 0)
+           ~no_effect_verdict:(verdict_index No_effect) ())
+    else None
+  in
   let symbols =
     match List.sort (fun (_, a) (_, b) -> compare a b) spec.symbols with
     | [] -> [ (spec.name, spec.flash_base) ]
@@ -543,6 +585,7 @@ let run ?pool spec config =
       tr;
       points_per_cycle;
       keymap;
+      static_ctx;
       sym_addrs = Array.of_list (List.map snd symbols);
       sym_names = Array.of_list (List.map fst symbols);
       cycle_lo;
@@ -594,6 +637,7 @@ let run ?pool spec config =
     faulted = tally.faulted;
     pruned = tally.pruned;
     executed = tally.executed;
+    static_pruned = tally.static_pruned;
     states = Runtime.Keymap.count keymap;
     rows;
     totals = tally.totals;
@@ -601,7 +645,7 @@ let run ?pool spec config =
 
 (* --- persistence -------------------------------------------------------- *)
 
-let code_version = "exhaust-v1"
+let code_version = "exhaust-v2"
 
 let config_key_parts config =
   [ String.concat ","
@@ -613,7 +657,8 @@ let config_key_parts config =
     (match config.settle_steps with None -> "auto" | Some s -> string_of_int s);
     (match config.cycles with
     | None -> "full"
-    | Some (lo, hi) -> Printf.sprintf "%d-%d" lo hi) ]
+    | Some (lo, hi) -> Printf.sprintf "%d-%d" lo hi);
+    string_of_bool config.static_prune ]
 
 let cacheable config = config.classify = None && not config.keep_points
 
@@ -679,9 +724,9 @@ let counts_of_line line =
 let encode_result r =
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Printf.sprintf "exhaust1 %s %d %d %d %d %d %d %d %d %s\n"
+    (Printf.sprintf "exhaust2 %s %d %d %d %d %d %d %d %d %d %s\n"
        (mode_name r.mode) r.trace_steps r.settle r.cycle_lo r.cycle_hi
-       r.points r.faulted r.pruned r.executed
+       r.points r.faulted r.pruned r.executed r.static_pruned
        (stop_code r.baseline_stop));
   Buffer.add_string b (Printf.sprintf "states %d\n" r.states);
   Buffer.add_string b (Printf.sprintf "totals %s\n" (counts_line r.totals));
@@ -701,8 +746,8 @@ let decode_result (spec : spec) (config : config) payload =
   match String.split_on_char '\n' payload with
   | header :: states_line :: totals_line :: rest -> (
     match String.split_on_char ' ' header with
-    | [ "exhaust1"; mode; steps; settle; lo; hi; points; faulted; pruned;
-        executed; stop ] -> (
+    | [ "exhaust2"; mode; steps; settle; lo; hi; points; faulted; pruned;
+        executed; static_pruned; stop ] -> (
       let num = int_of_string_opt in
       let* steps = num steps in
       let* settle = num settle in
@@ -712,11 +757,15 @@ let decode_result (spec : spec) (config : config) payload =
       let* faulted = num faulted in
       let* pruned = num pruned in
       let* executed = num executed in
+      let* static_pruned = num static_pruned in
       let* baseline_stop = stop_of_code stop in
       let* () =
         if mode = mode_name config.mode then Some () else None
       in
-      let* () = if faulted + pruned + executed = points then Some () else None in
+      let* () =
+        if faulted + pruned + executed + static_pruned = points then Some ()
+        else None
+      in
       let* states =
         match String.split_on_char ' ' states_line with
         | [ "states"; n ] -> num n
@@ -762,6 +811,7 @@ let decode_result (spec : spec) (config : config) payload =
           faulted;
           pruned = pruned + executed;  (* a cached result re-executes nothing *)
           executed = 0;
+          static_pruned;
           states;
           rows;
           totals;

@@ -76,6 +76,11 @@ type config = {
   cycles : (int * int) option;
   classify : (Machine.Cpu.t -> Machine.Exec.stop -> int) option;
   prune : bool;
+  static_prune : bool;
+      (** Prove continuations with the abstract fault-flow interpreter
+          ({!Absint.Prune}) before running or sharing them. Only active
+          in transient mode with the built-in classifier; sound — a
+          proven point's verdict equals what execution would produce. *)
   keep_points : bool;
 }
 
@@ -103,6 +108,8 @@ type result = {
   faulted : int;
   pruned : int;
   executed : int;
+  static_pruned : int;
+      (** continuations proven by the abstract fault-flow interpreter *)
   states : int;
   rows : row list;
   totals : int array;
@@ -123,10 +130,11 @@ val baseline :
 val to_json : result -> string
 
 val run : ?pool:Runtime.Pool.t -> spec -> config -> result
-(** Run the campaign. [rows], [totals], [points], [faulted], [states]
-    and (with [keep_points]) [verdicts] are bit-identical at any job
-    count; only the [pruned]/[executed] split is schedule-dependent
-    (two workers racing a cold state both execute). *)
+(** Run the campaign. [rows], [totals], [points], [faulted],
+    [static_pruned], [states] and (with [keep_points]) [verdicts] are
+    bit-identical at any job count; only the [pruned]/[executed] split
+    is schedule-dependent (two workers racing a cold state both
+    execute). *)
 
 (** {2 Persistence} *)
 

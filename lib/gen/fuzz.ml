@@ -23,21 +23,23 @@ module Ast = Minic.Ast
 module Config = Resistor.Config
 module Campaign = Glitch_emu.Campaign
 
-type family = Roundtrip | Semantics | Efficacy | Static_dynamic
+type family = Roundtrip | Semantics | Efficacy | Static_dynamic | Absint
 
-let all_families = [ Roundtrip; Semantics; Efficacy; Static_dynamic ]
+let all_families = [ Roundtrip; Semantics; Efficacy; Static_dynamic; Absint ]
 
 let family_name = function
   | Roundtrip -> "roundtrip"
   | Semantics -> "semantics"
   | Efficacy -> "efficacy"
   | Static_dynamic -> "static-dynamic"
+  | Absint -> "absint"
 
 let family_of_string = function
   | "roundtrip" -> Some Roundtrip
   | "semantics" -> Some Semantics
   | "efficacy" -> Some Efficacy
   | "static-dynamic" | "static_dynamic" -> Some Static_dynamic
+  | "absint" -> Some Absint
   | _ -> None
 
 type verdict = Pass | Skip of string | Fail of string
@@ -423,6 +425,60 @@ let check_static_dynamic (case : Ast_gen.case) =
     first_conds
 
 (* ------------------------------------------------------------------ *)
+(* family 5: the static fault-flow pre-pruner agrees with the oracle   *)
+
+(* Soundness by differential: the campaign with the abstract-interpreter
+   pre-pruner enabled must produce bit-identical verdicts — totals,
+   per-function rows, and the per-point verdict array — to the oracle
+   run that executes every continuation with all pruning off. Checked at
+   an undefended and a fully defended configuration, so the prover sees
+   detection counters, integrity shadows and CFI state machines. *)
+let check_absint (case : Ast_gen.case) =
+  guard_check @@ fun () ->
+  if not (sema_ok case.prog) then skipf "source does not sema-check";
+  let src = Ast_gen.source_of_case case in
+  List.iter
+    (fun (label, config) ->
+      match compile_result config src with
+      | Error m when capacity_message m -> skipf "%s: %s" label m
+      | Error m -> failf "%s: compile failed: %s" label m
+      | Ok compiled ->
+        let spec =
+          Exhaust.Campaign.spec_of_image ~name:"fuzz-absint"
+            compiled.Resistor.Driver.image
+        in
+        let cfg =
+          { (Exhaust.Campaign.default_config ()) with
+            Exhaust.Campaign.weights = [ 1 ];
+            max_trace = 96;
+            settle_steps = Some 24;
+            prune = true;
+            static_prune = true;
+            keep_points = true }
+        in
+        let static = Exhaust.Campaign.run spec cfg in
+        let oracle =
+          Exhaust.Campaign.run spec
+            { cfg with Exhaust.Campaign.prune = false; static_prune = false }
+        in
+        if static.Exhaust.Campaign.totals <> oracle.Exhaust.Campaign.totals
+        then failf "%s: static verdict totals diverge from the oracle" label;
+        if static.Exhaust.Campaign.rows <> oracle.Exhaust.Campaign.rows then
+          failf "%s: static per-function rows diverge from the oracle" label;
+        if static.Exhaust.Campaign.verdicts <> oracle.Exhaust.Campaign.verdicts
+        then failf "%s: static per-point verdicts diverge from the oracle" label;
+        if
+          static.Exhaust.Campaign.points
+          <> static.faulted + static.pruned + static.executed
+             + static.static_pruned
+        then
+          failf "%s: prune counters do not partition the %d points" label
+            static.Exhaust.Campaign.points)
+    [ ("None", Config.none);
+      ( "All\\Delay",
+        Config.all_but_delay ~sensitive:(source_globals case.prog) () ) ]
+
+(* ------------------------------------------------------------------ *)
 (* orchestration                                                       *)
 
 let check family case =
@@ -431,9 +487,10 @@ let check family case =
   | Semantics -> check_semantics case
   | Efficacy -> check_efficacy case
   | Static_dynamic -> check_static_dynamic case
+  | Absint -> check_absint case
 
 let family_arb = function
-  | Roundtrip -> Ast_gen.arb_any
+  | Roundtrip | Absint -> Ast_gen.arb_any
   | Semantics -> Ast_gen.arb_terminating
   | Efficacy | Static_dynamic -> Ast_gen.arb_guarded
 
@@ -444,6 +501,7 @@ let family_index = function
   | Semantics -> 2
   | Efficacy -> 3
   | Static_dynamic -> 4
+  | Absint -> 5
 
 type failure = {
   message : string;
@@ -481,7 +539,7 @@ let skip_breaches ~max_skip_rate s =
 
 let corpus_config family prog =
   match family with
-  | Roundtrip | Semantics -> Config.none
+  | Roundtrip | Semantics | Absint -> Config.none
   | Efficacy | Static_dynamic ->
     Config.all_but_delay ~sensitive:(source_globals prog) ()
 
@@ -545,16 +603,26 @@ let run_family ?dir ~sabotage ~count ~seed family =
 (* Run [count] generated programs through each selected family.
    [sabotage] flips {!Resistor.Branches.disable_complement_check} for
    the duration — the negative control: a deliberately broken defense
-   must make the efficacy family fail. *)
-let run ?dir ?(families = all_families) ?(sabotage = false) ~count ~seed () =
+   must make the efficacy family fail. [sabotage_absint] breaks the
+   abstract interpreter's taint transfer function the same way: the
+   absint family's soundness differential must then trip. *)
+let run ?dir ?(families = all_families) ?(sabotage = false)
+    ?(sabotage_absint = false) ~count ~seed () =
   Resistor.Branches.disable_complement_check := sabotage;
+  Absint.Prune.unsound := sabotage_absint;
   Fun.protect
-    ~finally:(fun () -> Resistor.Branches.disable_complement_check := false)
+    ~finally:(fun () ->
+      Resistor.Branches.disable_complement_check := false;
+      Absint.Prune.unsound := false)
     (fun () ->
       let runs =
-        List.map (fun f -> run_family ?dir ~sabotage ~count ~seed f) families
+        List.map
+          (fun f ->
+            run_family ?dir ~sabotage:(sabotage || sabotage_absint) ~count
+              ~seed f)
+          families
       in
-      { seed; count; sabotage; runs })
+      { seed; count; sabotage = sabotage || sabotage_absint; runs })
 
 (* Re-run the property of a saved counterexample deterministically. *)
 let replay (entry : Corpus.entry) : (verdict, string) result =

@@ -6,6 +6,7 @@ type t = {
   executed : int;
   memoized : int;
   pruned : int;
+  static_pruned : int;
   booted_cycles : int;
   replayed_cycles : int;
   wait_s : float;
@@ -24,6 +25,7 @@ let time ~label ~jobs ~items f =
       executed = items;
       memoized = 0;
       pruned = 0;
+      static_pruned = 0;
       booted_cycles = 0;
       replayed_cycles = 0;
       wait_s = 0.;
@@ -31,7 +33,8 @@ let time ~label ~jobs ~items f =
 
 let with_memo ~executed ~memoized t = { t with executed; memoized }
 
-let with_pruned ~executed ~pruned t = { t with executed; pruned }
+let with_pruned ?(static_pruned = 0) ~executed ~pruned t =
+  { t with executed; pruned; static_pruned }
 
 let with_cycles ~booted ~replayed t =
   { t with booted_cycles = booted; replayed_cycles = replayed }
@@ -67,6 +70,10 @@ let machine_line t =
       Printf.sprintf "%s pruned=%d prune_rate=%.4f" base t.pruned (prune_rate t)
   in
   let base =
+    if t.static_pruned = 0 then base
+    else Printf.sprintf "%s static_pruned=%d" base t.static_pruned
+  in
+  let base =
     if t.booted_cycles = 0 && t.replayed_cycles = 0 then base
     else
       Printf.sprintf "%s booted_cycles=%d replayed_cycles=%d replay_rate=%.4f"
@@ -79,11 +86,11 @@ let machine_line t =
 
 let to_json t =
   Printf.sprintf
-    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f,"pruned":%d,"prune_rate":%.6f,"booted_cycles":%d,"replayed_cycles":%d,"replay_rate":%.6f,"wait_s":%.6f,"utilization":%.6f}|}
+    {|{"label":"%s","jobs":%d,"items":%d,"seconds":%.6f,"rate":%.1f,"executed":%d,"memoized":%d,"hit_rate":%.6f,"pruned":%d,"prune_rate":%.6f,"static_pruned":%d,"booted_cycles":%d,"replayed_cycles":%d,"replay_rate":%.6f,"wait_s":%.6f,"utilization":%.6f}|}
     (String.escaped t.label)
     t.jobs t.items t.elapsed_s (throughput t) t.executed t.memoized
-    (hit_rate t) t.pruned (prune_rate t) t.booted_cycles t.replayed_cycles
-    (replay_rate t) t.wait_s t.utilization
+    (hit_rate t) t.pruned (prune_rate t) t.static_pruned t.booted_cycles
+    t.replayed_cycles (replay_rate t) t.wait_s t.utilization
 
 let pp ppf t =
   Fmt.pf ppf "%s: %d items in %.2fs (%.0f items/s, %d job%s" t.label t.items
@@ -96,6 +103,8 @@ let pp ppf t =
   if t.pruned > 0 then
     Fmt.pf ppf ", %d executed / %d pruned = %.1f%% pruned" t.executed t.pruned
       (100. *. prune_rate t);
+  if t.static_pruned > 0 then
+    Fmt.pf ppf ", %d statically proven" t.static_pruned;
   if t.booted_cycles > 0 || t.replayed_cycles > 0 then
     Fmt.pf ppf ", %d cycles emulated / %d replayed = %.1f%% replay"
       t.booted_cycles t.replayed_cycles

@@ -23,6 +23,9 @@ type t = {
       (** items whose outcome was proven equal to an already-executed
           one — state-hash equivalence or dead-schedule cutoffs in the
           exhaustive campaigns (default: 0) *)
+  static_pruned : int;
+      (** items proven outright by the abstract fault-flow interpreter —
+          never emulated, never shared (default: 0) *)
   booted_cycles : int;  (** board cycles emulated step by step (default: 0) *)
   replayed_cycles : int;
       (** board cycles served by snapshot replay — pre-trigger boots and
@@ -45,8 +48,10 @@ val time : label:string -> jobs:int -> items:int -> (unit -> 'a) -> 'a * t
 val with_memo : executed:int -> memoized:int -> t -> t
 (** Attach memoization counters after the fact. *)
 
-val with_pruned : executed:int -> pruned:int -> t -> t
-(** Attach exhaustive-campaign pruning counters after the fact. *)
+val with_pruned : ?static_pruned:int -> executed:int -> pruned:int -> t -> t
+(** Attach exhaustive-campaign pruning counters after the fact;
+    [static_pruned] counts points the abstract interpreter proved
+    without any emulation. *)
 
 val with_cycles : booted:int -> replayed:int -> t -> t
 (** Attach booted-vs-replayed board-cycle counters after the fact (the

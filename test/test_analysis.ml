@@ -208,6 +208,116 @@ let prop_differential_any_mask =
       check_one_mask case mask;
       true)
 
+(* classify_flip under all three fault models against the real
+   emulator: an identity application must leave the run
+   indistinguishable from the baseline (No_effect), a Fault verdict
+   must surface as Invalid_instruction, and any non-identity verdict
+   must agree with [predicted_outcomes] on the word the model actually
+   produces. *)
+let check_one_flip model (case : Glitch_emu.Testcase.t) mask =
+  let old_word = Glitch_emu.Testcase.target_word case in
+  let word = Glitch_emu.Fault_model.apply model ~mask old_word land 0xFFFF in
+  let addr = Glitch_emu.Campaign.flash_base + (2 * case.target_index) in
+  let dynamic =
+    Glitch_emu.Campaign.run_one
+      (Glitch_emu.Campaign.default_config model)
+      case ~mask
+  in
+  let static = Surface.classify_flip model ~mask ~old_word in
+  let label fmt =
+    Printf.sprintf
+      ("%s %s mask 0x%04x: " ^^ fmt)
+      (Glitch_emu.Fault_model.name model)
+      case.name mask
+  in
+  if word = old_word then begin
+    Alcotest.(check bool)
+      (label "identity application is Benign")
+      true (static = Surface.Benign);
+    Alcotest.(check bool)
+      (label "identity application leaves the baseline outcome")
+      true
+      (dynamic = Glitch_emu.Campaign.No_effect)
+  end
+  else begin
+    let predicted = Surface.predicted_outcomes ~addr word in
+    if not (List.mem dynamic predicted) then
+      Alcotest.failf "%s"
+        (label "dynamic %s not in predicted {%s}"
+           (Glitch_emu.Campaign.category_name dynamic)
+           (String.concat ", "
+              (List.map Glitch_emu.Campaign.category_name predicted)));
+    if static = Surface.Fault then
+      Alcotest.(check bool)
+        (label "Fault implies Invalid_instruction")
+        true
+        (dynamic = Glitch_emu.Campaign.Invalid_instruction);
+    Alcotest.(check bool)
+      (label "non-identity branch perturbation is never Benign")
+      true
+      (static <> Surface.Benign)
+  end
+
+let prop_differential_fault_models =
+  QCheck.Test.make
+    ~name:"classify_flip agrees with the dynamic sweep under And/Or/Xor"
+    ~count:300
+    QCheck.(triple (int_bound 2) (int_bound 13) (int_range 0 0xFFFF))
+    (fun (model_idx, case_idx, mask) ->
+      let model = List.nth Glitch_emu.Fault_model.all model_idx in
+      let case =
+        List.nth Glitch_emu.Testcase.all_conditional_branches case_idx
+      in
+      check_one_flip model case mask;
+      true)
+
+(* the weight-w selections of the XOR model are exactly the XOR sweep:
+   flip_surface must reproduce profile_word's tallies column for
+   column *)
+let flip_surface_xor_matches_profile () =
+  List.iter
+    (fun (case : Glitch_emu.Testcase.t) ->
+      let word = Glitch_emu.Testcase.target_word case in
+      let p = Surface.profile_word word in
+      let t = Surface.flip_surface Glitch_emu.Fault_model.Xor word in
+      Alcotest.(check int) (case.name ^ ": control") (p.control1 + p.control2)
+        t.f_control;
+      Alcotest.(check int) (case.name ^ ": fault") (p.fault1 + p.fault2)
+        t.f_fault;
+      Alcotest.(check int) (case.name ^ ": benign") (p.benign1 + p.benign2)
+        t.f_benign;
+      Alcotest.(check int) (case.name ^ ": xor has no identity selections") 0
+        t.f_identity)
+    Glitch_emu.Testcase.all_conditional_branches
+
+(* And can only clear set bits, Or can only set cleared ones: on any
+   word the two models' identity selections partition the 136
+   bit-selections between them (a selection is And-identity iff it
+   picks only zeros, Or-identity iff only ones — weight <= 2 means no
+   mixed selection is identity for either). *)
+let flip_surface_unidirectional_identities () =
+  List.iter
+    (fun (case : Glitch_emu.Testcase.t) ->
+      let word = Glitch_emu.Testcase.target_word case in
+      let a = Surface.flip_surface Glitch_emu.Fault_model.And word in
+      let o = Surface.flip_surface Glitch_emu.Fault_model.Or word in
+      Alcotest.(check bool)
+        (case.name ^ ": identities are benign (And)")
+        true (a.f_identity <= a.f_benign);
+      Alcotest.(check bool)
+        (case.name ^ ": identities are benign (Or)")
+        true (o.f_identity <= o.f_benign);
+      let ones = Glitch_emu.Bitmask.popcount (word land 0xFFFF) in
+      let zeros = 16 - ones in
+      let pairs n = n * (n - 1) / 2 in
+      Alcotest.(check int)
+        (case.name ^ ": And identities = zero-only selections")
+        (zeros + pairs zeros) a.f_identity;
+      Alcotest.(check int)
+        (case.name ^ ": Or identities = one-only selections")
+        (ones + pairs ones) o.f_identity)
+    Glitch_emu.Testcase.all_conditional_branches
+
 (* --- defense audit ----------------------------------------------------------- *)
 
 let lint_undefended_guard_loop () =
@@ -521,7 +631,12 @@ let () =
       ( "differential",
         [ Alcotest.test_case "all 1/2-bit flips vs campaign" `Slow
             differential_exhaustive;
-          Qseed.to_alcotest prop_differential_any_mask ] );
+          Qseed.to_alcotest prop_differential_any_mask;
+          Qseed.to_alcotest prop_differential_fault_models;
+          Alcotest.test_case "flip_surface XOR column matches profile_word"
+            `Quick flip_surface_xor_matches_profile;
+          Alcotest.test_case "And/Or identity selections accounted" `Quick
+            flip_surface_unidirectional_identities ] );
       ( "lint",
         [ Alcotest.test_case "undefended guard loop" `Quick
             lint_undefended_guard_loop;

@@ -364,6 +364,51 @@ let test_guard_loop_prune_floor_and_parity () =
   Alcotest.(check int) "faulted identical at jobs 4" seq.faulted par.faulted;
   Alcotest.(check int) "states identical at jobs 4" seq.states par.states
 
+(* --- agreement: reachability-weighted static column ----------------------- *)
+
+(* The unrestricted static score charges a function for code the
+   baseline never fetches; restricting it to traced instructions must
+   not lose rank agreement, and on the fully defended guard loop —
+   where the unweighted concordance sits at exactly 50% — it must
+   strictly improve it. *)
+let test_agreement_reachability_weighting () =
+  let compiled =
+    Resistor.Driver.compile
+      (Resistor.Config.all ~sensitive:[ "a" ] ())
+      Resistor.Firmware.guard_loop
+  in
+  let image = compiled.Resistor.Driver.image in
+  let spec = Exhaust.Campaign.spec_of_image ~name:"guard_loop" image in
+  let config = Exhaust.Campaign.default_config () in
+  let result = Exhaust.Campaign.run spec config in
+  let baseline, _stop = Exhaust.Campaign.baseline spec config in
+  let surface = Analysis.Surface.analyze (Analysis.Cfg.of_image image) in
+  let unweighted = Exhaust.Agreement.of_result surface result in
+  let weighted = Exhaust.Agreement.of_result ~baseline surface result in
+  Alcotest.(check bool) "report is marked weighted" true weighted.weighted;
+  Alcotest.(check bool) "enough functions for ranking to mean something" true
+    (List.length weighted.rows >= 4);
+  Alcotest.(check (float 1e-9)) "unweighted concordance preserved in both"
+    unweighted.Exhaust.Agreement.concordance
+    weighted.concordance_unweighted;
+  List.iter
+    (fun (row : Exhaust.Agreement.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: reached insns bounded by points" row.fname)
+        true
+        (row.reached_insns > 0 || row.points = 0))
+    weighted.rows;
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted concordance %.2f strictly beats 0.5"
+       weighted.concordance)
+    true
+    (weighted.concordance > 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted %.2f >= unweighted %.2f" weighted.concordance
+       weighted.concordance_unweighted)
+    true
+    (weighted.concordance >= weighted.concordance_unweighted)
+
 (* --- persistence round-trip ----------------------------------------------- *)
 
 let test_result_cache_roundtrip () =
@@ -425,6 +470,9 @@ let () =
         [ Qseed.to_alcotest prop_pruned_equals_oracle;
           Alcotest.test_case "guard-loop prune floor + jobs-4 parity" `Quick
             test_guard_loop_prune_floor_and_parity ] );
+      ( "agreement",
+        [ Alcotest.test_case "reachability weighting beats unweighted rank"
+            `Quick test_agreement_reachability_weighting ] );
       ( "differential",
         [ Alcotest.test_case "fig2 sweep tables reproduced bit-for-bit" `Quick
             test_fig2_differential;
